@@ -1,0 +1,256 @@
+// Command arcbench regenerates the ARC paper's evaluation (§5, Figures
+// 1–3) plus the RMW-accounting and ablation experiments on the local
+// machine.
+//
+// Regenerate a whole figure (one ASCII table per register size, the same
+// series the paper plots):
+//
+//	arcbench -figure fig1
+//	arcbench -figure fig2            # virtualized host: CPU-steal simulation
+//	arcbench -figure fig3            # 1000–4000 threads, time-sharing
+//	arcbench -figure processing      # §5's second workload
+//	arcbench -figure ablation        # ARC vs its own disabled optimizations
+//	arcbench -figure rmw             # RMW instructions per read, ARC vs RF
+//	arcbench -figure all             # everything above, in order
+//
+// Sweeps can be overridden (-threads, -sizes, -duration, -steal) and
+// shrunk for smoke runs (-quick). A single deployment can be measured
+// directly:
+//
+//	arcbench -alg arc -threads 16 -size 32768 -duration 2s
+//
+// Results go to stdout; -csv appends machine-readable rows to a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"arcreg/internal/harness"
+	"arcreg/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|rmw|latency|all")
+		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
+		threads  = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
+		sizes    = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
+		size     = fs.Int("size", 4096, "register size for single runs")
+		nthreads = fs.Int("nthreads", 4, "thread count for single runs (1 writer + n-1 readers)")
+		mode     = fs.String("mode", "dummy", "workload: dummy|processing")
+		duration = fs.Duration("duration", time.Second, "measurement window per cell")
+		warmup   = fs.Duration("warmup", 200*time.Millisecond, "warmup before each window")
+		stealF   = fs.Float64("steal", -1, "CPU-steal fraction override (0..0.9; -1 keeps the figure default)")
+		quick    = fs.Bool("quick", false, "shrink sweeps and windows for a smoke run")
+		csvPath  = fs.String("csv", "", "also append CSV rows to this file")
+		latency  = fs.Int("latency-sample", 0, "record every Nth op latency in single runs (0=off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "arcbench: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	if *figure == "" {
+		return singleRun(out, *alg, *nthreads, *size, *mode, *duration, *warmup, *stealF, *latency)
+	}
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "rmw", "latency"}
+	}
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+	}
+	for _, id := range ids {
+		if id == "rmw" {
+			if err := runRMW(out, *threads, *size, *duration, *warmup, *quick); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "latency" {
+			if err := runLatency(out, *nthreads, *size, *stealF, *duration, *warmup, *quick); err != nil {
+				return err
+			}
+			continue
+		}
+		fig, err := harness.FigureByID(id)
+		if err != nil {
+			return err
+		}
+		fig = customize(fig, *threads, *sizes, *duration, *warmup, *stealF, *quick)
+		progress := func(done, total int, c harness.Cell) {
+			status := fmt.Sprintf("%.2f Mops/s", c.Result.Mops())
+			if c.Err != nil {
+				status = "n/a (" + c.Err.Error() + ")"
+			}
+			fmt.Fprintf(os.Stderr, "[%s %d/%d] %s threads=%d size=%d: %s\n",
+				fig.ID, done, total, c.Algorithm, c.Threads, c.Size, status)
+		}
+		data, err := fig.Run(progress)
+		if err != nil {
+			return err
+		}
+		data.RenderTable(out)
+		if csv != nil {
+			data.RenderCSV(csv)
+		}
+	}
+	return nil
+}
+
+// customize applies CLI overrides to a figure definition.
+func customize(fig harness.Figure, threads, sizes string, duration, warmup time.Duration, stealF float64, quick bool) harness.Figure {
+	if threads != "" {
+		fig.Threads = mustInts(threads)
+	}
+	if sizes != "" {
+		fig.Sizes = mustInts(sizes)
+	}
+	fig.Duration = duration
+	fig.Warmup = warmup
+	if stealF >= 0 {
+		fig.StealFraction = stealF
+	}
+	if quick {
+		maxTh := 2 * runtime.NumCPU()
+		if fig.ID == "fig3" {
+			maxTh = 64
+			fig.Threads = []int{16, 32, 64}
+		}
+		fig = fig.Scale(maxTh, 200*time.Millisecond, 50*time.Millisecond)
+		if len(fig.Sizes) > 2 {
+			fig.Sizes = fig.Sizes[:2]
+		}
+	}
+	return fig
+}
+
+func runRMW(out io.Writer, threads string, size int, duration, warmup time.Duration, quick bool) error {
+	th := []int{2, 4, 8, 16, 32}
+	if threads != "" {
+		th = mustInts(threads)
+	}
+	if quick {
+		th = []int{2, 4}
+		duration = 200 * time.Millisecond
+		warmup = 50 * time.Millisecond
+	}
+	rep, err := harness.RunRMWComparison(th, size, duration, warmup)
+	if err != nil {
+		return err
+	}
+	rep.Render(out)
+	return nil
+}
+
+func runLatency(out io.Writer, threads, size int, stealF float64, duration, warmup time.Duration, quick bool) error {
+	if quick {
+		duration = 200 * time.Millisecond
+		warmup = 50 * time.Millisecond
+	}
+	frac := 0.0
+	if stealF > 0 {
+		frac = stealF
+	}
+	algs := []harness.Algorithm{
+		harness.AlgARC, harness.AlgRF, harness.AlgPeterson,
+		harness.AlgLock, harness.AlgSeqlock, harness.AlgLeftRight,
+	}
+	rep, err := harness.RunLatencyComparison(algs, threads, size, frac, duration, warmup)
+	if err != nil {
+		return err
+	}
+	rep.Render(out)
+	return nil
+}
+
+func singleRun(out io.Writer, alg string, threads, size int, mode string, duration, warmup time.Duration, stealF float64, latencySample int) error {
+	a, err := harness.ParseAlgorithm(alg)
+	if err != nil {
+		return err
+	}
+	m, err := workload.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	cfg := harness.RunConfig{
+		Algorithm:     a,
+		Threads:       threads,
+		ValueSize:     size,
+		Mode:          m,
+		Duration:      duration,
+		Warmup:        warmup,
+		LatencySample: latencySample,
+	}
+	if stealF > 0 {
+		cfg.StealFraction = stealF
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s threads=%d size=%d mode=%s steal=%.0f%%\n",
+		a, threads, size, m, cfg.StealFraction*100)
+	fmt.Fprintf(out, "  throughput: %s\n", res.Throughput())
+	fmt.Fprintf(out, "  reads:  %d ops, %d RMW (%.4f/op), %d fast-path (%.1f%%)\n",
+		res.ReadOps, res.ReadStat.RMW, safeDiv(res.ReadStat.RMW, res.ReadOps),
+		res.ReadStat.FastPath, 100*safeDiv(res.ReadStat.FastPath, res.ReadOps))
+	fmt.Fprintf(out, "  writes: %d ops, %d RMW, %d scan steps (%.2f/op), %d hint hits\n",
+		res.WriteOps, res.WriteStat.RMW, res.WriteStat.ScanSteps,
+		safeDiv(res.WriteStat.ScanSteps, res.WriteOps), res.WriteStat.HintHits)
+	if res.Steal.Steals > 0 {
+		fmt.Fprintf(out, "  steal:  %d events, %v stolen\n", res.Steal.Steals, res.Steal.Stolen)
+	}
+	if res.ReadLat.Count() > 0 {
+		fmt.Fprintf(out, "  read latency:  %s\n", res.ReadLat.String())
+		fmt.Fprintf(out, "  write latency: %s\n", res.WriteLat.String())
+	}
+	return nil
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func mustInts(csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arcbench: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

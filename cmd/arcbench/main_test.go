@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleRunOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-alg", "arc", "-nthreads", "3", "-size", "512",
+		"-duration", "40ms", "-warmup", "10ms", "-latency-sample", "32",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"throughput:", "reads:", "writes:", "fast-path", "read latency:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureQuickWithCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var sb strings.Builder
+	err := run([]string{
+		"-figure", "fig1", "-quick",
+		"-threads", "2,3", "-sizes", "256",
+		"-duration", "30ms", "-warmup", "5ms",
+		"-csv", csv,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig1") {
+		t.Fatalf("missing table header:\n%s", sb.String())
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(blob), "figure,size,threads,algorithm") {
+		t.Fatalf("csv header wrong: %q", string(blob)[:60])
+	}
+	lines := strings.Count(strings.TrimSpace(string(blob)), "\n")
+	if lines != 8 { // 2 threads × 1 size × 4 algorithms
+		t.Fatalf("csv data lines = %d, want 8", lines)
+	}
+}
+
+func TestRMWFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "rmw", "-threads", "2", "-size", "256",
+		"-duration", "30ms", "-warmup", "5ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rmw/read") {
+		t.Fatalf("missing rmw table:\n%s", sb.String())
+	}
+}
+
+func TestLatencyFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "latency", "-quick", "-nthreads", "3", "-size", "256"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "read p99") {
+		t.Fatalf("missing latency table:\n%s", sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "fig9"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-alg", "bogus"}, &sb); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-mode", "bogus", "-alg", "arc"}, &sb); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestMustInts(t *testing.T) {
+	got := mustInts("1, 2,3 ,")
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("mustInts = %v", got)
+	}
+}

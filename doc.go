@@ -1,0 +1,56 @@
+// Package arcreg provides wait-free multi-word atomic (1,N) registers for
+// large-scale data sharing between one writer and many readers on
+// multi-core machines, implementing Anonymous Readers Counting (ARC) from
+// Ianni, Pellegrini & Quaglia, "A Wait-free Multi-word Atomic (1,N)
+// Register for Large-scale Data Sharing on Multi-core Machines"
+// (CLUSTER 2017, arXiv:1707.07478), together with the baselines the paper
+// evaluates against and an (M,N) multi-writer extension.
+//
+// # The problem
+//
+// Hardware atomicity covers single words; sharing a multi-word value (a
+// configuration blob, a statistics snapshot, an order book) between one
+// producer and many consumers needs an algorithm. Locks serialize readers
+// against the writer and collapse when a lock holder loses its CPU;
+// classical wait-free registers copy the value multiple times per
+// operation. ARC gives every operation a bounded, constant number of
+// steps, copies the value exactly once (on write — reads are zero-copy),
+// admits up to 2³²−2 concurrent readers, and needs only N+2 value buffers.
+//
+// # Quick start
+//
+//	reg, err := arcreg.NewARC(arcreg.Config{
+//		MaxReaders:   8,
+//		MaxValueSize: 4096,
+//	})
+//	if err != nil { ... }
+//
+//	// One goroutine writes:
+//	w := reg.Writer()
+//	_ = w.Write(snapshot)
+//
+//	// Up to MaxReaders goroutines read, each through its own handle:
+//	rd, _ := reg.NewReader()
+//	buf := make([]byte, 4096)
+//	n, _ := rd.Read(buf)      // copying read
+//	v, _ := arcreg.View(rd)   // zero-copy view (valid until rd's next op)
+//
+// # Choosing an implementation
+//
+//   - NewARC — the paper's algorithm; wait-free, constant-time reads,
+//     amortized constant-time writes, zero-copy views. Use this.
+//   - NewRF — the Readers-Field register (Larsson et al. 2009); wait-free
+//     but pays one RMW per read and is limited to 58 readers. Provided as
+//     the paper's principal baseline.
+//   - NewPeterson — Peterson's 1983 construction from single-word
+//     registers; wait-free without any RMW instruction, but reads copy
+//     the value up to three times. Historical baseline.
+//   - NewLocked — a reader/writer-spinlock register; simple but not
+//     wait-free: one preempted reader stalls the writer. Comparator.
+//   - NewMN — an (M,N) multi-writer register composed from M ARC
+//     registers with tag-based ordering.
+//
+// All five share the Register/Reader/Writer interfaces, so they are
+// interchangeable in application code and in the bundled benchmark
+// harness (cmd/arcbench) that regenerates the paper's figures.
+package arcreg

@@ -1,0 +1,108 @@
+package arcreg_test
+
+import (
+	"fmt"
+
+	"arcreg"
+)
+
+// The canonical usage: one writer publishes, readers consume wait-free.
+func ExampleNewARC() {
+	reg, err := arcreg.NewARC(arcreg.Config{MaxReaders: 2, MaxValueSize: 64})
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.Writer().Write([]byte("hello, wait-free world")); err != nil {
+		panic(err)
+	}
+	rd, err := reg.NewReader()
+	if err != nil {
+		panic(err)
+	}
+	defer rd.Close()
+	buf := make([]byte, 64)
+	n, err := rd.Read(buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(buf[:n]))
+	// Output: hello, wait-free world
+}
+
+// Zero-copy reads: the view aliases the register's internal slot, which
+// stays pinned until the handle's next operation.
+func ExampleView() {
+	reg, _ := arcreg.NewARC(arcreg.Config{MaxReaders: 1, MaxValueSize: 32})
+	reg.Writer().Write([]byte("no bytes were copied"))
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+	if v, ok := arcreg.View(rd); ok {
+		fmt.Println(string(v))
+	}
+	// Output: no bytes were copied
+}
+
+// Freshness probing: skip work when nothing changed, for the cost of one
+// atomic load (no RMW instruction).
+func ExampleFresh() {
+	reg, _ := arcreg.NewARC(arcreg.Config{MaxReaders: 1, MaxValueSize: 32})
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+
+	reg.Writer().Write([]byte("v1"))
+	rd.Read(make([]byte, 32))
+
+	fresh, _ := arcreg.Fresh(rd)
+	fmt.Println("after read:", fresh)
+
+	reg.Writer().Write([]byte("v2"))
+	fresh, _ = arcreg.Fresh(rd)
+	fmt.Println("after write:", fresh)
+	// Output:
+	// after read: true
+	// after write: false
+}
+
+// Typed access over JSON: share configuration structs instead of bytes.
+func ExampleNewJSON() {
+	type limits struct {
+		RPS   int `json:"rps"`
+		Burst int `json:"burst"`
+	}
+	reg, err := arcreg.NewJSON[limits](arcreg.Config{MaxReaders: 4, MaxValueSize: 256})
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.Set(limits{RPS: 100, Burst: 250}); err != nil {
+		panic(err)
+	}
+	rd, err := reg.NewReader()
+	if err != nil {
+		panic(err)
+	}
+	defer rd.Close()
+	cfg, err := rd.Get()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rps=%d burst=%d\n", cfg.RPS, cfg.Burst)
+	// Output: rps=100 burst=250
+}
+
+// The (M,N) extension: several writers, totally ordered by tag.
+func ExampleNewMN() {
+	reg, err := arcreg.NewMN(arcreg.MNConfig{Writers: 2, Readers: 1, MaxValueSize: 32})
+	if err != nil {
+		panic(err)
+	}
+	w0, _ := reg.NewWriter()
+	w1, _ := reg.NewWriter()
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+
+	w0.Write([]byte("from writer zero"))
+	w1.Write([]byte("from writer one")) // outbids w0's tag
+	v, _ := rd.View()
+	fmt.Println(string(v))
+	// Output: from writer one
+}

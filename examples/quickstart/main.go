@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete use of the ARC register — one writer
+// goroutine publishing snapshots, several reader goroutines consuming them
+// wait-free, with both the copying and the zero-copy read paths.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg"
+)
+
+func main() {
+	// A register for up to 4 concurrent readers and values up to 1KB.
+	reg, err := arcreg.NewARC(arcreg.Config{
+		MaxReaders:   4,
+		MaxValueSize: 1024,
+		Initial:      []byte("hello, registers"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		totalOps atomic.Uint64
+	)
+
+	// Readers: each goroutine owns one handle. Reads never block, never
+	// retry, and never fail — that is what wait-free means.
+	for i := 0; i < 4; i++ {
+		rd, err := reg.NewReader()
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer rd.Close()
+			buf := make([]byte, 1024)
+			var ops uint64
+			var lastSeen string
+			for !stop.Load() {
+				// Copying read:
+				n, err := rd.Read(buf)
+				if err != nil {
+					log.Fatalf("reader %d: %v", id, err)
+				}
+				lastSeen = string(buf[:n])
+
+				// Zero-copy view: valid until this handle's next
+				// operation; no bytes move.
+				if v, ok := arcreg.View(rd); ok {
+					_ = v[0]
+				}
+				ops += 2
+			}
+			totalOps.Add(ops)
+			fmt.Printf("reader %d: %8d ops, last value %q\n", id, ops, lastSeen)
+		}(i)
+	}
+
+	// The single writer: publish 1000 values, 1ms apart.
+	w := reg.Writer()
+	for i := 1; i <= 1000; i++ {
+		msg := fmt.Sprintf("snapshot #%d at %s", i, time.Now().Format("15:04:05.000"))
+		if err := w.Write([]byte(msg)); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("writer: 1000 snapshots published; readers performed %d wait-free ops\n",
+		totalOps.Load())
+}

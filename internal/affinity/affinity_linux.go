@@ -1,0 +1,48 @@
+//go:build linux
+
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSetWords covers 1024 CPUs, the kernel's default cpu_set_t width.
+const cpuSetWords = 16
+
+// Available reports whether pinning is supported on this platform.
+func Available() bool { return true }
+
+// Pin locks the calling goroutine to its OS thread and binds that thread
+// to the given CPU. The returned release function restores the previous
+// affinity mask and unlocks the thread. The paper's harness pins one
+// pthread per core; this is the Go equivalent.
+func Pin(cpu int) (release func(), err error) {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return nil, fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	runtime.LockOSThread()
+
+	var prev [cpuSetWords]uint64
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(prev)*8), uintptr(unsafe.Pointer(&prev[0]))); errno != 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: sched_getaffinity: %v", errno)
+	}
+
+	var set [cpuSetWords]uint64
+	set[cpu/64] = 1 << uint(cpu%64)
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(set)*8), uintptr(unsafe.Pointer(&set[0]))); errno != 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: sched_setaffinity(cpu %d): %v", cpu, errno)
+	}
+
+	return func() {
+		syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+			0, uintptr(len(prev)*8), uintptr(unsafe.Pointer(&prev[0])))
+		runtime.UnlockOSThread()
+	}, nil
+}

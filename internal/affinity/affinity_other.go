@@ -1,0 +1,14 @@
+//go:build !linux
+
+package affinity
+
+import "errors"
+
+// ErrUnsupported reports that this platform cannot pin threads.
+var ErrUnsupported = errors.New("affinity: thread pinning unsupported on this platform")
+
+// Available reports whether pinning is supported on this platform.
+func Available() bool { return false }
+
+// Pin is unavailable; callers fall back to unpinned execution.
+func Pin(cpu int) (release func(), err error) { return nil, ErrUnsupported }

@@ -1,0 +1,52 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPinAndRelease(t *testing.T) {
+	if !Available() {
+		if _, err := Pin(0); err == nil {
+			t.Fatal("Pin succeeded on an unsupported platform")
+		}
+		t.Skip("affinity unsupported on this platform")
+	}
+	release, err := Pin(0)
+	if err != nil {
+		t.Skipf("Pin(0) failed (restricted environment?): %v", err)
+	}
+	// The pinned goroutine must still make progress.
+	sum := 0
+	for i := 0; i < 1000; i++ {
+		sum += i
+	}
+	if sum == 0 {
+		t.Fatal("impossible")
+	}
+	release()
+}
+
+func TestPinOutOfRange(t *testing.T) {
+	if !Available() {
+		t.Skip("affinity unsupported on this platform")
+	}
+	if _, err := Pin(-1); err == nil {
+		t.Fatal("Pin(-1) accepted")
+	}
+	if _, err := Pin(1 << 20); err == nil {
+		t.Fatal("Pin(huge) accepted")
+	}
+}
+
+func TestPinBeyondHardwareFails(t *testing.T) {
+	if !Available() {
+		t.Skip("affinity unsupported on this platform")
+	}
+	// Pinning to a CPU the machine does not have must fail cleanly, not
+	// wedge the thread.
+	ncpu := runtime.NumCPU()
+	if _, err := Pin(ncpu + 512); err == nil {
+		t.Fatalf("Pin(%d) succeeded with only %d CPUs", ncpu+512, ncpu)
+	}
+}

@@ -1,0 +1,8 @@
+// Package affinity provides best-effort CPU pinning for benchmark
+// workers. The paper's evaluation schedules one thread per core (§5: up to
+// 32 threads on the 32-core host "avoiding time-sharing concurrency …
+// among them on a same CPU-core"); pinning reduces scheduler-induced
+// variance when reproducing that regime. On platforms without
+// sched_setaffinity the harness silently runs unpinned — pinning affects
+// variance, not correctness.
+package affinity

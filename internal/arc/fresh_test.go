@@ -1,0 +1,76 @@
+package arc
+
+import (
+	"testing"
+
+	"arcreg/internal/register"
+)
+
+var _ register.FreshnessProber = (*Reader)(nil)
+
+func TestFreshLifecycle(t *testing.T) {
+	r := newReg(t, 2, 64, Options{})
+	rd, _ := r.NewReaderHandle()
+
+	// Never read: not fresh by definition.
+	if rd.Fresh() {
+		t.Fatal("unread handle reports fresh")
+	}
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Fresh() {
+		t.Fatal("just-read handle not fresh")
+	}
+	// A write invalidates.
+	if err := r.Write([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Fresh() {
+		t.Fatal("handle fresh after a write")
+	}
+	// Re-reading restores freshness.
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Fresh() {
+		t.Fatal("handle not fresh after re-read")
+	}
+	// Closed handles are never fresh.
+	rd.Close()
+	if rd.Fresh() {
+		t.Fatal("closed handle reports fresh")
+	}
+}
+
+// The probe must not perturb the protocol: freshness polling between
+// reads leaves counters and stats untouched.
+func TestFreshIsPure(t *testing.T) {
+	r := newReg(t, 1, 64, Options{})
+	rd, _ := r.NewReaderHandle()
+	r.Write([]byte("x"))
+	rd.View()
+	before := rd.ReadStats()
+	for i := 0; i < 1000; i++ {
+		if !rd.Fresh() {
+			t.Fatal("freshness flapped with no writes")
+		}
+	}
+	after := rd.ReadStats()
+	if before != after {
+		t.Fatalf("Fresh() mutated stats: %+v -> %+v", before, after)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreshAllocFree(t *testing.T) {
+	r := newReg(t, 1, 64, Options{})
+	rd, _ := r.NewReaderHandle()
+	r.Write([]byte("x"))
+	rd.View()
+	if avg := testing.AllocsPerRun(100, func() { rd.Fresh() }); avg != 0 {
+		t.Fatalf("Fresh allocates %.1f/op", avg)
+	}
+}

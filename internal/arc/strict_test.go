@@ -1,0 +1,246 @@
+package arc
+
+// Tests of the StaticInit mode, which reproduces Algorithm 1 literally:
+// current is initialized to N (index 0, counter N) and every handle starts
+// pre-charged on slot 0 with last_index = 0, exactly as in the paper's
+// fixed-process model.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newStatic(t *testing.T, readers, size int) *Register {
+	t.Helper()
+	r, err := New(register.Config{MaxReaders: readers, MaxValueSize: size},
+		Options{StaticInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// I1: with no writes ever, all readers read the initial value through the
+// fast path indefinitely ("if no update is ever made on the register's
+// content, readers will indefinitely read this value", §3.3).
+func TestStaticInitialFastPath(t *testing.T) {
+	const n = 4
+	r := newStatic(t, n, 32)
+	for i := 0; i < n; i++ {
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			v, err := rd.View()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(v, []byte{0}) {
+				t.Fatalf("reader %d read %v", i, v)
+			}
+		}
+		st := rd.ReadStats()
+		// Pre-charged on slot 0: every read, including the first, is a
+		// fast-path hit with zero RMW.
+		if st.RMW != 0 || st.FastPath != 10 {
+			t.Fatalf("reader %d: RMW=%d fastpath=%d; want 0 and 10", i, st.RMW, st.FastPath)
+		}
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The static model admits exactly N handle creations, ever: each binds one
+// of the N pre-charged presence units.
+func TestStaticHandleBudget(t *testing.T) {
+	r := newStatic(t, 2, 16)
+	a, err := r.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewReader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("third static handle: %v", err)
+	}
+	// Closing does NOT return capacity in static mode (the paper's
+	// processes are fixed for the register's lifetime).
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("static handle after close: %v", err)
+	}
+}
+
+// Never-created or never-reading static readers keep slot 0 pinned, but the
+// writer still never runs out of slots (Lemma 4.1, Case 1 and 2).
+func TestStaticPhantomReadersDoNotBlockWriter(t *testing.T) {
+	const n = 3
+	r := newStatic(t, n, 16)
+	// No reader handle ever created: N phantom units pin slot 0.
+	for i := 0; i < 200; i++ {
+		if err := r.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A static reader's first post-write read releases its pre-charged unit on
+// slot 0; once all N have done so, slot 0 becomes reusable.
+func TestStaticSlotZeroReclamation(t *testing.T) {
+	const n = 3
+	r := newStatic(t, n, 16)
+	readers := make([]*Reader, n)
+	for i := range readers {
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers[i] = rd
+	}
+	if err := r.Write([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Before any post-write read, slot 0 must not be free: its frozen
+	// r_start is N, r_end is 0.
+	s0 := &r.slots[0]
+	if s0.rStart.Load() != n || s0.rEnd.Load() != 0 {
+		t.Fatalf("slot 0 counters after first write: start=%d end=%d, want %d and 0",
+			s0.rStart.Load(), s0.rEnd.Load(), n)
+	}
+	for i, rd := range readers {
+		v, err := rd.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "v1" {
+			t.Fatalf("reader %d read %q", i, v)
+		}
+	}
+	if s0.rEnd.Load() != n {
+		t.Fatalf("slot 0 r_end = %d after all readers moved on, want %d", s0.rEnd.Load(), n)
+	}
+	// Slot 0 is free again; enough writes must eventually recycle it.
+	recycled := false
+	for i := 0; i < 2*(n+2); i++ {
+		if err := r.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if r.lastSlot == 0 {
+			recycled = true
+		}
+	}
+	if !recycled {
+		t.Fatal("slot 0 never recycled after all pre-charged units were released")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closing a static handle that never read must release its pre-charged
+// unit (otherwise the unit leaks and slot 0 can never be reclaimed even
+// after every process exits).
+func TestStaticCloseReleasesPrecharge(t *testing.T) {
+	const n = 2
+	r := newStatic(t, n, 16)
+	a, _ := r.NewReaderHandle()
+	b, _ := r.NewReaderHandle()
+	if err := r.Write([]byte("x")); err != nil { // freezes r_start[0] = 2
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s0 := &r.slots[0]
+	if s0.rStart.Load() != s0.rEnd.Load() {
+		t.Fatalf("slot 0 not free after all static handles closed: start=%d end=%d",
+			s0.rStart.Load(), s0.rEnd.Load())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Full concurrent integrity in static mode, mirroring the dynamic-mode
+// torture test.
+func TestStaticConcurrentIntegrity(t *testing.T) {
+	const (
+		readers = 4
+		writes  = 1500
+		size    = 128
+	)
+	r := newStatic(t, readers, size)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := rd.View()
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The initial value is not codec-encoded; skip it.
+				if len(v) == 1 {
+					continue
+				}
+				ver, err := membuf.Verify(v)
+				if err != nil {
+					errs <- fmt.Errorf("torn read: %w", err)
+					return
+				}
+				if ver < last {
+					errs <- fmt.Errorf("version regressed: %d after %d", ver, last)
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	buf := make([]byte, size)
+	for i := uint64(1); i <= writes; i++ {
+		membuf.Encode(buf, i)
+		if err := r.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"arcreg/internal/workload"
+)
+
+// Sizes swept by the paper's figures: 4KB, 32KB, 128KB.
+var (
+	PaperSizes = []int{4 * 1024, 32 * 1024, 128 * 1024}
+
+	// Fig1Threads is the thread sweep on the 32-core physical machine.
+	Fig1Threads = []int{2, 4, 8, 16, 24, 32}
+	// Fig2Threads extends to the 40-vCPU virtualized host.
+	Fig2Threads = []int{2, 4, 8, 16, 24, 32, 40}
+	// Fig3Threads is the oversubscribed sweep (log-scale x in the paper).
+	Fig3Threads = []int{1000, 1500, 2000, 2500, 3000, 3500, 4000}
+)
+
+// Figure describes one reproducible experiment family — one paper figure
+// (or ablation table).
+type Figure struct {
+	// ID names the experiment ("fig1", "fig2", "fig3", …).
+	ID string
+	// Caption mirrors the paper's figure caption.
+	Caption string
+	// Algorithms are the compared register implementations, in column
+	// order.
+	Algorithms []Algorithm
+	// Threads and Sizes span the sweep.
+	Threads []int
+	Sizes   []int
+	// Mode is the workload variant.
+	Mode workload.Mode
+	// StealFraction > 0 simulates the virtualized host.
+	StealFraction float64
+	// Pin requests CPU pinning in the physical regime.
+	Pin bool
+	// Duration and Warmup apply to every cell.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Seed fixes the steal schedules.
+	Seed uint64
+}
+
+// Fig1 is Figure 1: throughput vs threads at each register size on the
+// physical machine (no steal, pinned, dummy workload).
+func Fig1() Figure {
+	return Figure{
+		ID:         "fig1",
+		Caption:    "Throughput with different register size values (physical machine)",
+		Algorithms: Algorithms(),
+		Threads:    Fig1Threads,
+		Sizes:      PaperSizes,
+		Mode:       workload.Dummy,
+		Pin:        true,
+		Duration:   time.Second,
+		Warmup:     200 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Fig2 is Figure 2: the same sweep on the simulated virtualized host
+// (CPU-steal injection enabled, no pinning — vCPUs float).
+func Fig2() Figure {
+	return Figure{
+		ID:            "fig2",
+		Caption:       "Throughput with different register size values (virtualized host, CPU steal)",
+		Algorithms:    Algorithms(),
+		Threads:       Fig2Threads,
+		Sizes:         PaperSizes,
+		Mode:          workload.Dummy,
+		StealFraction: 0.25,
+		Duration:      time.Second,
+		Warmup:        200 * time.Millisecond,
+		Seed:          2,
+	}
+}
+
+// Fig3 is Figure 3: heavily oversubscribed thread counts. RF is excluded
+// — its 58-reader limit cannot host the sweep (§5: "RF could not be
+// tested").
+func Fig3() Figure {
+	return Figure{
+		ID:         "fig3",
+		Caption:    "Throughput with largely-increased thread counts (time-sharing)",
+		Algorithms: []Algorithm{AlgARC, AlgPeterson, AlgLock},
+		Threads:    Fig3Threads,
+		Sizes:      PaperSizes,
+		Mode:       workload.Dummy,
+		Duration:   time.Second,
+		Warmup:     200 * time.Millisecond,
+		Seed:       3,
+	}
+}
+
+// FigProcessing is the paper's second experiment set: operations with
+// attached processing latency (write generates data, read scans the
+// buffer).
+func FigProcessing() Figure {
+	f := Fig1()
+	f.ID = "processing"
+	f.Caption = "Throughput with per-operation processing attached (physical machine)"
+	f.Mode = workload.Processing
+	return f
+}
+
+// FigAblation compares ARC against its own ablated variants, isolating
+// the fast-path (R1–R2) and free-slot-hint (§3.4) optimizations.
+func FigAblation() Figure {
+	f := Fig1()
+	f.ID = "ablation"
+	f.Caption = "ARC ablations: fast path and free-slot hint contributions"
+	f.Algorithms = []Algorithm{AlgARC, AlgARCNoFast, AlgARCNoHint}
+	f.Sizes = []int{4 * 1024, 32 * 1024}
+	return f
+}
+
+// FigExtensions compares ARC against the two modern non-paper baselines,
+// seqlock (lock-free reads) and Left-Right (blocking writes), on the
+// Figure 1 sweep. It extends the paper's comparison to the design points
+// practitioners actually deploy today.
+func FigExtensions() Figure {
+	f := Fig1()
+	f.ID = "extensions"
+	f.Caption = "ARC vs seqlock and Left-Right (extension baselines)"
+	f.Algorithms = []Algorithm{AlgARC, AlgSeqlock, AlgLeftRight}
+	return f
+}
+
+// FigureByID resolves a CLI name.
+func FigureByID(id string) (Figure, error) {
+	switch id {
+	case "fig1", "1":
+		return Fig1(), nil
+	case "fig2", "2":
+		return Fig2(), nil
+	case "fig3", "3":
+		return Fig3(), nil
+	case "processing":
+		return FigProcessing(), nil
+	case "ablation":
+		return FigAblation(), nil
+	case "extensions":
+		return FigExtensions(), nil
+	}
+	return Figure{}, fmt.Errorf("harness: unknown figure %q (fig1|fig2|fig3|processing|ablation|extensions)", id)
+}
+
+// Scale shrinks a figure for smoke tests and CI: thread counts are capped,
+// the sweep is thinned, and the timing windows reduced.
+func (f Figure) Scale(maxThreads int, duration, warmup time.Duration) Figure {
+	if maxThreads > 0 {
+		var th []int
+		for _, t := range f.Threads {
+			if t <= maxThreads {
+				th = append(th, t)
+			}
+		}
+		if len(th) == 0 {
+			th = []int{min(maxThreads, 2)}
+			if maxThreads >= 2 {
+				th = []int{maxThreads}
+			}
+		}
+		f.Threads = th
+	}
+	if duration > 0 {
+		f.Duration = duration
+	}
+	if warmup > 0 {
+		f.Warmup = warmup
+	}
+	return f
+}
+
+// Cell is one measured point of a figure.
+type Cell struct {
+	Algorithm Algorithm
+	Threads   int
+	Size      int
+	Result    Result
+	Err       error // non-nil when the cell is infeasible (e.g. RF > 58)
+}
+
+// FigureData is the measured content of a figure: cells in sweep order.
+type FigureData struct {
+	Figure Figure
+	Cells  []Cell
+}
+
+// Progress receives cell-completion callbacks (nil to disable).
+type Progress func(done, total int, c Cell)
+
+// Run measures every cell of the figure. Infeasible cells (reader counts
+// beyond an algorithm's limit) are recorded with an error rather than
+// aborting, mirroring the paper's "RF could not be tested" note.
+func (f Figure) Run(progress Progress) (FigureData, error) {
+	data := FigureData{Figure: f}
+	total := len(f.Sizes) * len(f.Threads) * len(f.Algorithms)
+	done := 0
+	for _, size := range f.Sizes {
+		for _, th := range f.Threads {
+			for _, alg := range f.Algorithms {
+				cell := Cell{Algorithm: alg, Threads: th, Size: size}
+				if th-1 > alg.MaxReaders() {
+					cell.Err = fmt.Errorf("%d readers exceed %s limit %d", th-1, alg, alg.MaxReaders())
+				} else {
+					res, err := Run(RunConfig{
+						Algorithm:     alg,
+						Threads:       th,
+						ValueSize:     size,
+						Mode:          f.Mode,
+						Duration:      f.Duration,
+						Warmup:        f.Warmup,
+						StealFraction: f.StealFraction,
+						Pin:           f.Pin,
+						Seed:          f.Seed,
+					})
+					if err != nil {
+						return data, fmt.Errorf("figure %s (%s, %d threads, %dB): %w",
+							f.ID, alg, th, size, err)
+					}
+					cell.Result = res
+				}
+				data.Cells = append(data.Cells, cell)
+				done++
+				if progress != nil {
+					progress(done, total, cell)
+				}
+			}
+		}
+	}
+	return data, nil
+}
+
+// Series extracts the (threads → Mops) series for one algorithm and size.
+func (d *FigureData) Series(alg Algorithm, size int) []Cell {
+	var out []Cell
+	for _, c := range d.Cells {
+		if c.Algorithm == alg && c.Size == size {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RenderTable writes the figure as one ASCII table per register size —
+// rows are thread counts, columns are algorithms, cells are Mops/s (the
+// paper's y-axis).
+func (d *FigureData) RenderTable(w io.Writer) {
+	f := d.Figure
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Caption)
+	fmt.Fprintf(w, "mode=%s steal=%.0f%% duration=%v\n", f.Mode, f.StealFraction*100, f.Duration)
+	for _, size := range f.Sizes {
+		fmt.Fprintf(w, "\n-- register size %s --\n", fmtSize(size))
+		fmt.Fprintf(w, "%8s", "threads")
+		for _, alg := range f.Algorithms {
+			fmt.Fprintf(w, " %14s", alg)
+		}
+		fmt.Fprintln(w)
+		for _, th := range f.Threads {
+			fmt.Fprintf(w, "%8d", th)
+			for _, alg := range f.Algorithms {
+				c := d.cell(alg, th, size)
+				switch {
+				case c == nil:
+					fmt.Fprintf(w, " %14s", "-")
+				case c.Err != nil:
+					fmt.Fprintf(w, " %14s", "n/a")
+				default:
+					fmt.Fprintf(w, " %14.2f", c.Result.Mops())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the figure in long form:
+// figure,size,threads,algorithm,mops,read_ops,write_ops,rmw_reads,fastpath_reads
+func (d *FigureData) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "figure,size,threads,algorithm,mops,read_ops,write_ops,read_rmw,read_fastpath,write_scan_steps,hint_hits,steal_events")
+	for _, c := range d.Cells {
+		if c.Err != nil {
+			continue
+		}
+		r := c.Result
+		fmt.Fprintf(w, "%s,%d,%d,%s,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
+			d.Figure.ID, c.Size, c.Threads, c.Algorithm, r.Mops(),
+			r.ReadOps, r.WriteOps, r.ReadStat.RMW, r.ReadStat.FastPath,
+			r.WriteStat.ScanSteps, r.WriteStat.HintHits, r.Steal.Steals)
+	}
+}
+
+func (d *FigureData) cell(alg Algorithm, threads, size int) *Cell {
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Algorithm == alg && c.Threads == threads && c.Size == size {
+			return c
+		}
+	}
+	return nil
+}
+
+func fmtSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,356 @@
+// Package harness runs the paper's evaluation (§5): it deploys one writer
+// thread and N−1 reader threads against a chosen register implementation,
+// measures throughput over a timed window, and renders the series behind
+// every figure — thread sweeps across register sizes on a "physical"
+// deployment (Figure 1), the same sweeps under simulated CPU steal
+// standing in for the 40-vCPU virtualized host (Figure 2), and heavily
+// oversubscribed thread counts (Figure 3). It also runs the
+// RMW-accounting and ablation experiments that quantify ARC's two
+// optimizations (the R1–R2 fast path and the §3.4 free-slot hint).
+//
+// Measurement discipline: workers spin on the operation loop and count
+// into goroutine-local state; a shared phase word (warmup → measure →
+// stop) delimits the window; all aggregation happens after the workers
+// join. Throughput is reported in Mops/s, the unit of the paper's plots.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg/internal/affinity"
+	"arcreg/internal/arc"
+	"arcreg/internal/history"
+	"arcreg/internal/leftright"
+	"arcreg/internal/lockreg"
+	"arcreg/internal/membuf"
+	"arcreg/internal/metrics"
+	"arcreg/internal/peterson"
+	"arcreg/internal/register"
+	"arcreg/internal/rf"
+	"arcreg/internal/seqlock"
+	"arcreg/internal/steal"
+	"arcreg/internal/word"
+	"arcreg/internal/workload"
+)
+
+// Algorithm names a register implementation (or an ARC ablation variant).
+type Algorithm string
+
+// The benchmarkable algorithms. The two arc-no* variants are ablations of
+// the paper's optimizations, used by the ablation experiment only.
+const (
+	AlgARC       Algorithm = "arc"
+	AlgARCNoFast Algorithm = "arc-nofastpath"
+	AlgARCNoHint Algorithm = "arc-nohint"
+	AlgRF        Algorithm = "rf"
+	AlgPeterson  Algorithm = "peterson"
+	AlgLock      Algorithm = "lock"
+	// Extension baselines beyond the paper's comparison set (see the
+	// seqlock and leftright package docs for their progress properties).
+	AlgSeqlock   Algorithm = "seqlock"
+	AlgLeftRight Algorithm = "leftright"
+)
+
+// Algorithms lists the standard comparison set of the paper's Figures 1–2.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgARC, AlgRF, AlgPeterson, AlgLock}
+}
+
+// ParseAlgorithm converts a CLI string.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch Algorithm(s) {
+	case AlgARC, AlgARCNoFast, AlgARCNoHint, AlgRF, AlgPeterson, AlgLock,
+		AlgSeqlock, AlgLeftRight:
+		return Algorithm(s), nil
+	}
+	return "", fmt.Errorf("harness: unknown algorithm %q", s)
+}
+
+// MaxReaders reports the algorithm's architectural reader bound: 58 for
+// RF, 2³²−2 for the ARC variants, administrative limits for the rest.
+func (a Algorithm) MaxReaders() int {
+	switch a {
+	case AlgRF:
+		return rf.MaxReaders
+	case AlgPeterson:
+		return peterson.MaxReaders
+	case AlgLock:
+		return lockreg.MaxReaders
+	case AlgSeqlock:
+		return seqlock.MaxReaders
+	case AlgLeftRight:
+		return leftright.MaxReaders
+	default:
+		return int(word.ARCMaxReaders)
+	}
+}
+
+// NewRegister constructs the named register.
+func NewRegister(alg Algorithm, cfg register.Config) (register.Register, error) {
+	switch alg {
+	case AlgARC:
+		return arc.New(cfg, arc.Options{})
+	case AlgARCNoFast:
+		return arc.New(cfg, arc.Options{DisableFastPath: true})
+	case AlgARCNoHint:
+		return arc.New(cfg, arc.Options{DisableFreeHint: true})
+	case AlgRF:
+		return rf.New(cfg)
+	case AlgPeterson:
+		return peterson.New(cfg)
+	case AlgLock:
+		return lockreg.New(cfg)
+	case AlgSeqlock:
+		return seqlock.New(cfg)
+	case AlgLeftRight:
+		return leftright.New(cfg)
+	}
+	return nil, fmt.Errorf("harness: unknown algorithm %q", alg)
+}
+
+// RunConfig describes one measured deployment — one cell of a figure.
+type RunConfig struct {
+	Algorithm Algorithm
+	// Threads is the total worker count: 1 writer + (Threads−1) readers,
+	// the paper's deployment shape. Minimum 2.
+	Threads int
+	// ValueSize is the register value size in bytes (4KB/32KB/128KB in
+	// the paper).
+	ValueSize int
+	// Mode selects dummy (max contention) or processing workloads.
+	Mode workload.Mode
+	// Duration is the measurement window; Warmup precedes it.
+	Duration time.Duration
+	Warmup   time.Duration
+	// StealFraction > 0 enables the virtualized-platform simulation.
+	StealFraction float64
+	// StealSlice overrides the steal event length (0 = default).
+	StealSlice time.Duration
+	// Pin binds workers to CPUs round-robin when supported and when
+	// Threads ≤ NumCPU (the paper's physical-machine regime).
+	Pin bool
+	// LatencySample records every Nth operation's latency (0 = off).
+	LatencySample int
+	// Seed makes steal schedules reproducible.
+	Seed uint64
+}
+
+func (c *RunConfig) defaults() error {
+	if c.Threads < 2 {
+		return fmt.Errorf("harness: need ≥ 2 threads (1 writer + readers), got %d", c.Threads)
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = register.DefaultMaxValueSize
+	}
+	if c.ValueSize < membuf.MinPayload {
+		c.ValueSize = membuf.MinPayload
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Warmup < 0 {
+		return errors.New("harness: negative warmup")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 100 * time.Millisecond
+	}
+	if readers := c.Threads - 1; readers > c.Algorithm.MaxReaders() {
+		return fmt.Errorf("harness: %d readers exceed %s's limit of %d",
+			readers, c.Algorithm, c.Algorithm.MaxReaders())
+	}
+	return nil
+}
+
+// Result aggregates one run.
+type Result struct {
+	Config    RunConfig
+	ReadOps   uint64
+	WriteOps  uint64
+	Elapsed   time.Duration
+	ReadStat  register.ReadStats
+	WriteStat register.WriteStats
+	Steal     steal.VCPUStats
+	ReadLat   metrics.Histogram
+	WriteLat  metrics.Histogram
+	// Sink defeats dead-code elimination across the measurement; it also
+	// lets callers confirm reads observed real data.
+	Sink uint64
+}
+
+// Throughput returns the combined read+write rate in the measured window —
+// the quantity on the paper's y-axes.
+func (r Result) Throughput() metrics.Throughput {
+	return metrics.Throughput{Ops: r.ReadOps + r.WriteOps, Elapsed: r.Elapsed}
+}
+
+// Mops is shorthand for Throughput().Mops().
+func (r Result) Mops() float64 { return r.Throughput().Mops() }
+
+// run phases.
+const (
+	phaseWarmup = iota
+	phaseMeasure
+	phaseStop
+)
+
+// Run executes one measured deployment.
+func Run(cfg RunConfig) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	readers := cfg.Threads - 1
+
+	seed := make([]byte, cfg.ValueSize)
+	membuf.Encode(seed, 0)
+	reg, err := NewRegister(cfg.Algorithm, register.Config{
+		MaxReaders:   readers,
+		MaxValueSize: cfg.ValueSize,
+		Initial:      seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	inj, err := steal.NewInjector(steal.Config{
+		Fraction: cfg.StealFraction,
+		Slice:    cfg.StealSlice,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		phase    atomic.Uint32
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards the aggregates below after workers finish
+		res      Result
+		workErrs []error
+		clock    = history.NewClock()
+		pin      = cfg.Pin && affinity.Available() && cfg.Threads <= runtime.NumCPU()
+	)
+	res.Config = cfg
+
+	worker := func(id int, body func() error, cleanup func(), done func(ops uint64, lat *metrics.Histogram, vs steal.VCPUStats)) {
+		defer wg.Done()
+		if cleanup != nil {
+			// Runs on every exit, including the error path: a reader
+			// abandoning a pinned lock view would deadlock the writer.
+			defer cleanup()
+		}
+		// Block until every worker exists. Without this gate, spawning
+		// degenerates at oversubscribed thread counts (Figure 3): the
+		// first spawned workers saturate the CPUs and the spawning
+		// goroutine waits out their scheduler quanta between spawns —
+		// setup goes quadratic. Blocked goroutines cost nothing.
+		<-start
+		if pin {
+			if release, err := affinity.Pin(id % runtime.NumCPU()); err == nil {
+				defer release()
+			}
+		}
+		vcpu := inj.VCPU(id)
+		var (
+			ops uint64
+			lat metrics.Histogram
+		)
+		for {
+			p := phase.Load()
+			if p == phaseStop {
+				break
+			}
+			sample := cfg.LatencySample > 0 && p == phaseMeasure &&
+				ops%uint64(cfg.LatencySample) == 0
+			var start int64
+			if sample {
+				start = clock.Now()
+			}
+			if err := body(); err != nil {
+				mu.Lock()
+				workErrs = append(workErrs, fmt.Errorf("worker %d: %w", id, err))
+				mu.Unlock()
+				return
+			}
+			if sample {
+				lat.RecordSince(start, clock.Now())
+			}
+			if p == phaseMeasure {
+				ops++
+			}
+			vcpu.Tick()
+		}
+		done(ops, &lat, vcpu.Stats())
+	}
+
+	// Writer (worker 0).
+	ww := workload.NewWriterWork(reg.Writer(), cfg.Mode, cfg.ValueSize)
+	wg.Add(1)
+	go worker(0, ww.Do, nil, func(ops uint64, lat *metrics.Histogram, vs steal.VCPUStats) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.WriteOps = ops
+		res.WriteLat.Merge(lat)
+		res.Steal.Steals += vs.Steals
+		res.Steal.Stolen += vs.Stolen
+		res.Steal.Ticks += vs.Ticks
+		if sw, ok := reg.(register.StatWriter); ok {
+			res.WriteStat = sw.WriteStats()
+		}
+	})
+
+	// Readers (workers 1..Threads-1). Handles and workload state are
+	// created here, serially, before any worker runs.
+	for i := 0; i < readers; i++ {
+		rd, err := reg.NewReader()
+		if err != nil {
+			phase.Store(phaseStop)
+			close(start)
+			wg.Wait()
+			return Result{}, fmt.Errorf("harness: reader %d: %w", i, err)
+		}
+		rw := workload.NewReaderWork(rd, cfg.Mode, cfg.ValueSize)
+		wg.Add(1)
+		go worker(1+i, rw.Do,
+			func() {
+				// Release the handle on every exit: lock-register views
+				// pin the read lock until the next handle operation, and
+				// a pinned view left behind would block the writer's
+				// final iteration forever.
+				rd.Close()
+			},
+			func(ops uint64, lat *metrics.Histogram, vs steal.VCPUStats) {
+				mu.Lock()
+				defer mu.Unlock()
+				res.ReadOps += ops
+				res.ReadLat.Merge(lat)
+				res.Sink += rw.Sink()
+				res.Steal.Steals += vs.Steals
+				res.Steal.Stolen += vs.Stolen
+				res.Steal.Ticks += vs.Ticks
+				if sr, ok := rd.(register.StatReader); ok {
+					res.ReadStat.Add(sr.ReadStats())
+				}
+			})
+	}
+
+	close(start) // all workers exist; release them together
+	time.Sleep(cfg.Warmup)
+	t0 := time.Now()
+	phase.Store(phaseMeasure)
+	time.Sleep(cfg.Duration)
+	phase.Store(phaseStop)
+	elapsed := time.Since(t0)
+	wg.Wait()
+
+	if len(workErrs) > 0 {
+		return Result{}, errors.Join(workErrs...)
+	}
+	res.Elapsed = elapsed
+	return res, nil
+}

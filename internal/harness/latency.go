@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"arcreg/internal/metrics"
+	"arcreg/internal/workload"
+)
+
+// LatencyRow is one line of the latency experiment: per-operation read and
+// write latency quantiles for an algorithm under the standard deployment.
+// The paper reports throughput only; tail latency is the supplementary
+// view that exposes seqlock's unbounded read retries and the lock/
+// Left-Right writer stalls that aggregate throughput hides.
+type LatencyRow struct {
+	Algorithm Algorithm
+	Threads   int
+	ReadLat   metrics.Histogram
+	WriteLat  metrics.Histogram
+}
+
+// LatencyReport is the experiment outcome.
+type LatencyReport struct {
+	Size     int
+	Steal    float64
+	Duration time.Duration
+	Rows     []LatencyRow
+}
+
+// RunLatencyComparison samples per-op latencies for the given algorithms.
+// Sampling records every 64th operation so the clock reads stay out of
+// the measured contention path.
+func RunLatencyComparison(algs []Algorithm, threads, size int, stealFrac float64, duration, warmup time.Duration) (LatencyReport, error) {
+	rep := LatencyReport{Size: size, Steal: stealFrac, Duration: duration}
+	for _, alg := range algs {
+		if threads-1 > alg.MaxReaders() {
+			continue
+		}
+		res, err := Run(RunConfig{
+			Algorithm:     alg,
+			Threads:       threads,
+			ValueSize:     size,
+			Mode:          workload.Dummy,
+			Duration:      duration,
+			Warmup:        warmup,
+			StealFraction: stealFrac,
+			LatencySample: 64,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("latency experiment (%s): %w", alg, err)
+		}
+		rep.Rows = append(rep.Rows, LatencyRow{
+			Algorithm: alg,
+			Threads:   threads,
+			ReadLat:   res.ReadLat,
+			WriteLat:  res.WriteLat,
+		})
+	}
+	return rep, nil
+}
+
+// Render writes the report as an ASCII table (nanoseconds).
+func (rep LatencyReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== per-operation latency (size %s, steal %.0f%%, window %v) ==\n",
+		fmtSize(rep.Size), rep.Steal*100, rep.Duration)
+	fmt.Fprintf(w, "%12s %8s %12s %12s %12s %12s %12s %12s\n",
+		"algorithm", "threads", "read p50", "read p99", "read max", "write p50", "write p99", "write max")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%12s %8d %12s %12s %12s %12s %12s %12s\n",
+			r.Algorithm, r.Threads,
+			metrics.Duration(r.ReadLat.Quantile(0.5)), metrics.Duration(r.ReadLat.Quantile(0.99)),
+			time.Duration(r.ReadLat.Max()),
+			metrics.Duration(r.WriteLat.Quantile(0.5)), metrics.Duration(r.WriteLat.Quantile(0.99)),
+			time.Duration(r.WriteLat.Max()))
+	}
+}

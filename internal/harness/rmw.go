@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"arcreg/internal/workload"
+)
+
+// RMWRow is one line of the RMW-accounting experiment: how many
+// read-modify-write instructions each algorithm spends per read — the
+// mechanism behind the paper's §1/§5 claim that ARC outperforms RF by
+// avoiding RMW execution on reads of unchanged content.
+type RMWRow struct {
+	Algorithm     Algorithm
+	Threads       int
+	ReadOps       uint64
+	ReadRMW       uint64
+	FastPathReads uint64
+	WriteOps      uint64
+	WriteRMW      uint64
+}
+
+// RMWPerRead is the average RMW instructions per read operation.
+func (r RMWRow) RMWPerRead() float64 {
+	if r.ReadOps == 0 {
+		return 0
+	}
+	return float64(r.ReadRMW) / float64(r.ReadOps)
+}
+
+// FastPathShare is the fraction of reads served with zero RMW.
+func (r RMWRow) FastPathShare() float64 {
+	if r.ReadOps == 0 {
+		return 0
+	}
+	return float64(r.FastPathReads) / float64(r.ReadOps)
+}
+
+// RMWReport is the experiment outcome.
+type RMWReport struct {
+	Size     int
+	Duration time.Duration
+	Rows     []RMWRow
+}
+
+// RunRMWComparison measures RMW economy for ARC, the fast-path-ablated
+// ARC, and RF across the given thread counts. RF issues exactly one RMW
+// per read by construction; ARC's count falls with concurrency because
+// more reads land on unchanged content (the scenario §5 highlights).
+func RunRMWComparison(threads []int, size int, duration, warmup time.Duration) (RMWReport, error) {
+	rep := RMWReport{Size: size, Duration: duration}
+	for _, th := range threads {
+		for _, alg := range []Algorithm{AlgARC, AlgARCNoFast, AlgRF} {
+			if th-1 > alg.MaxReaders() {
+				continue
+			}
+			res, err := Run(RunConfig{
+				Algorithm: alg,
+				Threads:   th,
+				ValueSize: size,
+				Mode:      workload.Dummy,
+				Duration:  duration,
+				Warmup:    warmup,
+			})
+			if err != nil {
+				return rep, fmt.Errorf("rmw experiment (%s, %d threads): %w", alg, th, err)
+			}
+			// Use the protocol counters for both numerator and
+			// denominator: they cover the same operations (warmup
+			// included), unlike the measured-window op counts.
+			rep.Rows = append(rep.Rows, RMWRow{
+				Algorithm:     alg,
+				Threads:       th,
+				ReadOps:       res.ReadStat.Ops,
+				ReadRMW:       res.ReadStat.RMW,
+				FastPathReads: res.ReadStat.FastPath,
+				WriteOps:      res.WriteStat.Ops,
+				WriteRMW:      res.WriteStat.RMW,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Render writes the report as an ASCII table.
+func (rep RMWReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== RMW accounting (register size %s, window %v) ==\n", fmtSize(rep.Size), rep.Duration)
+	fmt.Fprintf(w, "%8s %16s %14s %14s %12s %12s\n",
+		"threads", "algorithm", "reads", "rmw/read", "fastpath%", "rmw/write")
+	for _, r := range rep.Rows {
+		perWrite := 0.0
+		if r.WriteOps > 0 {
+			perWrite = float64(r.WriteRMW) / float64(r.WriteOps)
+		}
+		fmt.Fprintf(w, "%8d %16s %14d %14.4f %11.1f%% %12.2f\n",
+			r.Threads, r.Algorithm, r.ReadOps, r.RMWPerRead(), r.FastPathShare()*100, perWrite)
+	}
+}

@@ -1,0 +1,341 @@
+// Package history records timed read/write histories of a (1,N) register
+// and checks them against the atomicity criterion the ARC paper proves its
+// register satisfies (§3.1, Criterion 1):
+//
+//   - Regularity — a read returns either the value of the last write
+//     completed before it started or the value of a write concurrent with
+//     it. Equivalently: no-past (the returned write is not succeeded by
+//     another write that itself completed before the read began) and
+//     no-future (the returned write started before the read ended).
+//
+//   - No new-old inversion — for reads r1 → r2 (r1 finishes before r2
+//     starts, in any processes), r2 does not return an older write than r1.
+//
+// For a single-writer register whose writes carry unique, monotonically
+// increasing versions, these checks are a complete decision procedure for
+// atomicity — no search over linearizations is needed, which is what makes
+// the checker usable on millions of operations. Torn values (mixed bytes
+// of two writes, detected by the membuf codec) are reported separately:
+// they violate even safeness.
+//
+// The package is the test-side counterpart of the paper's §4: Theorem 4.3
+// corresponds to the regularity checks, Theorem 4.4 to the inversion
+// check.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind discriminates operations.
+type Kind uint8
+
+const (
+	// OpRead is a read operation.
+	OpRead Kind = iota
+	// OpWrite is a write operation.
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one timed register operation. Start and End are nanoseconds on a
+// single monotonic clock (see Clock); Version is the payload version
+// written or observed.
+type Op struct {
+	Kind    Kind
+	Proc    int // process id; readers ≥ 0, the writer conventionally −1
+	Start   int64
+	End     int64
+	Version uint64
+	Torn    bool // payload failed integrity verification (reads only)
+}
+
+// Clock issues timestamps comparable across goroutines. It is a thin
+// wrapper over Go's monotonic clock with a common base, so recorded
+// intervals can be compared as plain integers.
+type Clock struct {
+	base time.Time
+}
+
+// NewClock starts a clock.
+func NewClock() *Clock { return &Clock{base: time.Now()} }
+
+// Now returns nanoseconds since the clock's base.
+func (c *Clock) Now() int64 { return int64(time.Since(c.base)) }
+
+// Log is a per-goroutine operation log. Each goroutine appends to its own
+// Log with no synchronization; Merge combines them after the goroutines
+// quiesce.
+type Log struct {
+	ops []Op
+}
+
+// NewLog returns a log with capacity for n operations pre-allocated, so
+// recording does not perturb the measured run with allocations.
+func NewLog(n int) *Log { return &Log{ops: make([]Op, 0, n)} }
+
+// RecordRead appends a read operation.
+func (l *Log) RecordRead(proc int, start, end int64, version uint64, torn bool) {
+	l.ops = append(l.ops, Op{Kind: OpRead, Proc: proc, Start: start, End: end, Version: version, Torn: torn})
+}
+
+// RecordWrite appends a write operation.
+func (l *Log) RecordWrite(proc int, start, end int64, version uint64) {
+	l.ops = append(l.ops, Op{Kind: OpWrite, Proc: proc, Start: start, End: end, Version: version})
+}
+
+// Len reports the number of recorded operations.
+func (l *Log) Len() int { return len(l.ops) }
+
+// Ops exposes the recorded operations (shared slice; treat as read-only).
+func (l *Log) Ops() []Op { return l.ops }
+
+// History is a merged, checkable execution history.
+type History struct {
+	reads  []Op
+	writes []Op // sorted by version == writer program order
+}
+
+// Merge combines per-goroutine logs into a checkable history.
+func Merge(logs ...*Log) *History {
+	h := &History{}
+	for _, l := range logs {
+		for _, op := range l.ops {
+			if op.Kind == OpRead {
+				h.reads = append(h.reads, op)
+			} else {
+				h.writes = append(h.writes, op)
+			}
+		}
+	}
+	sort.Slice(h.writes, func(i, j int) bool { return h.writes[i].Version < h.writes[j].Version })
+	return h
+}
+
+// Reads reports the number of read operations in the history.
+func (h *History) Reads() int { return len(h.reads) }
+
+// Writes reports the number of write operations in the history.
+func (h *History) Writes() int { return len(h.writes) }
+
+// ViolationKind classifies atomicity violations.
+type ViolationKind uint8
+
+const (
+	// VTorn: a read returned bytes mixing two writes (worse than any
+	// ordering violation — the value never existed).
+	VTorn ViolationKind = iota
+	// VUnknownVersion: a read returned a version no write produced.
+	VUnknownVersion
+	// VFuture: a read returned a write that started after the read ended.
+	VFuture
+	// VPast: a read returned a write although a newer write completed
+	// before the read started (violates no-past / regularity).
+	VPast
+	// VInversion: reads r1 → r2 with version(r2) < version(r1)
+	// (violates Criterion 1's no new-old inversion).
+	VInversion
+	// VWriterOrder: writer versions not strictly increasing — the
+	// harness itself misbehaved.
+	VWriterOrder
+	// VProcOrder: a single process's reads observed decreasing versions.
+	// Subsumed by VInversion but reported distinctly because it is the
+	// paper's "two reads from the same process" special case.
+	VProcOrder
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case VTorn:
+		return "torn-read"
+	case VUnknownVersion:
+		return "unknown-version"
+	case VFuture:
+		return "future-read"
+	case VPast:
+		return "stale-read"
+	case VInversion:
+		return "new-old-inversion"
+	case VWriterOrder:
+		return "writer-order"
+	case VProcOrder:
+		return "process-order"
+	}
+	return "unknown"
+}
+
+// Violation is one detected atomicity breach.
+type Violation struct {
+	Kind   ViolationKind
+	Op     Op     // the offending operation
+	Detail string // human-readable specifics
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: proc %d %s [%d,%d] version %d: %s",
+		v.Kind, v.Op.Proc, v.Op.Kind, v.Op.Start, v.Op.End, v.Op.Version, v.Detail)
+}
+
+// Result summarizes a check.
+type Result struct {
+	Violations []Violation
+	Checked    int // operations examined
+}
+
+// Ok reports whether the history is atomic.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+// maxViolations caps the report so a systematically broken register does
+// not drown the test output.
+const maxViolations = 32
+
+// Check decides atomicity of the history. Version 0 denotes the register's
+// initial value (a write completed before every operation).
+func (h *History) Check() Result {
+	res := Result{Checked: len(h.reads) + len(h.writes)}
+	add := func(v Violation) bool {
+		if len(res.Violations) < maxViolations {
+			res.Violations = append(res.Violations, v)
+		}
+		return len(res.Violations) < maxViolations
+	}
+
+	// Writer sanity: versions strictly increasing, intervals sequential.
+	known := make(map[uint64]bool, len(h.writes)+1)
+	known[0] = true
+	for i, w := range h.writes {
+		known[w.Version] = true
+		if i > 0 {
+			prev := h.writes[i-1]
+			if w.Version <= prev.Version {
+				if !add(Violation{VWriterOrder, w, fmt.Sprintf("version %d after %d", w.Version, prev.Version)}) {
+					return res
+				}
+			}
+			if w.Start < prev.End {
+				if !add(Violation{VWriterOrder, w, fmt.Sprintf("write overlaps predecessor (start %d < prev end %d)", w.Start, prev.End)}) {
+					return res
+				}
+			}
+		}
+	}
+
+	// Regularity per read: binary search over the writer's (sequential,
+	// version-ordered) intervals.
+	starts := make([]int64, len(h.writes))
+	ends := make([]int64, len(h.writes))
+	for i, w := range h.writes {
+		starts[i] = w.Start
+		ends[i] = w.End
+	}
+	// maxCompletedBefore(t): version of the last write with End ≤ t.
+	maxCompletedBefore := func(t int64) uint64 {
+		i := sort.Search(len(ends), func(i int) bool { return ends[i] > t })
+		if i == 0 {
+			return 0
+		}
+		return h.writes[i-1].Version
+	}
+	// maxStartedBefore(t): version of the last write with Start ≤ t.
+	maxStartedBefore := func(t int64) uint64 {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] > t })
+		if i == 0 {
+			return 0
+		}
+		return h.writes[i-1].Version
+	}
+
+	for _, r := range h.reads {
+		if r.Torn {
+			if !add(Violation{VTorn, r, "payload mixes bytes of different writes"}) {
+				return res
+			}
+			continue
+		}
+		if !known[r.Version] {
+			if !add(Violation{VUnknownVersion, r, "no write produced this version"}) {
+				return res
+			}
+			continue
+		}
+		if floor := maxCompletedBefore(r.Start); r.Version < floor {
+			if !add(Violation{VPast, r, fmt.Sprintf("write %d completed before the read started", floor)}) {
+				return res
+			}
+		}
+		if ceil := maxStartedBefore(r.End); r.Version > ceil {
+			if !add(Violation{VFuture, r, fmt.Sprintf("only versions ≤ %d had started when the read ended", ceil)}) {
+				return res
+			}
+		}
+	}
+
+	// Per-process order: reads of one process are sequential; their
+	// versions must not decrease. (Reads within a log are already in
+	// program order; after merging, recover it per proc by Start, which
+	// equals program order for sequential ops.)
+	byProc := map[int][]Op{}
+	for _, r := range h.reads {
+		byProc[r.Proc] = append(byProc[r.Proc], r)
+	}
+	for _, ops := range byProc {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		var last uint64
+		for _, r := range ops {
+			if r.Torn {
+				continue
+			}
+			if r.Version < last {
+				if !add(Violation{VProcOrder, r, fmt.Sprintf("process previously observed version %d", last)}) {
+					return res
+				}
+			}
+			if r.Version > last {
+				last = r.Version
+			}
+		}
+	}
+
+	// Global no new-old inversion: sweep reads by start time, tracking the
+	// maximum version among reads that ended strictly before the current
+	// read started.
+	byStart := make([]Op, 0, len(h.reads))
+	byEnd := make([]Op, 0, len(h.reads))
+	for _, r := range h.reads {
+		if !r.Torn {
+			byStart = append(byStart, r)
+			byEnd = append(byEnd, r)
+		}
+	}
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+	var (
+		maxEnded uint64
+		j        int
+	)
+	for _, r := range byStart {
+		for j < len(byEnd) && byEnd[j].End < r.Start {
+			if byEnd[j].Version > maxEnded {
+				maxEnded = byEnd[j].Version
+			}
+			j++
+		}
+		if r.Version < maxEnded {
+			if !add(Violation{VInversion, r, fmt.Sprintf("an earlier-finished read observed version %d", maxEnded)}) {
+				return res
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,354 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// helper: build a history from op lists.
+func hist(writes, reads []Op) *History {
+	l := NewLog(len(writes) + len(reads))
+	for _, w := range writes {
+		l.RecordWrite(w.Proc, w.Start, w.End, w.Version)
+	}
+	for _, r := range reads {
+		l.ops = append(l.ops, r)
+	}
+	return Merge(l)
+}
+
+func wOp(start, end int64, v uint64) Op {
+	return Op{Kind: OpWrite, Proc: -1, Start: start, End: end, Version: v}
+}
+
+func rOp(proc int, start, end int64, v uint64) Op {
+	return Op{Kind: OpRead, Proc: proc, Start: start, End: end, Version: v}
+}
+
+func TestEmptyHistoryOk(t *testing.T) {
+	res := hist(nil, nil).Check()
+	if !res.Ok() {
+		t.Fatalf("empty history rejected: %v", res.Violations)
+	}
+}
+
+func TestSequentialHistoryOk(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1), wOp(30, 40, 2), wOp(50, 60, 3)}
+	reads := []Op{
+		rOp(0, 0, 5, 0),   // before first write: initial value
+		rOp(0, 22, 25, 1), // after write 1
+		rOp(1, 45, 48, 2),
+		rOp(0, 70, 75, 3),
+	}
+	res := hist(writes, reads).Check()
+	if !res.Ok() {
+		t.Fatalf("valid sequential history rejected: %v", res.Violations)
+	}
+	if res.Checked != 7 {
+		t.Fatalf("checked = %d, want 7", res.Checked)
+	}
+}
+
+func TestConcurrentReadMayReturnOldOrNew(t *testing.T) {
+	writes := []Op{wOp(10, 30, 1)}
+	// A read overlapping the write may return 0 or 1.
+	for _, v := range []uint64{0, 1} {
+		res := hist(writes, []Op{rOp(0, 15, 25, v)}).Check()
+		if !res.Ok() {
+			t.Fatalf("overlapping read of version %d rejected: %v", v, res.Violations)
+		}
+	}
+}
+
+func TestFutureReadDetected(t *testing.T) {
+	writes := []Op{wOp(100, 120, 1)}
+	res := hist(writes, []Op{rOp(0, 10, 20, 1)}).Check() // ends before write starts
+	if res.Ok() {
+		t.Fatal("future read accepted")
+	}
+	if res.Violations[0].Kind != VFuture {
+		t.Fatalf("kind = %v, want VFuture", res.Violations[0].Kind)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1), wOp(30, 40, 2)}
+	res := hist(writes, []Op{rOp(0, 50, 60, 1)}).Check() // write 2 completed before
+	if res.Ok() {
+		t.Fatal("stale read accepted")
+	}
+	if res.Violations[0].Kind != VPast {
+		t.Fatalf("kind = %v, want VPast", res.Violations[0].Kind)
+	}
+}
+
+func TestNewOldInversionDetected(t *testing.T) {
+	// Both reads overlap the write, so each alone is regular; but r1
+	// finishes before r2 starts and r1 saw the NEW value while r2 saw the
+	// OLD one — the exact Criterion 1 violation.
+	writes := []Op{wOp(10, 100, 1)}
+	reads := []Op{
+		rOp(0, 20, 30, 1),
+		rOp(1, 40, 50, 0),
+	}
+	res := hist(writes, reads).Check()
+	if res.Ok() {
+		t.Fatal("new-old inversion accepted")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == VInversion {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no VInversion among %v", res.Violations)
+	}
+}
+
+func TestProcessOrderDetected(t *testing.T) {
+	// Same process reads new then old, both overlapping the write: the
+	// paper's "later read cannot return the old value if the earlier read
+	// returned the new one".
+	writes := []Op{wOp(10, 100, 1)}
+	reads := []Op{
+		rOp(0, 20, 30, 1),
+		rOp(0, 40, 50, 0),
+	}
+	res := hist(writes, reads).Check()
+	if res.Ok() {
+		t.Fatal("process-order violation accepted")
+	}
+	kinds := map[ViolationKind]bool{}
+	for _, v := range res.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds[VProcOrder] {
+		t.Fatalf("no VProcOrder among %v", res.Violations)
+	}
+}
+
+func TestTornReadDetected(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1)}
+	reads := []Op{{Kind: OpRead, Proc: 0, Start: 30, End: 40, Version: 1, Torn: true}}
+	res := hist(writes, reads).Check()
+	if res.Ok() {
+		t.Fatal("torn read accepted")
+	}
+	if res.Violations[0].Kind != VTorn {
+		t.Fatalf("kind = %v, want VTorn", res.Violations[0].Kind)
+	}
+}
+
+func TestUnknownVersionDetected(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1)}
+	res := hist(writes, []Op{rOp(0, 30, 40, 7)}).Check()
+	if res.Ok() {
+		t.Fatal("unknown version accepted")
+	}
+	if res.Violations[0].Kind != VUnknownVersion {
+		t.Fatalf("kind = %v, want VUnknownVersion", res.Violations[0].Kind)
+	}
+}
+
+func TestWriterOrderDetected(t *testing.T) {
+	l := NewLog(2)
+	l.RecordWrite(-1, 10, 20, 2)
+	l.RecordWrite(-1, 30, 40, 1) // decreasing version
+	res := Merge(l).Check()
+	if res.Ok() {
+		t.Fatal("non-monotone writer accepted")
+	}
+}
+
+func TestOverlappingWritesDetected(t *testing.T) {
+	writes := []Op{wOp(10, 50, 1), wOp(40, 60, 2)} // overlap: two writers?
+	res := hist(writes, nil).Check()
+	if res.Ok() {
+		t.Fatal("overlapping writes accepted in a (1,N) history")
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1), wOp(30, 40, 2)}
+	var reads []Op
+	for i := 0; i < 100; i++ {
+		reads = append(reads, rOp(i, 50+int64(i), 60+int64(i), 1)) // all stale
+	}
+	res := hist(writes, reads).Check()
+	if res.Ok() {
+		t.Fatal("stale flood accepted")
+	}
+	if len(res.Violations) > maxViolations {
+		t.Fatalf("violation report not capped: %d", len(res.Violations))
+	}
+}
+
+func TestViolationStringHasDetail(t *testing.T) {
+	writes := []Op{wOp(10, 20, 1), wOp(30, 40, 2)}
+	res := hist(writes, []Op{rOp(3, 50, 60, 1)}).Check()
+	if res.Ok() {
+		t.Fatal("expected violation")
+	}
+	s := res.Violations[0].String()
+	for _, want := range []string{"stale-read", "proc 3", "version 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("Kind strings wrong")
+	}
+	for k := VTorn; k <= VProcOrder; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	c := NewClock()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("clock not monotone: %d then %d", a, b)
+	}
+}
+
+// Property: a history generated by simulating an ideal atomic register
+// (instantaneous operations at distinct times) always checks clean.
+func TestIdealRegisterAlwaysOk(t *testing.T) {
+	f := func(script []byte) bool {
+		l := NewLog(len(script))
+		var (
+			now     int64 = 1
+			version uint64
+		)
+		for _, b := range script {
+			start := now
+			now += int64(b%7) + 1
+			end := now
+			now++
+			if b%3 == 0 {
+				version++
+				l.RecordWrite(-1, start, end, version)
+			} else {
+				l.RecordRead(int(b%4), start, end, version, false)
+			}
+		}
+		return Merge(l).Check().Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupting one read of an ideal sequential history to an
+// impossible version is always caught.
+func TestCorruptedVersionAlwaysCaught(t *testing.T) {
+	f := func(script []byte, pick uint8) bool {
+		if len(script) == 0 {
+			return true
+		}
+		l := NewLog(len(script))
+		var (
+			now     int64 = 1
+			version uint64
+		)
+		reads := 0
+		for _, b := range script {
+			start := now
+			now += int64(b%7) + 1
+			end := now
+			now++
+			if b%3 == 0 {
+				version++
+				l.RecordWrite(-1, start, end, version)
+			} else {
+				l.RecordRead(int(b%4), start, end, version, false)
+				reads++
+			}
+		}
+		if reads == 0 || version == 0 {
+			return true
+		}
+		// Corrupt one read to a version that never existed.
+		idx := int(pick) % len(l.ops)
+		for l.ops[idx].Kind != OpRead {
+			idx = (idx + 1) % len(l.ops)
+		}
+		l.ops[idx].Version = version + 1000
+		return !Merge(l).Check().Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: a mutex-guarded register with randomized delays recorded
+// from many goroutines must always produce an atomic history — this
+// validates the checker against true concurrency before it is trusted to
+// judge the wait-free algorithms.
+func TestMutexRegisterHistoryOk(t *testing.T) {
+	const (
+		readers = 6
+		writes  = 300
+	)
+	var (
+		mu      sync.Mutex
+		value   uint64
+		clock   = NewClock()
+		logs    = make([]*Log, readers+1)
+		wg      sync.WaitGroup
+		stopped = make(chan struct{})
+	)
+	for i := range logs {
+		logs[i] = NewLog(writes * 4)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			l := logs[proc]
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				start := clock.Now()
+				mu.Lock()
+				v := value
+				mu.Unlock()
+				l.RecordRead(proc, start, clock.Now(), v, false)
+			}
+		}(i)
+	}
+	wl := logs[readers]
+	for i := uint64(1); i <= writes; i++ {
+		start := clock.Now()
+		mu.Lock()
+		value = i
+		mu.Unlock()
+		wl.RecordWrite(-1, start, clock.Now(), i)
+	}
+	close(stopped)
+	wg.Wait()
+	res := Merge(logs...).Check()
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+		t.Fatalf("mutex register produced %d violations", len(res.Violations))
+	}
+	if res.Checked < writes {
+		t.Fatalf("checked only %d ops", res.Checked)
+	}
+}

@@ -1,0 +1,307 @@
+package leftright
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newReg(t testing.TB, readers, size int) *Register {
+	t.Helper()
+	r, err := New(register.Config{MaxReaders: readers, MaxValueSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReadReturnsLastWrite(t *testing.T) {
+	r := newReg(t, 2, 64)
+	rd, _ := r.NewReaderHandle()
+	dst := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		val := []byte(fmt.Sprintf("v%03d", i))
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+		n, err := rd.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst[:n], val) {
+			t.Fatalf("read %q want %q", dst[:n], val)
+		}
+	}
+}
+
+func TestInitialValueBothInstances(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 16, Initial: []byte("seed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both instances must hold the initial value (readers may land on
+	// either side before the first write).
+	for i := 0; i < 2; i++ {
+		if string(r.inst[i][:r.sizes[i]]) != "seed" {
+			t.Fatalf("instance %d = %q", i, r.inst[i][:r.sizes[i]])
+		}
+	}
+}
+
+// Reads are wait-free: a stalled WRITER (mid-drain) must not block readers.
+func TestReadsWaitFreeUnderBlockedWriter(t *testing.T) {
+	r := newReg(t, 2, 32)
+	r.Write([]byte("v1"))
+
+	// Pin a view so the next write blocks in its drain phase.
+	pinner, _ := r.NewReaderHandle()
+	if _, err := pinner.View(); err != nil {
+		t.Fatal(err)
+	}
+	writeDone := make(chan struct{})
+	go func() {
+		r.Write([]byte("v2"))
+		close(writeDone)
+	}()
+	select {
+	case <-writeDone:
+		t.Fatal("write completed despite a pinned view")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Another reader must still read without blocking (and may see the
+	// new value: the flip happened before the drain).
+	rd, _ := r.NewReaderHandle()
+	got := make(chan string, 1)
+	go func() {
+		dst := make([]byte, 32)
+		n, err := rd.Read(dst)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(dst[:n])
+	}()
+	select {
+	case v := <-got:
+		if v != "v1" && v != "v2" {
+			t.Fatalf("concurrent read got %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader blocked behind a blocked writer; reads must be wait-free")
+	}
+
+	// Releasing the pin unblocks the writer.
+	if _, err := pinner.View(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-writeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked after pin release")
+	}
+	if r.WriteStats().LockSpins == 0 {
+		t.Fatal("no drain spins recorded despite a pinned view")
+	}
+	pinner.Close()
+	rd.Close()
+}
+
+// A pinned view's bytes must stay stable across subsequent (blocked and
+// completed) writes.
+func TestViewStableWhilePinned(t *testing.T) {
+	r := newReg(t, 2, 128)
+	buf := make([]byte, 128)
+	membuf.Encode(buf, 1)
+	r.Write(buf)
+	pinner, _ := r.NewReaderHandle()
+	view, err := pinner.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), view...)
+
+	// One write can proceed up to its drain; run it in the background.
+	bg := make(chan struct{})
+	go func() {
+		membuf.Encode(buf, 2)
+		r.Write(buf)
+		close(bg)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if !bytes.Equal(view, snapshot) {
+		t.Fatal("pinned view mutated by a concurrent write")
+	}
+	if v, err := membuf.Verify(view); err != nil || v != 1 {
+		t.Fatalf("pinned view corrupt: version=%d err=%v", v, err)
+	}
+	// Release and let the writer finish.
+	if _, err := pinner.View(); err != nil {
+		t.Fatal(err)
+	}
+	<-bg
+	pinner.Close()
+}
+
+func TestCloseReleasesPin(t *testing.T) {
+	r := newReg(t, 1, 16)
+	rd, _ := r.NewReaderHandle()
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Write([]byte("after close"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the version pin")
+	}
+}
+
+func TestSequentialModelQuick(t *testing.T) {
+	f := func(ops []byte) bool {
+		r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 64})
+		if err != nil {
+			return false
+		}
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			return false
+		}
+		model := []byte{0}
+		dst := make([]byte, 64)
+		for _, op := range ops {
+			if op%2 == 0 {
+				val := bytes.Repeat([]byte{op}, 1+int(op)%32)
+				if r.Write(val) != nil {
+					return false
+				}
+				model = val
+			} else {
+				n, err := rd.Read(dst)
+				if err != nil || !bytes.Equal(dst[:n], model) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIntegrity(t *testing.T) {
+	const (
+		readers = 4
+		writes  = 2000
+		size    = 512
+	)
+	r := newReg(t, readers, size)
+	seed := make([]byte, size)
+	membuf.Encode(seed, 0)
+	if err := r.Write(seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rd, _ := r.NewReaderHandle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer rd.Close()
+			dst := make([]byte, size)
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := rd.Read(dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ver, err := membuf.Verify(dst[:n])
+				if err != nil {
+					errs <- fmt.Errorf("torn left-right read: %w", err)
+					return
+				}
+				if ver < last {
+					errs <- fmt.Errorf("version regressed: %d after %d", ver, last)
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	buf := make([]byte, size)
+	for i := uint64(1); i <= writes; i++ {
+		membuf.Encode(buf, i)
+		if err := r.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestErrorsAndCapacity(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if err := r.Write(make([]byte, 9)); !errors.Is(err, register.ErrValueTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+	rd, _ := r.NewReaderHandle()
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("capacity: %v", err)
+	}
+	r.Write([]byte("12345678"))
+	if n, err := rd.Read(make([]byte, 2)); !errors.Is(err, register.ErrBufferTooSmall) || n != 8 {
+		t.Fatalf("small dst: %d %v", n, err)
+	}
+	// The failed read must not leave a version pinned.
+	done := make(chan struct{})
+	go func() {
+		r.Write([]byte("x"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failed Read leaked a version pin")
+	}
+	rd.Close()
+	if _, err := rd.Read(make([]byte, 8)); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("closed: %v", err)
+	}
+	if r.LiveReaders() != 0 {
+		t.Fatalf("live = %d", r.LiveReaders())
+	}
+}
+
+func TestName(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if r.Name() != "leftright" || r.MaxReaders() != 1 || r.MaxValueSize() != 8 || r.Writer() == nil {
+		t.Fatal("accessors wrong")
+	}
+}

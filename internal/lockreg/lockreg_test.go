@@ -1,0 +1,290 @@
+package lockreg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newReg(t testing.TB, readers, size int) *Register {
+	t.Helper()
+	r, err := New(register.Config{MaxReaders: readers, MaxValueSize: size})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func TestReadReturnsLastWrite(t *testing.T) {
+	r := newReg(t, 2, 64)
+	rd, _ := r.NewReaderHandle()
+	dst := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		val := []byte(fmt.Sprintf("v%03d", i))
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+		n, err := rd.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst[:n], val) {
+			t.Fatalf("read %q want %q", dst[:n], val)
+		}
+	}
+}
+
+func TestInitialValue(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 16, Initial: []byte("seed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := r.NewReaderHandle()
+	v, err := rd.View()
+	if err != nil || string(v) != "seed" {
+		t.Fatalf("View: %q, %v", v, err)
+	}
+}
+
+// A live view holds the read lock: the writer must block until the view is
+// released — the non-wait-freedom the paper contrasts ARC against.
+func TestLiveViewBlocksWriter(t *testing.T) {
+	r := newReg(t, 1, 16)
+	rd, _ := r.NewReaderHandle()
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	wrote := make(chan struct{})
+	go func() {
+		if err := r.Write([]byte("blocked")); err != nil {
+			t.Error(err)
+		}
+		close(wrote)
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("write completed while a view pinned the read lock")
+	case <-time.After(100 * time.Millisecond):
+		// expected: writer is spinning
+	}
+	// Releasing the view (by taking the next one) unblocks the writer.
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wrote:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked after view release")
+	}
+	rd.Close()
+}
+
+func TestViewReleasedOnClose(t *testing.T) {
+	r := newReg(t, 1, 16)
+	rd, _ := r.NewReaderHandle()
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Write([]byte("after close"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the pinned read lock")
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	r := newReg(t, 1, 4)
+	if err := r.Write(make([]byte, 5)); !errors.Is(err, register.ErrValueTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferTooSmall(t *testing.T) {
+	r := newReg(t, 1, 32)
+	rd, _ := r.NewReaderHandle()
+	r.Write([]byte("0123456789"))
+	n, err := rd.Read(make([]byte, 3))
+	if !errors.Is(err, register.ErrBufferTooSmall) || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// The failed read must not leave the lock held.
+	done := make(chan struct{})
+	go func() {
+		r.Write([]byte("x"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock leaked by failed Read")
+	}
+}
+
+func TestReaderCapacityAndClose(t *testing.T) {
+	r := newReg(t, 2, 8)
+	a, _ := r.NewReader()
+	if _, err := r.NewReader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("third handle: %v", err)
+	}
+	a.Close()
+	if _, err := r.NewReader(); err != nil {
+		t.Fatalf("after close: %v", err)
+	}
+	if r.LiveReaders() != 2 {
+		t.Fatalf("live = %d", r.LiveReaders())
+	}
+}
+
+func TestClosedReaderErrors(t *testing.T) {
+	r := newReg(t, 1, 8)
+	rd, _ := r.NewReaderHandle()
+	rd.Close()
+	if _, err := rd.View(); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("View: %v", err)
+	}
+	if _, err := rd.Read(make([]byte, 8)); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := rd.Close(); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestRMWAccounting(t *testing.T) {
+	r := newReg(t, 1, 8)
+	rd, _ := r.NewReaderHandle()
+	r.Write([]byte("a"))
+	dst := make([]byte, 8)
+	rd.Read(dst)
+	if st := rd.ReadStats(); st.RMW == 0 {
+		t.Fatal("lock reads must cost RMW instructions")
+	}
+	if ws := r.WriteStats(); ws.RMW == 0 {
+		t.Fatal("lock writes must cost RMW instructions")
+	}
+}
+
+func TestSequentialModelQuick(t *testing.T) {
+	f := func(ops []byte) bool {
+		r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 64})
+		if err != nil {
+			return false
+		}
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			return false
+		}
+		model := []byte{0}
+		dst := make([]byte, 64)
+		for _, op := range ops {
+			if op%2 == 0 {
+				val := bytes.Repeat([]byte{op}, 1+int(op)%32)
+				if r.Write(val) != nil {
+					return false
+				}
+				model = val
+			} else {
+				n, err := rd.Read(dst)
+				if err != nil || !bytes.Equal(dst[:n], model) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIntegrity(t *testing.T) {
+	const (
+		readers = 4
+		writes  = 1500
+		size    = 256
+	)
+	r := newReg(t, readers, size)
+	seed := make([]byte, size)
+	membuf.Encode(seed, 0)
+	if err := r.Write(seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, size)
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := rd.Read(dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ver, err := membuf.Verify(dst[:n])
+				if err != nil {
+					errs <- fmt.Errorf("torn read under lock: %w", err)
+					return
+				}
+				if ver < last {
+					errs <- fmt.Errorf("version regressed: %d after %d", ver, last)
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	buf := make([]byte, size)
+	for i := uint64(1); i <= writes; i++ {
+		membuf.Encode(buf, i)
+		if err := r.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if r.Name() != "lock" {
+		t.Fatalf("Name() = %q", r.Name())
+	}
+	if r.Writer() == nil || r.MaxReaders() != 1 || r.MaxValueSize() != 8 {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,20 @@
+package membuf
+
+import "unsafe"
+
+// addressOf returns the address of the first element of a non-empty byte
+// slice's backing array as an integer, for alignment arithmetic only.
+func addressOf(b []byte) uintptr {
+	if len(b) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// wordAddressOf is addressOf for word slices.
+func wordAddressOf(w []uint64) uintptr {
+	if len(w) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&w[0]))
+}

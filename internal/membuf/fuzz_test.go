@@ -1,0 +1,65 @@
+package membuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVerify: Verify must never panic and never mistake arbitrary bytes
+// for a valid payload unless they ARE one (self-consistency: re-encoding
+// the extracted version over the same length must reproduce the input).
+func FuzzVerify(f *testing.F) {
+	seed := make([]byte, 64)
+	Encode(seed, 42)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, MinPayload))
+	f.Add(bytes.Repeat([]byte{0xFF}, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Verify(data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ byte-identical to a fresh encoding of that version.
+		redo := make([]byte, len(data))
+		Encode(redo, v)
+		if !bytes.Equal(redo, data) {
+			t.Fatalf("Verify accepted a non-canonical payload (version %d)", v)
+		}
+	})
+}
+
+// FuzzEncodeVerify: every encoding round-trips, at every size ≥ MinPayload.
+func FuzzEncodeVerify(f *testing.F) {
+	f.Add(uint64(0), uint16(0))
+	f.Add(uint64(1<<63), uint16(999))
+	f.Fuzz(func(t *testing.T, version uint64, sizeSeed uint16) {
+		size := MinPayload + int(sizeSeed)%4096
+		buf := make([]byte, size)
+		Encode(buf, version)
+		v, err := Verify(buf)
+		if err != nil || v != version {
+			t.Fatalf("round trip failed: v=%d err=%v", v, err)
+		}
+	})
+}
+
+// FuzzLoadWords: arbitrary word-buffer contents (including garbage length
+// words) must never cause a panic or out-of-bounds write.
+func FuzzLoadWords(f *testing.F) {
+	f.Add(uint64(0), []byte("payload"))
+	f.Add(uint64(1<<40), []byte{})
+	f.Fuzz(func(t *testing.T, lenWord uint64, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		buf := AlignedWords(WordsFor(256))
+		StoreWords(buf, data)
+		buf[0] = lenWord // simulate a torn length word
+		dst := make([]byte, 64)
+		n := LoadWords(buf, dst, 256)
+		if n < 0 || n > 256 {
+			t.Fatalf("LoadWords returned %d outside [0,256]", n)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package membuf
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Word-atomic value codec: values stored in []uint64 buffers accessed one
+// word at a time with sync/atomic. This is the storage model of the
+// classical register constructions (Peterson 1983 and seqlock-style
+// designs), which assume only single-word atomic read/write registers:
+// multi-word values can tear, and the enclosing protocol is responsible
+// for detecting or preventing it. Word-wise atomics keep the
+// implementations honest to that model and race-detector-clean.
+//
+// Layout: word 0 is the value length in bytes; words 1.. hold the data,
+// 8 bytes per word, little-endian.
+
+// WordsFor returns the []uint64 buffer length needed for values up to
+// size bytes.
+func WordsFor(size int) int { return 1 + (size+7)/8 }
+
+// StoreWords writes p into buf with single-word atomic stores. buf must
+// have been sized with WordsFor(≥len(p)).
+func StoreWords(buf []uint64, p []byte) {
+	atomic.StoreUint64(&buf[0], uint64(len(p)))
+	i, w := 0, 1
+	for ; i+8 <= len(p); i, w = i+8, w+1 {
+		atomic.StoreUint64(&buf[w], binary.LittleEndian.Uint64(p[i:i+8]))
+	}
+	if i < len(p) {
+		var tail [8]byte
+		copy(tail[:], p[i:])
+		atomic.StoreUint64(&buf[w], binary.LittleEndian.Uint64(tail[:]))
+	}
+}
+
+// LoadWords copies buf's value into dst with single-word atomic loads and
+// returns the length it observed, clamped to maxSize (a concurrent write
+// can tear the length word along with the data; callers discard the copy
+// when their protocol detects interference). At most min(length, len(dst))
+// bytes are written to dst.
+func LoadWords(buf []uint64, dst []byte, maxSize int) int {
+	size := int(atomic.LoadUint64(&buf[0]))
+	if size < 0 || size > maxSize {
+		size = maxSize
+	}
+	n := size
+	if n > len(dst) {
+		n = len(dst)
+	}
+	i, w := 0, 1
+	for ; i+8 <= n; i, w = i+8, w+1 {
+		binary.LittleEndian.PutUint64(dst[i:i+8], atomic.LoadUint64(&buf[w]))
+	}
+	if i < n {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], atomic.LoadUint64(&buf[w]))
+		copy(dst[i:n], tail[:n-i])
+	}
+	return size
+}

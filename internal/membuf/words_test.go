@@ -1,0 +1,72 @@
+package membuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 2, 7: 2, 8: 2, 9: 3, 64: 9}
+	for size, want := range cases {
+		if got := WordsFor(size); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+// Property: store/load round-trips any payload.
+func TestStoreLoadWordsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		buf := AlignedWords(WordsFor(128))
+		StoreWords(buf, data)
+		dst := make([]byte, 128)
+		n := LoadWords(buf, dst, 128)
+		return n == len(data) && bytes.Equal(dst[:n], data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A torn (garbage) length word must be clamped, never indexed out of
+// bounds.
+func TestLoadWordsClampsGarbageSize(t *testing.T) {
+	buf := AlignedWords(WordsFor(32))
+	buf[0] = 1 << 40
+	dst := make([]byte, 32)
+	if n := LoadWords(buf, dst, 32); n != 32 {
+		t.Fatalf("clamped size = %d, want 32", n)
+	}
+}
+
+// Loading into a short destination returns the true length but writes only
+// len(dst) bytes.
+func TestLoadWordsShortDst(t *testing.T) {
+	buf := AlignedWords(WordsFor(64))
+	payload := bytes.Repeat([]byte{0xEE}, 20)
+	StoreWords(buf, payload)
+	dst := make([]byte, 5)
+	n := LoadWords(buf, dst, 64)
+	if n != 20 {
+		t.Fatalf("length = %d, want 20", n)
+	}
+	if !bytes.Equal(dst, payload[:5]) {
+		t.Fatalf("prefix mismatch: %x", dst)
+	}
+}
+
+// Overwriting with a shorter value must fully mask the longer one.
+func TestStoreWordsOverwrite(t *testing.T) {
+	buf := AlignedWords(WordsFor(64))
+	StoreWords(buf, bytes.Repeat([]byte{0xFF}, 64))
+	StoreWords(buf, []byte("tiny"))
+	dst := make([]byte, 64)
+	n := LoadWords(buf, dst, 64)
+	if n != 4 || string(dst[:n]) != "tiny" {
+		t.Fatalf("after overwrite: %q (n=%d)", dst[:n], n)
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics aggregates the measurements the benchmark harness
+// reports: operation throughput (the paper's Mops/s axis), log-bucketed
+// latency histograms, and the RMW-instruction accounting used to verify
+// the paper's synchronization-economy claims.
+//
+// Hot-path discipline: workers count into plain per-goroutine structs
+// (no atomics, no locks, no allocation); aggregation happens after the
+// measurement window, once the workers have quiesced. Measuring a
+// synchronization algorithm with synchronized counters would perturb the
+// very contention under study.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Throughput expresses an operation rate.
+type Throughput struct {
+	Ops     uint64
+	Elapsed time.Duration
+}
+
+// Mops returns millions of operations per second, the unit of every
+// figure in the paper.
+func (t Throughput) Mops() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / t.Elapsed.Seconds() / 1e6
+}
+
+// String implements fmt.Stringer.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.2f Mops/s (%d ops in %v)", t.Mops(), t.Ops, t.Elapsed)
+}
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds samples in [2^i, 2^(i+1)) nanoseconds, covering 1ns to ~18s.
+const histBuckets = 35
+
+// Histogram is a log₂-bucketed latency histogram. The zero value is ready
+// to use. Record is wait-free and allocation-free; one histogram belongs
+// to one goroutine until merged.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Record adds one sample, in nanoseconds.
+func (h *Histogram) Record(ns uint64) {
+	i := bucketOf(ns)
+	h.buckets[i]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// RecordSince is a convenience for Record(now-start) on a monotonic
+// nanosecond clock.
+func (h *Histogram) RecordSince(startNs, nowNs int64) {
+	if nowNs > startNs {
+		h.Record(uint64(nowNs - startNs))
+	} else {
+		h.Record(0)
+	}
+}
+
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	i := bits.Len64(ns) - 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the average sample in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest sample.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max reports the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds. Within a
+// bucket the estimate interpolates geometrically — adequate for the
+// factor-level comparisons the paper draws.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			frac := (target - cum) / float64(c)
+			est := lo + (hi-lo)*frac
+			// Clamp: interpolation must not escape the observed range.
+			if est > float64(h.max) {
+				est = float64(h.max)
+			}
+			if est < float64(h.min) {
+				est = float64(h.min)
+			}
+			return est
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.0fns p50=%.0fns p99=%.0fns max=%dns",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+}
+
+// Duration formats a nanosecond quantity as a time.Duration.
+func Duration(ns float64) time.Duration { return time.Duration(ns) }

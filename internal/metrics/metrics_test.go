@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughputMops(t *testing.T) {
+	tp := Throughput{Ops: 2_000_000, Elapsed: time.Second}
+	if got := tp.Mops(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("Mops = %v, want 2", got)
+	}
+	if (Throughput{Ops: 5, Elapsed: 0}).Mops() != 0 {
+		t.Fatal("zero elapsed must yield zero rate")
+	}
+	if !strings.Contains(tp.String(), "Mops/s") {
+		t.Fatalf("String() = %q", tp.String())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+		{math.MaxUint64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for _, ns := range []uint64{100, 200, 300, 400} {
+		h.Record(ns)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 10000; i++ {
+		h.Record(i)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	// p50 of 1..10000 should land near 5000 within a power-of-two bucket.
+	p50 := h.Quantile(0.5)
+	if p50 < 2048 || p50 > 16384 {
+		t.Fatalf("p50 = %v grossly off", p50)
+	}
+	if h.Quantile(0) != float64(h.Min()) {
+		t.Fatal("q=0 must be min")
+	}
+	if h.Quantile(1) != float64(h.Max()) {
+		t.Fatal("q=1 must be max")
+	}
+}
+
+func TestRecordSince(t *testing.T) {
+	var h Histogram
+	h.RecordSince(100, 400)
+	if h.Count() != 1 || h.Max() != 300 {
+		t.Fatalf("RecordSince: count=%d max=%d", h.Count(), h.Max())
+	}
+	h.RecordSince(400, 100) // clock anomaly: clamp to 0, never panic
+	if h.Count() != 2 || h.Min() != 0 {
+		t.Fatalf("backwards clock mishandled: %v", h.String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.Count() != 200 {
+		t.Fatalf("merged count = %d", m.Count())
+	}
+	if m.Min() != 10 || m.Max() != 1000 {
+		t.Fatalf("merged min/max = %d/%d", m.Min(), m.Max())
+	}
+	var empty Histogram
+	m.Merge(&empty) // no-op
+	if m.Count() != 200 {
+		t.Fatal("merging empty changed count")
+	}
+	// Merge into empty preserves min.
+	var m2 Histogram
+	m2.Merge(&b)
+	if m2.Min() != 1000 {
+		t.Fatalf("min after merge into empty = %d", m2.Min())
+	}
+}
+
+// Property: mean is always within [min, max], quantiles within [min, max·2)
+// (bucket interpolation can overshoot max within its bucket).
+func TestHistogramBoundsQuick(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Record(uint64(s))
+		}
+		mean := h.Mean()
+		if mean < float64(h.Min()) || mean > float64(h.Max()) {
+			return false
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			v := h.Quantile(q)
+			if v < float64(h.Min())/2 || v > float64(h.Max())*2+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "no samples" {
+		t.Fatalf("empty String() = %q", h.String())
+	}
+	h.Record(5000)
+	for _, want := range []string{"n=1", "mean=", "p99="} {
+		if !strings.Contains(h.String(), want) {
+			t.Fatalf("String() = %q missing %q", h.String(), want)
+		}
+	}
+}
+
+func TestDurationHelper(t *testing.T) {
+	if Duration(1.5e9) != 1500*time.Millisecond {
+		t.Fatalf("Duration(1.5e9) = %v", Duration(1.5e9))
+	}
+}

@@ -1,0 +1,475 @@
+// Package model is an explicit-state model checker for the ARC protocol:
+// it exhaustively enumerates every interleaving of a small configuration
+// (one writer, R readers, R+2 slots, a bounded number of operations) at
+// the granularity of individual atomic actions, and checks the safety
+// properties behind the paper's §4 proofs on every reachable state:
+//
+//   - Lemma 4.1 — the writer's free-slot search never fails;
+//   - Lemma 4.2 — no reader ever observes a slot while the writer is
+//     copying into it (value reads are modelled as two steps bracketing
+//     the buffer access, so any overlapping write is caught as a torn
+//     read, exactly like a multi-word access in the real system);
+//   - Regularity (Theorem 4.3) — every read returns either the last
+//     write completed before it started or a concurrent write's value;
+//   - No new-old inversion (Theorem 4.4) — a read never returns a value
+//     older than one returned by any read that completed before it
+//     started (per-process order is the special case of a reader's own
+//     previous read).
+//
+// Where the package-level tests of internal/arc sample schedules, the
+// model checker covers all of them — for a bounded configuration. It also
+// checks deliberately broken protocol mutants (wrong statement orders,
+// missing exclusions) and demonstrates that each mutation is caught,
+// which validates both the paper's design decisions and the checker
+// itself.
+//
+// Modelling choices, and why they are sound:
+//
+//   - The W1 slot scan executes as one step. In the real algorithm the
+//     scan is a sequence of loads, but a slot observed free cannot be
+//     re-acquired before the writer publishes it (readers acquire only
+//     the current slot), so collapsing the scan loses no violations. The
+//     scan branches nondeterministically over every eligible slot.
+//   - The value copy is two steps (begin/end) guarding a `writing` flag;
+//     the value read is two steps recording (version, writing) at both
+//     ends. A read is torn iff the flag was set at either end or the
+//     version changed in between — the standard two-step simulation of
+//     multi-word access.
+//   - Reads and writes are bounded per run; counters are bounded by
+//     construction (presence counts never exceed R).
+package model
+
+import (
+	"fmt"
+)
+
+// Config bounds the explored configuration.
+type Config struct {
+	// Readers is R; the model uses R+2 slots (the paper's bound).
+	Readers int
+	// MaxWrites bounds the writer's operations.
+	MaxWrites int
+	// MaxReadsPerReader bounds each reader's operations.
+	MaxReadsPerReader int
+	// Mutation selects a protocol variant (MutNone = faithful ARC).
+	Mutation Mutation
+	// DisableFastPath explores the ablated protocol (every read
+	// releases and re-acquires).
+	DisableFastPath bool
+	// MaxStates aborts exploration beyond this many states (safety net;
+	// 0 means a generous default).
+	MaxStates int
+}
+
+// Mutation selects a deliberately broken protocol variant, used to prove
+// the checker detects real bugs.
+type Mutation int
+
+const (
+	// MutNone is the faithful ARC protocol.
+	MutNone Mutation = iota
+	// MutNoLastSlotExclusion lets W1 pick the slot that is currently
+	// published (the paper's "slot ≠ last_slot" clause removed). The
+	// writer can then overwrite the snapshot fast-path readers hold.
+	MutNoLastSlotExclusion
+	// MutNoFreeCheck lets W1 pick any slot other than last_slot without
+	// checking r_start == r_end — overwriting snapshots readers still
+	// hold.
+	MutNoFreeCheck
+	// MutAcquireBeforeRelease swaps R3 and R4: the reader acquires the
+	// new slot before releasing the old one, transiently holding two
+	// slots and breaking the Σ(r_start−r_end) ≤ N accounting that
+	// Lemma 4.1 needs.
+	MutAcquireBeforeRelease
+	// MutFreezeBeforePublish swaps W2 and W3: the writer freezes the
+	// retired slot's r_start before publishing the new slot, freezing a
+	// stale counter value.
+	MutFreezeBeforePublish
+)
+
+// String implements fmt.Stringer.
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutNoLastSlotExclusion:
+		return "no-last-slot-exclusion"
+	case MutNoFreeCheck:
+		return "no-free-check"
+	case MutAcquireBeforeRelease:
+		return "acquire-before-release"
+	case MutFreezeBeforePublish:
+		return "freeze-before-publish"
+	}
+	return "unknown"
+}
+
+// Program counters.
+type wpc uint8
+
+const (
+	wIdle      wpc = iota
+	wCopyEnd       // copy in progress; next step completes it
+	wReset         // counters reset pending
+	wPublish       // W2 pending
+	wFreeze        // W3 pending
+	wFreezeAlt     // mutation order: freeze before publish
+	wPublishAlt
+	wDone
+)
+
+type rpc uint8
+
+const (
+	rIdle    rpc = iota
+	rR1          // loaded nothing yet; next step is the R1 current load
+	rRelease     // R3 pending (slow path, holding a slot)
+	rAcquire     // R4 pending
+	rReadBeg     // first half of the value read
+	rReadEnd     // second half of the value read
+	rRelLate     // mutation order: release after acquire
+	rDone
+)
+
+// maxSlots bounds the fixed-size state arrays (R ≤ 6 ⇒ slots ≤ 8).
+const maxSlots = 8
+
+// maxReaders bounds the reader arrays.
+const maxReaders = 6
+
+// slotState is one register slot in the model.
+type slotState struct {
+	rStart  uint8
+	rEnd    uint8
+	ver     uint8 // version of the value stored
+	writing bool  // writer mid-copy
+}
+
+// readerState is one reader process.
+type readerState struct {
+	pc        rpc
+	lastIndex uint8 // slot held; noHold if none
+	curIdx    uint8 // index loaded at R1/R4
+	begVer    uint8 // version observed at read-begin
+	begWrite  bool  // writing flag observed at read-begin
+	reads     uint8 // operations completed
+	// Atomicity bookkeeping, recorded at operation start:
+	floorWrite uint8 // last write completed before this read started
+	floorRead  uint8 // max version returned by reads completed before
+	lastSeen   uint8 // per-process monotonicity
+}
+
+// noHold marks a reader holding no slot.
+const noHold = uint8(0xFF)
+
+// state is one global state. It is a value type usable as a map key.
+type state struct {
+	slots    [maxSlots]slotState
+	curIdx   uint8 // current word: slot index
+	curCnt   uint8 // current word: presence counter
+	writer   wpc
+	wSlot    uint8 // slot chosen by W1
+	wVer     uint8 // version being written
+	wOldIdx  uint8 // index retired by W2
+	wOldCnt  uint8 // counter retired by W2
+	lastSlot uint8
+	writes   uint8
+	readers  [maxReaders]readerState
+	// Global atomicity bookkeeping.
+	completedWrites uint8 // version of the last COMPLETED write
+	maxReadDone     uint8 // max version returned by any completed read
+}
+
+// Violation describes a property breach found on some reachable path.
+type Violation struct {
+	Kind  string
+	Depth int
+	Desc  string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("model: %s at depth %d: %s", v.Kind, v.Depth, v.Desc)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States      int
+	Transitions int
+	Violation   *Violation // nil when every reachable state is safe
+}
+
+// Check explores the configuration exhaustively (BFS over the state
+// graph) and returns the first violation found, if any.
+func Check(cfg Config) (Result, error) {
+	if cfg.Readers < 1 || cfg.Readers > maxReaders {
+		return Result{}, fmt.Errorf("model: Readers must be in [1,%d]", maxReaders)
+	}
+	if cfg.Readers+2 > maxSlots {
+		return Result{}, fmt.Errorf("model: too many slots")
+	}
+	if cfg.MaxWrites < 1 || cfg.MaxWrites > 200 {
+		return Result{}, fmt.Errorf("model: MaxWrites must be in [1,200]")
+	}
+	if cfg.MaxReadsPerReader < 1 || cfg.MaxReadsPerReader > 200 {
+		return Result{}, fmt.Errorf("model: MaxReadsPerReader must be in [1,200]")
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 20_000_000
+	}
+	e := &explorer{cfg: cfg, nslots: cfg.Readers + 2}
+
+	var init state
+	init.curIdx = 0
+	init.curCnt = 0
+	init.lastSlot = 0
+	for i := range init.readers {
+		init.readers[i].lastIndex = noHold
+	}
+	// Slot 0 holds version 0 (the initial value); writes produce 1,2,…
+
+	e.visited = make(map[state]struct{}, 1<<16)
+	queue := []state{init}
+	e.visited[init] = struct{}{}
+	depth := 0
+
+	for len(queue) > 0 {
+		next := queue[:0:0]
+		for _, s := range queue {
+			succs, viol := e.successors(s, depth)
+			if viol != nil {
+				return Result{States: len(e.visited), Transitions: e.transitions, Violation: viol}, nil
+			}
+			for _, ns := range succs {
+				if _, seen := e.visited[ns]; !seen {
+					if len(e.visited) >= cfg.MaxStates {
+						return Result{}, fmt.Errorf("model: state budget %d exhausted at depth %d", cfg.MaxStates, depth)
+					}
+					e.visited[ns] = struct{}{}
+					next = append(next, ns)
+				}
+			}
+		}
+		queue = next
+		depth++
+	}
+	return Result{States: len(e.visited), Transitions: e.transitions}, nil
+}
+
+type explorer struct {
+	cfg         Config
+	nslots      int
+	visited     map[state]struct{}
+	transitions int
+}
+
+// successors enumerates every enabled atomic step from s.
+func (e *explorer) successors(s state, depth int) ([]state, *Violation) {
+	var out []state
+	add := func(ns state) {
+		e.transitions++
+		out = append(out, ns)
+	}
+
+	// ----- Writer steps -----
+	switch s.writer {
+	case wIdle:
+		if s.writes < uint8(e.cfg.MaxWrites) {
+			// W1: choose a free slot. Branch over all eligible slots.
+			found := false
+			for idx := 0; idx < e.nslots; idx++ {
+				sl := s.slots[idx]
+				switch e.cfg.Mutation {
+				case MutNoLastSlotExclusion:
+					if sl.rStart != sl.rEnd {
+						continue
+					}
+				case MutNoFreeCheck:
+					if uint8(idx) == s.lastSlot {
+						continue
+					}
+				default:
+					if uint8(idx) == s.lastSlot || sl.rStart != sl.rEnd {
+						continue
+					}
+				}
+				found = true
+				ns := s
+				ns.wSlot = uint8(idx)
+				ns.wVer = s.writes + 1
+				ns.slots[idx].writing = true // copy begins
+				ns.writer = wCopyEnd
+				add(ns)
+			}
+			if !found {
+				return nil, &Violation{
+					Kind:  "lemma-4.1",
+					Depth: depth,
+					Desc:  "writer found no free slot (free-slot search failed)",
+				}
+			}
+		}
+	case wCopyEnd:
+		ns := s
+		ns.slots[s.wSlot].writing = false
+		ns.slots[s.wSlot].ver = s.wVer
+		ns.writer = wReset
+		add(ns)
+	case wReset:
+		ns := s
+		ns.slots[s.wSlot].rStart = 0
+		ns.slots[s.wSlot].rEnd = 0
+		if e.cfg.Mutation == MutFreezeBeforePublish {
+			ns.writer = wFreezeAlt
+		} else {
+			ns.writer = wPublish
+		}
+		add(ns)
+	case wPublish: // W2
+		ns := s
+		ns.wOldIdx = s.curIdx
+		ns.wOldCnt = s.curCnt
+		ns.curIdx = s.wSlot
+		ns.curCnt = 0
+		ns.writer = wFreeze
+		add(ns)
+	case wFreeze: // W3
+		ns := s
+		ns.slots[s.wOldIdx].rStart = s.wOldCnt
+		ns.lastSlot = s.wSlot
+		ns.writes = s.writes + 1
+		ns.completedWrites = s.writes + 1
+		ns.writer = wIdle
+		add(ns)
+	case wFreezeAlt: // mutation: freeze with the PRE-publish counter
+		ns := s
+		ns.slots[s.curIdx].rStart = s.curCnt
+		ns.writer = wPublishAlt
+		add(ns)
+	case wPublishAlt:
+		ns := s
+		ns.curIdx = s.wSlot
+		ns.curCnt = 0
+		ns.lastSlot = s.wSlot
+		ns.writes = s.writes + 1
+		ns.completedWrites = s.writes + 1
+		ns.writer = wIdle
+		add(ns)
+	}
+
+	// ----- Reader steps -----
+	for ri := 0; ri < e.cfg.Readers; ri++ {
+		r := s.readers[ri]
+		switch r.pc {
+		case rIdle:
+			if r.reads < uint8(e.cfg.MaxReadsPerReader) {
+				ns := s
+				nr := &ns.readers[ri]
+				nr.floorWrite = s.completedWrites
+				nr.floorRead = s.maxReadDone
+				nr.pc = rR1
+				add(ns)
+			}
+		case rR1: // load current; branch on fast path
+			ns := s
+			nr := &ns.readers[ri]
+			nr.curIdx = s.curIdx
+			if !e.cfg.DisableFastPath && r.lastIndex != noHold && s.curIdx == r.lastIndex {
+				nr.pc = rReadBeg // fast path: straight to the value read
+			} else if e.cfg.Mutation == MutAcquireBeforeRelease {
+				nr.pc = rAcquire
+			} else if r.lastIndex != noHold {
+				nr.pc = rRelease
+			} else {
+				nr.pc = rAcquire
+			}
+			add(ns)
+		case rRelease: // R3
+			ns := s
+			nr := &ns.readers[ri]
+			ns.slots[r.lastIndex].rEnd++
+			nr.lastIndex = noHold
+			nr.pc = rAcquire
+			add(ns)
+		case rAcquire: // R4: counter++ and read index atomically
+			ns := s
+			nr := &ns.readers[ri]
+			ns.curCnt = s.curCnt + 1
+			nr.curIdx = ns.curIdx
+			if e.cfg.Mutation == MutAcquireBeforeRelease && r.lastIndex != noHold {
+				// The old hold is released AFTER acquiring (the mutation).
+				nr.pc = rRelLate
+				nr.begVer = nr.lastIndex // stash the old slot index
+				nr.lastIndex = ns.curIdx
+			} else {
+				nr.lastIndex = ns.curIdx
+				nr.pc = rReadBeg
+			}
+			add(ns)
+		case rRelLate: // mutation: late R3
+			ns := s
+			nr := &ns.readers[ri]
+			ns.slots[r.begVer].rEnd++ // begVer stashed the old slot
+			nr.pc = rReadBeg
+			add(ns)
+		case rReadBeg: // first half of the multi-word value read
+			ns := s
+			nr := &ns.readers[ri]
+			nr.begVer = s.slots[r.lastIndex].ver
+			nr.begWrite = s.slots[r.lastIndex].writing
+			nr.pc = rReadEnd
+			add(ns)
+		case rReadEnd: // second half; all assertions fire here
+			sl := s.slots[r.lastIndex]
+			if r.begWrite || sl.writing || sl.ver != r.begVer {
+				return nil, &Violation{
+					Kind:  "lemma-4.2",
+					Depth: depth,
+					Desc: fmt.Sprintf("reader %d observed slot %d mid-write (torn read: begVer=%d endVer=%d begW=%v endW=%v)",
+						ri, r.lastIndex, r.begVer, sl.ver, r.begWrite, sl.writing),
+				}
+			}
+			v := sl.ver
+			if v < r.floorWrite {
+				return nil, &Violation{
+					Kind:  "regularity",
+					Depth: depth,
+					Desc: fmt.Sprintf("reader %d returned version %d although write %d completed before the read started",
+						ri, v, r.floorWrite),
+				}
+			}
+			if v > s.writes+1 { // at most one write in flight
+				return nil, &Violation{
+					Kind:  "no-future",
+					Depth: depth,
+					Desc:  fmt.Sprintf("reader %d returned version %d; only %d writes started", ri, v, s.writes+1),
+				}
+			}
+			if v < r.floorRead {
+				return nil, &Violation{
+					Kind:  "new-old-inversion",
+					Depth: depth,
+					Desc: fmt.Sprintf("reader %d returned version %d although an earlier-finished read returned %d",
+						ri, v, r.floorRead),
+				}
+			}
+			if v < r.lastSeen {
+				return nil, &Violation{
+					Kind:  "process-order",
+					Depth: depth,
+					Desc:  fmt.Sprintf("reader %d returned %d after previously returning %d", ri, v, r.lastSeen),
+				}
+			}
+			ns := s
+			nr := &ns.readers[ri]
+			nr.lastSeen = v
+			nr.reads = r.reads + 1
+			if v > ns.maxReadDone {
+				ns.maxReadDone = v
+			}
+			nr.pc = rIdle
+			add(ns)
+		}
+	}
+	return out, nil
+}

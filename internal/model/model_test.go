@@ -1,0 +1,160 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// The faithful protocol must be safe over the FULL interleaving space of
+// small configurations — the mechanized counterpart of the §4 proofs.
+func TestFaithfulARCSafe(t *testing.T) {
+	configs := []Config{
+		{Readers: 1, MaxWrites: 3, MaxReadsPerReader: 3},
+		{Readers: 2, MaxWrites: 2, MaxReadsPerReader: 2},
+		{Readers: 2, MaxWrites: 3, MaxReadsPerReader: 2},
+	}
+	for _, cfg := range configs {
+		res, err := Check(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("R=%d W=%d RD=%d: %v", cfg.Readers, cfg.MaxWrites, cfg.MaxReadsPerReader, res.Violation)
+		}
+		if res.States < 100 {
+			t.Fatalf("suspiciously small state space: %d states", res.States)
+		}
+		t.Logf("R=%d W=%d RD=%d: %d states, %d transitions — safe",
+			cfg.Readers, cfg.MaxWrites, cfg.MaxReadsPerReader, res.States, res.Transitions)
+	}
+}
+
+// Deeper single configuration (the expensive one), gated behind -short.
+func TestFaithfulARCSafeDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep model check skipped in -short")
+	}
+	res, err := Check(Config{Readers: 2, MaxWrites: 4, MaxReadsPerReader: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	t.Logf("deep: %d states, %d transitions — safe", res.States, res.Transitions)
+}
+
+// The ablated protocol (no fast path) must still be safe: the fast path
+// is an optimization, not a correctness mechanism.
+func TestNoFastPathSafe(t *testing.T) {
+	res, err := Check(Config{Readers: 2, MaxWrites: 3, MaxReadsPerReader: 2, DisableFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+}
+
+// Every mutation must be caught — this is what gives the checker teeth,
+// and it doubles as a mechanized justification of the paper's statement
+// ordering and W1 conditions.
+func TestMutationsCaught(t *testing.T) {
+	cases := []struct {
+		mutation Mutation
+		wantKind []string // any of these kinds is an acceptable catch
+		cfg      Config
+	}{
+		{
+			// Removing "slot ≠ last_slot" lets the writer recycle the
+			// published slot and overwrite what fast-path readers hold.
+			mutation: MutNoLastSlotExclusion,
+			wantKind: []string{"lemma-4.2", "regularity", "process-order", "new-old-inversion"},
+			cfg:      Config{Readers: 2, MaxWrites: 3, MaxReadsPerReader: 3},
+		},
+		{
+			// Removing the r_start == r_end check overwrites held slots.
+			mutation: MutNoFreeCheck,
+			wantKind: []string{"lemma-4.2", "regularity", "process-order", "new-old-inversion"},
+			cfg:      Config{Readers: 2, MaxWrites: 3, MaxReadsPerReader: 3},
+		},
+		{
+			// Acquiring before releasing lets a reader transiently hold
+			// two slots, overflowing the N+2 budget.
+			mutation: MutAcquireBeforeRelease,
+			wantKind: []string{"lemma-4.1", "lemma-4.2", "regularity"},
+			cfg:      Config{Readers: 2, MaxWrites: 4, MaxReadsPerReader: 3},
+		},
+		{
+			// Freezing before publishing freezes a stale counter: slots
+			// look free while readers still hold them.
+			mutation: MutFreezeBeforePublish,
+			wantKind: []string{"lemma-4.1", "lemma-4.2", "regularity", "process-order", "new-old-inversion"},
+			cfg:      Config{Readers: 2, MaxWrites: 4, MaxReadsPerReader: 3},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.mutation.String(), func(t *testing.T) {
+			cfg := c.cfg
+			cfg.Mutation = c.mutation
+			res, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation == nil {
+				t.Fatalf("mutation %s not caught over %d states — checker has no teeth or the clause is not load-bearing",
+					c.mutation, res.States)
+			}
+			ok := false
+			for _, k := range c.wantKind {
+				if res.Violation.Kind == k {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("mutation %s caught as %q, expected one of %v (%s)",
+					c.mutation, res.Violation.Kind, c.wantKind, res.Violation.Desc)
+			}
+			t.Logf("%s caught: %v", c.mutation, res.Violation)
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Readers: 0, MaxWrites: 1, MaxReadsPerReader: 1},
+		{Readers: 7, MaxWrites: 1, MaxReadsPerReader: 1},
+		{Readers: 1, MaxWrites: 0, MaxReadsPerReader: 1},
+		{Readers: 1, MaxWrites: 1, MaxReadsPerReader: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := Check(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	_, err := Check(Config{Readers: 2, MaxWrites: 3, MaxReadsPerReader: 3, MaxStates: 100})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("tiny budget not enforced: %v", err)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Kind: "lemma-4.1", Depth: 7, Desc: "boom"}
+	msg := v.Error()
+	for _, want := range []string{"lemma-4.1", "depth 7", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestMutationStrings(t *testing.T) {
+	for m := MutNone; m <= MutFreezeBeforePublish; m++ {
+		if m.String() == "unknown" {
+			t.Fatalf("mutation %d has no name", m)
+		}
+	}
+}

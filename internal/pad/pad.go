@@ -1,0 +1,196 @@
+// Package pad provides low-level concurrency plumbing shared by every
+// register implementation in this repository: cache-line padding, padded
+// atomic counters, bounded spin/backoff loops, and a tiny per-goroutine
+// pseudo-random number generator.
+//
+// The ARC paper (§1, §3.2) stresses that synchronization variables hit by
+// RMW instructions must not share cache lines with unrelated data, since a
+// contended or split line amplifies the interconnect cost of every RMW.
+// The types here make that discipline explicit and reusable.
+package pad
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// CacheLineSize is the assumed size, in bytes, of a CPU cache line.
+// 64 bytes is correct for every x86-64 and the vast majority of arm64
+// parts; using a constant keeps the struct layouts portable and the
+// padding arithmetic checkable at compile time.
+const CacheLineSize = 64
+
+// CacheLinePad occupies exactly one cache line. Embed it between fields
+// that must not false-share.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
+// PaddedUint64 is an atomic uint64 alone on its own cache line pair.
+// The leading and trailing pads ensure the hot word neither shares a line
+// with its neighbours nor straddles a line boundary when embedded in a
+// slice (the whole struct is a multiple of the line size).
+type PaddedUint64 struct {
+	_ [CacheLineSize - 8]byte
+	v atomic.Uint64
+	_ [CacheLineSize]byte
+}
+
+// Load atomically loads the value.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores val.
+func (p *PaddedUint64) Store(val uint64) { p.v.Store(val) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Swap atomically stores val and returns the previous value.
+func (p *PaddedUint64) Swap(val uint64) uint64 { return p.v.Swap(val) }
+
+// CompareAndSwap executes the CAS on the padded word.
+func (p *PaddedUint64) CompareAndSwap(old, new uint64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// Or atomically ORs mask into the word, returning the previous value.
+func (p *PaddedUint64) Or(mask uint64) uint64 { return p.v.Or(mask) }
+
+// And atomically ANDs mask into the word, returning the previous value.
+func (p *PaddedUint64) And(mask uint64) uint64 { return p.v.And(mask) }
+
+// PaddedInt64 is the signed sibling of PaddedUint64.
+type PaddedInt64 struct {
+	_ [CacheLineSize - 8]byte
+	v atomic.Int64
+	_ [CacheLineSize]byte
+}
+
+// Load atomically loads the value.
+func (p *PaddedInt64) Load() int64 { return p.v.Load() }
+
+// Store atomically stores val.
+func (p *PaddedInt64) Store(val int64) { p.v.Store(val) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedInt64) Add(delta int64) int64 { return p.v.Add(delta) }
+
+// Swap atomically stores val and returns the previous value.
+func (p *PaddedInt64) Swap(val int64) int64 { return p.v.Swap(val) }
+
+// CompareAndSwap executes the CAS on the padded word.
+func (p *PaddedInt64) CompareAndSwap(old, new int64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// PaddedUint32 is an atomic uint32 alone on its own cache line pair.
+// Peterson's algorithm uses one per reader for its READING/WRITING flags.
+type PaddedUint32 struct {
+	_ [CacheLineSize - 4]byte
+	v atomic.Uint32
+	_ [CacheLineSize]byte
+}
+
+// Load atomically loads the value.
+func (p *PaddedUint32) Load() uint32 { return p.v.Load() }
+
+// Store atomically stores val.
+func (p *PaddedUint32) Store(val uint32) { p.v.Store(val) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint32) Add(delta uint32) uint32 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS on the padded word.
+func (p *PaddedUint32) CompareAndSwap(old, new uint32) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// Backoff implements bounded exponential backoff for spin loops. It is a
+// value type: declare one per loop, call Wait in the loop body.
+//
+// The first few waits are busy spins (cheapest when the conflicting
+// operation is a handful of instructions, as with the register word CAS);
+// after spinLimit rounds it yields the processor so oversubscribed
+// configurations (paper Fig. 3) make progress.
+type Backoff struct {
+	rounds int
+}
+
+const (
+	backoffSpinLimit = 6  // rounds of pure spinning before yielding
+	backoffSpinBase  = 16 // iterations of the first spin round
+)
+
+// Wait performs one backoff step: exponentially growing busy spin first,
+// runtime yields once the spin budget is exhausted.
+func (b *Backoff) Wait() {
+	if b.rounds < backoffSpinLimit {
+		spin(backoffSpinBase << uint(b.rounds))
+		b.rounds++
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset returns the Backoff to its initial (pure spin) state.
+func (b *Backoff) Reset() { b.rounds = 0 }
+
+// Rounds reports how many backoff steps have been taken since the last
+// Reset; useful in tests asserting bounded step counts.
+func (b *Backoff) Rounds() int { return b.rounds }
+
+//go:noinline
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		// The call itself is the pause; noinline stops the compiler
+		// from deleting the loop.
+	}
+}
+
+// XorShift64 is a tiny, allocation-free PRNG (Marsaglia xorshift64*) for
+// per-goroutine use in workload generators and the steal simulator, where
+// math/rand's locked global source would serialize the very threads whose
+// independence we are measuring.
+type XorShift64 struct {
+	state uint64
+}
+
+// NewXorShift64 returns a generator seeded with seed; a zero seed is
+// remapped to a fixed odd constant because the all-zero state is a fixed
+// point of xorshift.
+func NewXorShift64(seed uint64) XorShift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return XorShift64{state: seed}
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (x *XorShift64) Next() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Uint32n returns a pseudo-random number in [0, n). n must be > 0.
+func (x *XorShift64) Uint32n(n uint32) uint32 {
+	// Lemire's multiply-shift reduction: unbiased enough for workload
+	// shaping, and much cheaper than a modulo.
+	return uint32((uint64(uint32(x.Next())) * uint64(n)) >> 32)
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (x *XorShift64) Float64() float64 {
+	return float64(x.Next()>>11) / float64(1<<53)
+}
+
+// SplitMix64 advances a seed through the splitmix64 sequence; used to
+// derive independent per-goroutine seeds from a single experiment seed.
+func SplitMix64(seed *uint64) uint64 {
+	*seed += 0x9E3779B97F4A7C15
+	z := *seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

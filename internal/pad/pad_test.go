@@ -1,0 +1,216 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestPaddedUint64Size(t *testing.T) {
+	var p PaddedUint64
+	if got := unsafe.Sizeof(p); got%CacheLineSize != 0 {
+		t.Errorf("PaddedUint64 size %d is not a multiple of the cache line size", got)
+	}
+	// The hot word must not straddle a line boundary.
+	off := unsafe.Offsetof(p.v)
+	if off%8 != 0 {
+		t.Errorf("atomic word misaligned at offset %d", off)
+	}
+	if off/CacheLineSize != (off+7)/CacheLineSize {
+		t.Errorf("atomic word straddles a cache line at offset %d", off)
+	}
+}
+
+func TestPaddedUint64SliceElementsOnDistinctLines(t *testing.T) {
+	s := make([]PaddedUint64, 4)
+	for i := 1; i < len(s); i++ {
+		a := uintptr(unsafe.Pointer(&s[i-1].v))
+		b := uintptr(unsafe.Pointer(&s[i].v))
+		if b-a < CacheLineSize {
+			t.Fatalf("adjacent padded words only %d bytes apart", b-a)
+		}
+	}
+}
+
+func TestPaddedUint64Ops(t *testing.T) {
+	var p PaddedUint64
+	p.Store(41)
+	if p.Add(1) != 42 {
+		t.Error("Add did not return the new value")
+	}
+	if p.Swap(7) != 42 {
+		t.Error("Swap did not return the previous value")
+	}
+	if !p.CompareAndSwap(7, 9) || p.Load() != 9 {
+		t.Error("CompareAndSwap(7,9) failed")
+	}
+	if p.CompareAndSwap(7, 11) {
+		t.Error("CompareAndSwap succeeded with stale expected value")
+	}
+	if p.Or(0x30) != 9 || p.Load() != 0x39 {
+		t.Error("Or misbehaved")
+	}
+	if p.And(0x0F) != 0x39 || p.Load() != 0x09 {
+		t.Error("And misbehaved")
+	}
+}
+
+func TestPaddedInt64Ops(t *testing.T) {
+	var p PaddedInt64
+	p.Store(-5)
+	if p.Add(5) != 0 {
+		t.Error("Add did not reach zero")
+	}
+	if p.Swap(3) != 0 {
+		t.Error("Swap did not return previous value")
+	}
+	if !p.CompareAndSwap(3, -3) || p.Load() != -3 {
+		t.Error("CompareAndSwap failed")
+	}
+}
+
+func TestPaddedUint32Ops(t *testing.T) {
+	var p PaddedUint32
+	p.Store(1)
+	if p.Add(2) != 3 {
+		t.Error("Add did not return the new value")
+	}
+	if !p.CompareAndSwap(3, 4) || p.Load() != 4 {
+		t.Error("CompareAndSwap failed")
+	}
+}
+
+// The padded counter must behave exactly like an atomic counter under
+// concurrent increments.
+func TestPaddedUint64Concurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var (
+		p  PaddedUint64
+		wg sync.WaitGroup
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Load(); got != goroutines*perG {
+		t.Fatalf("lost updates: %d != %d", got, goroutines*perG)
+	}
+}
+
+func TestBackoffProgression(t *testing.T) {
+	var b Backoff
+	for i := 0; i < backoffSpinLimit; i++ {
+		if b.Rounds() != i {
+			t.Fatalf("rounds = %d before wait %d", b.Rounds(), i)
+		}
+		b.Wait()
+	}
+	// Further waits must not grow the spin budget (they yield instead).
+	b.Wait()
+	b.Wait()
+	if b.Rounds() != backoffSpinLimit {
+		t.Fatalf("rounds grew past the spin limit: %d", b.Rounds())
+	}
+	b.Reset()
+	if b.Rounds() != 0 {
+		t.Fatal("Reset did not clear rounds")
+	}
+}
+
+func TestXorShiftZeroSeedRemapped(t *testing.T) {
+	x := NewXorShift64(0)
+	if x.Next() == 0 && x.Next() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestXorShiftDeterministic(t *testing.T) {
+	a := NewXorShift64(12345)
+	b := NewXorShift64(12345)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// Property: Uint32n stays within its bound for any seed and bound.
+func TestUint32nInRange(t *testing.T) {
+	f := func(seed uint64, n uint32) bool {
+		if n == 0 {
+			n = 1
+		}
+		x := NewXorShift64(seed)
+		for i := 0; i < 32; i++ {
+			if x.Uint32n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Float64 stays in [0, 1).
+func TestFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := NewXorShift64(seed)
+		for i := 0; i < 32; i++ {
+			v := x.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SplitMix64 must derive distinct values from sequential calls, and be
+// reproducible from the same starting seed.
+func TestSplitMix64(t *testing.T) {
+	s1 := uint64(99)
+	s2 := uint64(99)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		v1 := SplitMix64(&s1)
+		v2 := SplitMix64(&s2)
+		if v1 != v2 {
+			t.Fatal("splitmix not reproducible")
+		}
+		if seen[v1] {
+			t.Fatal("splitmix collision within 64 draws")
+		}
+		seen[v1] = true
+	}
+}
+
+func TestXorShiftRoughUniformity(t *testing.T) {
+	// Sanity check, not a statistical suite: each of 8 buckets of
+	// Uint32n(8) should get a reasonable share of 64k draws.
+	x := NewXorShift64(7)
+	var buckets [8]int
+	const draws = 1 << 16
+	for i := 0; i < draws; i++ {
+		buckets[x.Uint32n(8)]++
+	}
+	for i, c := range buckets {
+		if c < draws/16 || c > draws/4 {
+			t.Errorf("bucket %d wildly off: %d of %d", i, c, draws)
+		}
+	}
+}

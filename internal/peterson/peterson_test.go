@@ -1,0 +1,392 @@
+package peterson
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newReg(t testing.TB, readers, size int) *Register {
+	t.Helper()
+	r, err := New(register.Config{MaxReaders: readers, MaxValueSize: size})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func readAll(t *testing.T, rd *Reader, size int) []byte {
+	t.Helper()
+	dst := make([]byte, size)
+	n, err := rd.Read(dst)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return dst[:n]
+}
+
+func TestInitialValue(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 2, MaxValueSize: 32, Initial: []byte("genesis")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := r.NewReaderHandle()
+	if got := readAll(t, rd, 32); string(got) != "genesis" {
+		t.Fatalf("initial read %q", got)
+	}
+}
+
+func TestReadReturnsLastWrite(t *testing.T) {
+	r := newReg(t, 2, 128)
+	rd, _ := r.NewReaderHandle()
+	for i := 0; i < 200; i++ {
+		val := []byte(fmt.Sprintf("value-%04d", i))
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+		if got := readAll(t, rd, 128); !bytes.Equal(got, val) {
+			t.Fatalf("iteration %d: read %q, want %q", i, got, val)
+		}
+	}
+}
+
+func TestVariableSizes(t *testing.T) {
+	r := newReg(t, 1, 256)
+	rd, _ := r.NewReaderHandle()
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 255, 256, 17} {
+		val := bytes.Repeat([]byte{byte(n)}, n)
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+		got := readAll(t, rd, 256)
+		if !bytes.Equal(got, val) {
+			t.Fatalf("size %d: read %d bytes, mismatch", n, len(got))
+		}
+	}
+}
+
+// Peterson never executes an RMW instruction — it predates their use and
+// the ARC paper classifies it accordingly.
+func TestZeroRMW(t *testing.T) {
+	r := newReg(t, 2, 64)
+	rd, _ := r.NewReaderHandle()
+	for i := 0; i < 50; i++ {
+		if err := r.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, rd, 64)
+	}
+	if st := rd.ReadStats(); st.RMW != 0 {
+		t.Fatalf("read RMW = %d, want 0", st.RMW)
+	}
+	if ws := r.WriteStats(); ws.RMW != 0 {
+		t.Fatalf("write RMW = %d, want 0", ws.RMW)
+	}
+}
+
+// The writer copy-out scan visits every reader slot per write: O(N).
+func TestWriterScanLinearInN(t *testing.T) {
+	small := newReg(t, 2, 8)
+	large := newReg(t, 64, 8)
+	for i := 0; i < 10; i++ {
+		small.Write([]byte{1})
+		large.Write([]byte{1})
+	}
+	if s, l := small.WriteStats().ScanSteps, large.WriteStats().ScanSteps; l < s*8 {
+		t.Fatalf("scan steps: N=2 → %d, N=64 → %d; not linear in N", s, l)
+	}
+}
+
+// A pending announce is served at most once per write, and only for
+// readers that announced.
+func TestCopyOutsOnlyForAnnouncedReaders(t *testing.T) {
+	r := newReg(t, 4, 16)
+	rd, _ := r.NewReaderHandle()
+	if err := r.Write([]byte("a")); err != nil { // nobody announced yet
+		t.Fatal(err)
+	}
+	if co := r.WriteStats().CopyOuts; co != 0 {
+		t.Fatalf("copy-outs before any read = %d", co)
+	}
+	readAll(t, rd, 16) // announces; clean read, but announce stays pending-capable
+	r.Write([]byte("b"))
+	co1 := r.WriteStats().CopyOuts
+	if co1 != 1 {
+		t.Fatalf("copy-outs after announced reader = %d, want 1", co1)
+	}
+	// Without a new read (new announce), further writes must not copy out.
+	r.Write([]byte("c"))
+	r.Write([]byte("d"))
+	if co := r.WriteStats().CopyOuts; co != co1 {
+		t.Fatalf("copy-outs grew to %d without a new announce", co)
+	}
+}
+
+// Deterministic retry: a write landing inside the first attempt window
+// dirties it; the second attempt is clean.
+func TestRetryPath(t *testing.T) {
+	r := newReg(t, 1, 64)
+	rd, _ := r.NewReaderHandle()
+	if err := r.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	rd.hookAfterVersionLoad = func(attempt int) {
+		if attempt == 0 && !fired {
+			fired = true
+			if err := r.Write([]byte("second")); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	got := readAll(t, rd, 64)
+	if string(got) != "second" {
+		t.Fatalf("read %q after mid-read write, want %q", got, "second")
+	}
+	st := rd.ReadStats()
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", st.Fallbacks)
+	}
+}
+
+// Deterministic fallback: writes inside both attempt windows force the
+// handoff path. The result must be the value of the write that consumed
+// the announce (the first write to scan after it).
+func TestFallbackPath(t *testing.T) {
+	r := newReg(t, 1, 64)
+	rd, _ := r.NewReaderHandle()
+	if err := r.Write([]byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	rd.hookAfterVersionLoad = func(attempt int) {
+		step++
+		if err := r.Write([]byte(fmt.Sprintf("mid-%d", step))); err != nil {
+			t.Error(err)
+		}
+	}
+	got := readAll(t, rd, 64)
+	// The announce was pending when "mid-1" was written, so its scan
+	// consumed the announce with value "mid-1".
+	if string(got) != "mid-1" {
+		t.Fatalf("fallback returned %q, want %q", got, "mid-1")
+	}
+	st := rd.ReadStats()
+	if st.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+	// A subsequent undisturbed read returns the freshest value cleanly.
+	rd.hookAfterVersionLoad = nil
+	if got := readAll(t, rd, 64); string(got) != "mid-2" {
+		t.Fatalf("follow-up read %q, want %q", got, "mid-2")
+	}
+}
+
+// The fallback value must never be older than a value the same reader
+// already returned (per-process monotonicity through the handoff).
+func TestFallbackMonotoneWithPriorReads(t *testing.T) {
+	r := newReg(t, 1, 128)
+	rd, _ := r.NewReaderHandle()
+	buf := make([]byte, 128)
+	membuf.Encode(buf, 1)
+	r.Write(buf)
+	first := readAll(t, rd, 128) // clean read of version 1
+	if v, err := membuf.Verify(first); err != nil || v != 1 {
+		t.Fatalf("first read: version=%d err=%v", v, err)
+	}
+	next := uint64(2)
+	rd.hookAfterVersionLoad = func(int) {
+		membuf.Encode(buf, next)
+		r.Write(buf)
+		next++
+	}
+	got := readAll(t, rd, 128)
+	v, err := membuf.Verify(got)
+	if err != nil {
+		t.Fatalf("fallback read torn: %v", err)
+	}
+	if v < 1 {
+		t.Fatalf("fallback regressed to version %d", v)
+	}
+}
+
+func TestBufferTooSmall(t *testing.T) {
+	r := newReg(t, 1, 64)
+	rd, _ := r.NewReaderHandle()
+	r.Write([]byte("0123456789"))
+	n, err := rd.Read(make([]byte, 4))
+	if !errors.Is(err, register.ErrBufferTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("needed = %d, want 10", n)
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if err := r.Write(make([]byte, 9)); !errors.Is(err, register.ErrValueTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferCount(t *testing.T) {
+	r := newReg(t, 5, 8)
+	if got := r.BufferCount(); got != 7 {
+		t.Fatalf("buffer count = %d, want N+2 = 7", got)
+	}
+}
+
+func TestReaderIDRecycling(t *testing.T) {
+	r := newReg(t, 2, 8)
+	a, _ := r.NewReaderHandle()
+	b, _ := r.NewReaderHandle()
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("third handle: %v", err)
+	}
+	id := a.ID()
+	a.Close()
+	c, err := r.NewReaderHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() != id {
+		t.Fatalf("recycled id %d, want %d", c.ID(), id)
+	}
+	_ = b
+}
+
+func TestClosedReaderErrors(t *testing.T) {
+	r := newReg(t, 1, 8)
+	rd, _ := r.NewReaderHandle()
+	rd.Close()
+	if _, err := rd.Read(make([]byte, 8)); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("Read after close: %v", err)
+	}
+	if err := rd.Close(); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// Sequential model check against last-written-value semantics.
+func TestSequentialModelQuick(t *testing.T) {
+	f := func(ops []byte) bool {
+		r, err := New(register.Config{MaxReaders: 2, MaxValueSize: 64})
+		if err != nil {
+			return false
+		}
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			return false
+		}
+		model := []byte{0}
+		dst := make([]byte, 64)
+		for _, op := range ops {
+			if op%2 == 0 {
+				val := bytes.Repeat([]byte{op}, 1+int(op)%32)
+				if r.Write(val) != nil {
+					return false
+				}
+				model = val
+			} else {
+				n, err := rd.Read(dst)
+				if err != nil || !bytes.Equal(dst[:n], model) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent torture: payload integrity and per-reader monotonicity while
+// the writer hammers the register. Large values stretch the attempt
+// windows, exercising retries and fallbacks under real concurrency.
+func TestConcurrentIntegrity(t *testing.T) {
+	const (
+		readers = 6
+		writes  = 1200
+		size    = 1024
+	)
+	r := newReg(t, readers, size)
+	seed := make([]byte, size)
+	membuf.Encode(seed, 0)
+	if err := r.Write(seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, size)
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := rd.Read(dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ver, err := membuf.Verify(dst[:n])
+				if err != nil {
+					errs <- fmt.Errorf("torn read: %w", err)
+					return
+				}
+				if ver < last {
+					errs <- fmt.Errorf("version regressed: %d after %d", ver, last)
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	buf := make([]byte, size)
+	for i := uint64(1); i <= writes; i++ {
+		membuf.Encode(buf, i)
+		if err := r.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if r.Name() != "peterson" {
+		t.Fatalf("Name() = %q", r.Name())
+	}
+	if r.Writer() == nil || r.MaxReaders() != 1 || r.MaxValueSize() != 8 {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,27 @@
+package regtest
+
+import (
+	"testing"
+
+	"arcreg/internal/harness"
+)
+
+// Every register implementation in the harness registry must satisfy the
+// same behavioral contract.
+func TestConformance(t *testing.T) {
+	algs := []harness.Algorithm{
+		harness.AlgARC,
+		harness.AlgARCNoFast,
+		harness.AlgARCNoHint,
+		harness.AlgRF,
+		harness.AlgPeterson,
+		harness.AlgLock,
+		harness.AlgSeqlock,
+		harness.AlgLeftRight,
+	}
+	for _, alg := range algs {
+		t.Run(string(alg), func(t *testing.T) {
+			Conformance(t, alg)
+		})
+	}
+}

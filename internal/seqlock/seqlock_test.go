@@ -1,0 +1,250 @@
+package seqlock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newReg(t testing.TB, readers, size int) *Register {
+	t.Helper()
+	r, err := New(register.Config{MaxReaders: readers, MaxValueSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReadReturnsLastWrite(t *testing.T) {
+	r := newReg(t, 2, 64)
+	rd, _ := r.NewReaderHandle()
+	dst := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		val := []byte(fmt.Sprintf("v%03d", i))
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+		n, err := rd.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst[:n], val) {
+			t.Fatalf("read %q want %q", dst[:n], val)
+		}
+	}
+}
+
+func TestInitialValue(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 16, Initial: []byte("seed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := r.NewReaderHandle()
+	dst := make([]byte, 16)
+	n, err := rd.Read(dst)
+	if err != nil || string(dst[:n]) != "seed" {
+		t.Fatalf("read %q %v", dst[:n], err)
+	}
+}
+
+// A write in progress (odd sequence) must make readers wait — seqlock
+// reads are lock-free, not wait-free. This is the structural difference
+// from ARC that the package documents.
+func TestReaderWaitsOutInProgressWrite(t *testing.T) {
+	r := newReg(t, 1, 16)
+	r.Write([]byte("stable"))
+	// Simulate a writer preempted mid-write: force the sequence odd.
+	seq := r.seq.Load()
+	r.seq.Store(seq + 1)
+
+	rd, _ := r.NewReaderHandle()
+	done := make(chan struct{})
+	go func() {
+		dst := make([]byte, 16)
+		rd.Read(dst)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("read completed while the sequence was odd")
+	case <-time.After(50 * time.Millisecond):
+		// expected: reader is spinning
+	}
+	r.seq.Store(seq + 2) // writer "resumes" and finishes
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not resume after the write completed")
+	}
+	if rd.ReadStats().Retries == 0 {
+		t.Fatal("no retries recorded despite an in-progress write")
+	}
+}
+
+// The writer never blocks, even with readers hammering the register.
+func TestWriterNeverBlocks(t *testing.T) {
+	r := newReg(t, 4, 64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		rd, _ := r.NewReaderHandle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rd.Read(dst)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < 100_000; i++ {
+		if err := r.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if elapsed > 30*time.Second {
+		t.Fatalf("writes took %v; writer appears to block", elapsed)
+	}
+}
+
+func TestSequentialModelQuick(t *testing.T) {
+	f := func(ops []byte) bool {
+		r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 64})
+		if err != nil {
+			return false
+		}
+		rd, err := r.NewReaderHandle()
+		if err != nil {
+			return false
+		}
+		model := []byte{0}
+		dst := make([]byte, 64)
+		for _, op := range ops {
+			if op%2 == 0 {
+				val := bytes.Repeat([]byte{op}, 1+int(op)%32)
+				if r.Write(val) != nil {
+					return false
+				}
+				model = val
+			} else {
+				n, err := rd.Read(dst)
+				if err != nil || !bytes.Equal(dst[:n], model) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIntegrity(t *testing.T) {
+	const (
+		readers = 4
+		writes  = 2000
+		size    = 512
+	)
+	r := newReg(t, readers, size)
+	seed := make([]byte, size)
+	membuf.Encode(seed, 0)
+	if err := r.Write(seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rd, _ := r.NewReaderHandle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, size)
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := rd.Read(dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ver, err := membuf.Verify(dst[:n])
+				if err != nil {
+					errs <- fmt.Errorf("torn seqlock read: %w", err)
+					return
+				}
+				if ver < last {
+					errs <- fmt.Errorf("version regressed: %d after %d", ver, last)
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	buf := make([]byte, size)
+	for i := uint64(1); i <= writes; i++ {
+		membuf.Encode(buf, i)
+		if err := r.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestErrorsAndCapacity(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if err := r.Write(make([]byte, 9)); !errors.Is(err, register.ErrValueTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+	rd, _ := r.NewReaderHandle()
+	if _, err := r.NewReader(); !errors.Is(err, register.ErrTooManyReaders) {
+		t.Fatalf("capacity: %v", err)
+	}
+	r.Write([]byte("12345678"))
+	if n, err := rd.Read(make([]byte, 2)); !errors.Is(err, register.ErrBufferTooSmall) || n != 8 {
+		t.Fatalf("small dst: %d %v", n, err)
+	}
+	rd.Close()
+	if _, err := rd.Read(make([]byte, 8)); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("closed: %v", err)
+	}
+	if err := rd.Close(); !errors.Is(err, register.ErrReaderClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if r.LiveReaders() != 0 {
+		t.Fatalf("live = %d", r.LiveReaders())
+	}
+}
+
+func TestName(t *testing.T) {
+	r := newReg(t, 1, 8)
+	if r.Name() != "seqlock" || r.MaxReaders() != 1 || r.MaxValueSize() != 8 || r.Writer() == nil {
+		t.Fatal("accessors wrong")
+	}
+}

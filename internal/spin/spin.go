@@ -1,0 +1,101 @@
+// Package spin provides a reader/writer spinlock built on RMW
+// instructions, the substrate of the lock-based register the ARC paper
+// uses as its non-wait-free comparator (§5: "a classical lock-based
+// approach (using read/write spin-locks still implemented using RMW
+// instructions) not ensuring wait-freedom").
+//
+// The lock is a test-and-test-and-set design with writer preference: a
+// single word carries the reader count (or −1 when a writer holds the
+// lock), and a side word counts waiting writers so that a continuous
+// stream of readers cannot starve the single writer indefinitely. None of
+// this makes the lock wait-free — a preempted lock holder stalls everyone,
+// which is exactly the pathology Figure 2 (CPU steal) and Figure 3
+// (oversubscription) expose.
+package spin
+
+import (
+	"arcreg/internal/pad"
+)
+
+// writerHeld is the state value while a writer owns the lock.
+const writerHeld = int64(-1)
+
+// RWLock is a reader/writer spinlock. The zero value is unlocked.
+type RWLock struct {
+	// state is the reader count, or writerHeld.
+	state pad.PaddedInt64
+	// wwait counts writers spinning for the lock; readers defer to them.
+	wwait pad.PaddedInt64
+}
+
+// RLock acquires the lock in shared mode, spinning as needed. It returns
+// the number of acquisition attempts (1 = uncontended), which the
+// benchmark harness accumulates as LockSpins.
+func (l *RWLock) RLock() uint64 {
+	var (
+		b     pad.Backoff
+		spins uint64
+	)
+	for {
+		spins++
+		// Writer preference: while a writer waits, do not join the
+		// reader crowd — drain it so the writer can get in.
+		if l.wwait.Load() == 0 {
+			v := l.state.Load()
+			if v >= 0 && l.state.CompareAndSwap(v, v+1) {
+				return spins
+			}
+		}
+		b.Wait()
+	}
+}
+
+// RUnlock releases a shared hold.
+func (l *RWLock) RUnlock() {
+	if n := l.state.Add(-1); n < 0 {
+		panic("spin: RUnlock without matching RLock")
+	}
+}
+
+// Lock acquires the lock exclusively, spinning as needed, and returns the
+// number of acquisition attempts.
+func (l *RWLock) Lock() uint64 {
+	l.wwait.Add(1)
+	var (
+		b     pad.Backoff
+		spins uint64
+	)
+	for {
+		spins++
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, writerHeld) {
+			l.wwait.Add(-1)
+			return spins
+		}
+		b.Wait()
+	}
+}
+
+// Unlock releases an exclusive hold.
+func (l *RWLock) Unlock() {
+	if !l.state.CompareAndSwap(writerHeld, 0) {
+		panic("spin: Unlock without matching Lock")
+	}
+}
+
+// TryRLock attempts a single shared acquisition without spinning.
+func (l *RWLock) TryRLock() bool {
+	if l.wwait.Load() != 0 {
+		return false
+	}
+	v := l.state.Load()
+	return v >= 0 && l.state.CompareAndSwap(v, v+1)
+}
+
+// TryLock attempts a single exclusive acquisition without spinning.
+func (l *RWLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, writerHeld)
+}
+
+// Readers reports the current shared-hold count (negative means a writer
+// holds the lock); diagnostic only.
+func (l *RWLock) Readers() int64 { return l.state.Load() }

@@ -1,0 +1,204 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExclusiveLockMutualExclusion(t *testing.T) {
+	var (
+		l       RWLock
+		counter int
+		wg      sync.WaitGroup
+	)
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("lost updates under exclusive lock: %d != %d", counter, goroutines*perG)
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	var (
+		l      RWLock
+		shared int
+		wg     sync.WaitGroup
+	)
+	const writers, readers, rounds = 2, 6, 2000
+	wg.Add(writers + readers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l.Lock()
+				shared++ // exclusive section
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			last := -1
+			for i := 0; i < rounds; i++ {
+				l.RLock()
+				v := shared // shared section: reads must be consistent
+				l.RUnlock()
+				if v < last {
+					t.Error("shared counter observed going backwards")
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != writers*rounds {
+		t.Fatalf("counter = %d, want %d", shared, writers*rounds)
+	}
+}
+
+func TestConcurrentReadersOverlap(t *testing.T) {
+	var l RWLock
+	// Two readers must be able to hold the lock simultaneously.
+	l.RLock()
+	done := make(chan struct{})
+	go func() {
+		l.RLock()
+		close(done)
+		l.RUnlock()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second reader could not share the lock")
+	}
+	l.RUnlock()
+}
+
+func TestWriterBlocksReaders(t *testing.T) {
+	var l RWLock
+	l.Lock()
+	if l.TryRLock() {
+		t.Fatal("TryRLock succeeded while a writer holds the lock")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while a writer holds the lock")
+	}
+	l.Unlock()
+	if !l.TryRLock() {
+		t.Fatal("TryRLock failed on a free lock")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while a reader holds the lock")
+	}
+	l.RUnlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	l.Unlock()
+}
+
+// Writer preference: with a continuous stream of readers, a writer must
+// still get the lock in bounded wall-clock time.
+func TestWriterNotStarvedByReaders(t *testing.T) {
+	var (
+		l    RWLock
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.RLock()
+				l.RUnlock()
+			}
+		}()
+	}
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Error("writer starved for 5s despite writer preference")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSpinCountsReported(t *testing.T) {
+	var l RWLock
+	if spins := l.RLock(); spins != 1 {
+		t.Fatalf("uncontended RLock took %d attempts", spins)
+	}
+	l.RUnlock()
+	if spins := l.Lock(); spins != 1 {
+		t.Fatalf("uncontended Lock took %d attempts", spins)
+	}
+	l.Unlock()
+}
+
+func TestUnlockWithoutLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock on a free lock did not panic")
+		}
+	}()
+	var l RWLock
+	l.RUnlock()
+}
+
+func TestWriterUnlockWithoutLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock on a free lock did not panic")
+		}
+	}()
+	var l RWLock
+	l.Unlock()
+}
+
+func TestReadersDiagnostic(t *testing.T) {
+	var l RWLock
+	if l.Readers() != 0 {
+		t.Fatal("fresh lock reports holders")
+	}
+	l.RLock()
+	l.RLock()
+	if l.Readers() != 2 {
+		t.Fatalf("Readers() = %d, want 2", l.Readers())
+	}
+	l.RUnlock()
+	l.RUnlock()
+	l.Lock()
+	if l.Readers() != -1 {
+		t.Fatalf("Readers() = %d under writer, want -1", l.Readers())
+	}
+	l.Unlock()
+}

@@ -1,0 +1,175 @@
+// Package steal simulates hypervisor CPU-steal time, standing in for the
+// paper's virtualized evaluation platform (an Amazon EC2 m4.10xlarge with
+// 40 vCPUs, §5 / Figure 2).
+//
+// The phenomenon the paper studies on that platform: a virtualized core
+// can lose the physical CPU at any instant ("CPU stealing by the
+// underlying hypervisor"), so a thread holding a lock — or publishing a
+// value others spin on — stalls every peer, while wait-free algorithms
+// degrade only proportionally to the stolen time. Reproducing this needs
+// neither EC2 nor a hypervisor; it needs threads that are suspended for
+// externally imposed slices at unpredictable points in their execution.
+//
+// Each worker goroutine attaches a VCPU handle and calls Tick between
+// operations. The handle maintains a schedule of steal events — intervals
+// drawn from a jittered distribution calibrated so that a configured
+// fraction of wall-clock time is stolen in slices of configured length —
+// and serves them by blocking the goroutine (time.Sleep surrenders the
+// underlying P, exactly what a stolen vCPU experiences). The schedule is
+// deterministic per seed, so experiments are repeatable.
+package steal
+
+import (
+	"fmt"
+	"time"
+
+	"arcreg/internal/pad"
+)
+
+// Config parametrizes an Injector.
+type Config struct {
+	// Fraction is the portion of wall-clock time to steal from each vCPU,
+	// in [0, 0.9]. Zero disables injection entirely (Tick compiles to a
+	// counter increment and a rare clock read).
+	Fraction float64
+	// Slice is the duration of one steal event. Default 200µs — the
+	// order of a hypervisor scheduling quantum slice observable by guest
+	// vCPUs.
+	Slice time.Duration
+	// CheckEvery is the number of Ticks between clock reads; the clock is
+	// not consulted on every operation to keep the probe overhead out of
+	// the measured path. Default 64.
+	CheckEvery int
+	// Seed derives each vCPU's jitter stream. Zero means a fixed default.
+	Seed uint64
+}
+
+// DefaultSlice is the steal-event length used when Config.Slice is zero.
+const DefaultSlice = 200 * time.Microsecond
+
+// DefaultCheckEvery is the tick granularity used when CheckEvery is zero.
+const DefaultCheckEvery = 64
+
+// Injector hands out per-goroutine VCPU handles sharing one calibration.
+type Injector struct {
+	fraction   float64
+	slice      time.Duration
+	interval   time.Duration // mean gap between steal events
+	checkEvery int
+	seed       uint64
+}
+
+// NewInjector validates cfg and builds an injector.
+func NewInjector(cfg Config) (*Injector, error) {
+	if cfg.Fraction < 0 || cfg.Fraction > 0.9 {
+		return nil, fmt.Errorf("steal: fraction %.2f outside [0, 0.9]", cfg.Fraction)
+	}
+	if cfg.Slice == 0 {
+		cfg.Slice = DefaultSlice
+	}
+	if cfg.Slice < 0 {
+		return nil, fmt.Errorf("steal: negative slice %v", cfg.Slice)
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = DefaultCheckEvery
+	}
+	if cfg.CheckEvery < 0 {
+		return nil, fmt.Errorf("steal: negative CheckEvery %d", cfg.CheckEvery)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xA5EEDBA5EEDBA5ED
+	}
+	inj := &Injector{
+		fraction:   cfg.Fraction,
+		slice:      cfg.Slice,
+		checkEvery: cfg.CheckEvery,
+		seed:       cfg.Seed,
+	}
+	if cfg.Fraction > 0 {
+		// fraction = slice / (slice + interval)  ⇒  interval = slice·(1−f)/f
+		inj.interval = time.Duration(float64(cfg.Slice) * (1 - cfg.Fraction) / cfg.Fraction)
+	}
+	return inj, nil
+}
+
+// Enabled reports whether the injector actually steals time.
+func (inj *Injector) Enabled() bool { return inj != nil && inj.fraction > 0 }
+
+// Fraction reports the configured steal fraction.
+func (inj *Injector) Fraction() float64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.fraction
+}
+
+// VCPUStats counts what a handle suffered.
+type VCPUStats struct {
+	// Steals is the number of steal events served.
+	Steals uint64
+	// Stolen is the cumulative intended stolen time. (The actual sleep
+	// may be longer under scheduler load; Stolen counts the schedule.)
+	Stolen time.Duration
+	// Ticks is the number of Tick calls observed.
+	Ticks uint64
+}
+
+// VCPU is a per-goroutine steal-time handle. Not safe for concurrent use —
+// one per worker, like a register reader handle.
+type VCPU struct {
+	inj       *Injector
+	rng       pad.XorShift64
+	ticks     uint64
+	nextSteal time.Time
+	stats     VCPUStats
+}
+
+// VCPU derives the handle for worker id. Handles with distinct ids have
+// independent, deterministic steal schedules.
+func (inj *Injector) VCPU(id int) *VCPU {
+	seed := inj.seed
+	for i := 0; i <= id; i++ {
+		pad.SplitMix64(&seed)
+	}
+	v := &VCPU{inj: inj, rng: pad.NewXorShift64(seed)}
+	if inj.Enabled() {
+		v.nextSteal = time.Now().Add(v.gap())
+	}
+	return v
+}
+
+// gap draws the next inter-steal interval: the mean interval with ±50%
+// uniform jitter, so steals are irregular but the long-run fraction holds.
+func (v *VCPU) gap() time.Duration {
+	mean := float64(v.inj.interval)
+	jitter := 0.5 + v.rng.Float64() // uniform in [0.5, 1.5)
+	return time.Duration(mean * jitter)
+}
+
+// Tick marks one unit of work. Most calls cost one branch and one
+// increment; every CheckEvery-th call reads the clock, and if a steal
+// event is due the goroutine sleeps for the slice — the vCPU just lost its
+// physical CPU.
+func (v *VCPU) Tick() {
+	v.ticks++
+	v.stats.Ticks++
+	if !v.inj.Enabled() {
+		return
+	}
+	if v.ticks < uint64(v.inj.checkEvery) {
+		return
+	}
+	v.ticks = 0
+	now := time.Now()
+	if now.Before(v.nextSteal) {
+		return
+	}
+	slice := v.inj.slice
+	v.stats.Steals++
+	v.stats.Stolen += slice
+	time.Sleep(slice)
+	v.nextSteal = time.Now().Add(v.gap())
+}
+
+// Stats returns the handle's counters; collect after the worker quiesces.
+func (v *VCPU) Stats() VCPUStats { return v.stats }

@@ -1,0 +1,78 @@
+// Package word defines the 64-bit synchronization-word layouts used by the
+// register algorithms in this repository.
+//
+// ARC (§3.3 of the paper) steers all coordination through one 64-bit
+// variable named current, split into a 32-bit slot index (high half) and a
+// 32-bit anonymous readers counter (low half). The counter field is what
+// lets ARC admit up to 2³²−2 concurrent readers: registering a read is an
+// anonymous increment rather than setting a per-reader bit.
+//
+// The RF baseline (Larsson et al., JEA 2009) instead partitions its 64-bit
+// word into a 6-bit buffer index (high bits) and a 58-bit reader bitmask,
+// one bit per named reader — which is precisely why RF tops out at 58
+// readers.
+//
+// Keeping the packing arithmetic in one small, heavily-tested package means
+// the algorithm packages contain only algorithm logic.
+package word
+
+// ---------------------------------------------------------------------------
+// ARC current word: index<<32 | counter
+// ---------------------------------------------------------------------------
+
+const (
+	// ARCIndexShift is the bit position of the slot index field.
+	ARCIndexShift = 32
+	// ARCCounterMask isolates the anonymous readers counter.
+	ARCCounterMask = (uint64(1) << ARCIndexShift) - 1
+	// ARCMaxReaders is the maximum number of readers an ARC register can
+	// admit: the index field must address N+2 slots with 32 bits, so
+	// N ≤ 2³² − 2 (paper §3.3, footnote 2).
+	ARCMaxReaders = (uint64(1) << 32) - 2
+)
+
+// PackCurrent builds an ARC current word from a slot index and a readers
+// counter.
+func PackCurrent(index uint32, counter uint32) uint64 {
+	return uint64(index)<<ARCIndexShift | uint64(counter)
+}
+
+// CurrentIndex extracts the slot index field (paper statement R1/R5:
+// index ← current ≫ 32).
+func CurrentIndex(cur uint64) uint32 { return uint32(cur >> ARCIndexShift) }
+
+// CurrentCounter extracts the anonymous readers counter (paper statement
+// W3: old_curr & (2³²−1)).
+func CurrentCounter(cur uint64) uint32 { return uint32(cur & ARCCounterMask) }
+
+// PublishWord is the value the ARC writer swaps into current at W2: the
+// new slot index with a zeroed readers counter.
+func PublishWord(index uint32) uint64 { return uint64(index) << ARCIndexShift }
+
+// ---------------------------------------------------------------------------
+// RF sync word: index<<58 | reader bitmask
+// ---------------------------------------------------------------------------
+
+const (
+	// RFMaxReaders is the architectural reader limit of the RF algorithm:
+	// 64 bits minus the 6 bits needed to index N+2 ≤ 60 buffers.
+	RFMaxReaders = 58
+	// RFIndexShift is the bit position of the buffer index field.
+	RFIndexShift = RFMaxReaders
+	// RFMaskBits isolates the reader bitmask.
+	RFMaskBits = (uint64(1) << RFIndexShift) - 1
+)
+
+// PackSync builds an RF sync word from a buffer index and a reader bitmask.
+func PackSync(index uint32, mask uint64) uint64 {
+	return uint64(index)<<RFIndexShift | (mask & RFMaskBits)
+}
+
+// SyncIndex extracts the buffer index field.
+func SyncIndex(sync uint64) uint32 { return uint32(sync >> RFIndexShift) }
+
+// SyncMask extracts the reader bitmask.
+func SyncMask(sync uint64) uint64 { return sync & RFMaskBits }
+
+// ReaderBit returns the bitmask bit owned by reader id. id must be < 58.
+func ReaderBit(id int) uint64 { return uint64(1) << uint(id) }

@@ -1,0 +1,169 @@
+package word
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackCurrentRoundTrip(t *testing.T) {
+	cases := []struct {
+		index   uint32
+		counter uint32
+	}{
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{7, 42},
+		{math.MaxUint32, math.MaxUint32},
+		{math.MaxUint32 - 1, 0},
+		{0, math.MaxUint32},
+	}
+	for _, c := range cases {
+		w := PackCurrent(c.index, c.counter)
+		if got := CurrentIndex(w); got != c.index {
+			t.Errorf("PackCurrent(%d,%d): index = %d, want %d", c.index, c.counter, got, c.index)
+		}
+		if got := CurrentCounter(w); got != c.counter {
+			t.Errorf("PackCurrent(%d,%d): counter = %d, want %d", c.index, c.counter, got, c.counter)
+		}
+	}
+}
+
+// Property: packing then unpacking an ARC current word is the identity on
+// both fields, for all field values.
+func TestPackCurrentRoundTripQuick(t *testing.T) {
+	f := func(index, counter uint32) bool {
+		w := PackCurrent(index, counter)
+		return CurrentIndex(w) == index && CurrentCounter(w) == counter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the counter field is the low half, so incrementing the packed
+// word by one increments the counter and leaves the index untouched as long
+// as the counter does not overflow. This is the exact property statement R4
+// (AtomicAddAndFetch(current, 1)) relies on.
+func TestCounterIncrementDoesNotDisturbIndex(t *testing.T) {
+	f := func(index, counter uint32) bool {
+		if counter == math.MaxUint32 {
+			counter-- // overflow is excluded by the ≤ 2³²−2 reader bound
+		}
+		w := PackCurrent(index, counter) + 1
+		return CurrentIndex(w) == index && CurrentCounter(w) == counter+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reader bound exists precisely so that N readers can each add at most
+// one presence unit between two writes without the counter carrying into
+// the index field.
+func TestARCMaxReadersFitsCounter(t *testing.T) {
+	w := PackCurrent(5, 0)
+	for i := uint64(0); i < 3; i++ {
+		w++
+	}
+	if CurrentIndex(w) != 5 || CurrentCounter(w) != 3 {
+		t.Fatalf("increments disturbed the word: index=%d counter=%d", CurrentIndex(w), CurrentCounter(w))
+	}
+	// The maximum admissible counter value still fits.
+	top := PackCurrent(1, uint32(ARCMaxReaders))
+	if CurrentIndex(top) != 1 {
+		t.Fatalf("counter at ARCMaxReaders overflowed into the index field")
+	}
+}
+
+func TestPublishWordZeroesCounter(t *testing.T) {
+	f := func(index uint32) bool {
+		w := PublishWord(index)
+		return CurrentIndex(w) == index && CurrentCounter(w) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackSyncRoundTrip(t *testing.T) {
+	cases := []struct {
+		index uint32
+		mask  uint64
+	}{
+		{0, 0},
+		{0, 1},
+		{59, 0}, // max index for N+2 = 60 buffers
+		{3, RFMaskBits},
+		{63, 0xAAAAAAAAAAAAAA & RFMaskBits},
+	}
+	for _, c := range cases {
+		w := PackSync(c.index, c.mask)
+		if got := SyncIndex(w); got != c.index {
+			t.Errorf("PackSync(%d,%#x): index = %d, want %d", c.index, c.mask, got, c.index)
+		}
+		if got := SyncMask(w); got != c.mask {
+			t.Errorf("PackSync(%d,%#x): mask = %#x, want %#x", c.index, c.mask, got, c.mask)
+		}
+	}
+}
+
+// Property: round trip for all masks (truncated to the 58-bit field) and
+// all 6-bit indices.
+func TestPackSyncRoundTripQuick(t *testing.T) {
+	f := func(index uint32, mask uint64) bool {
+		index &= 0x3F // 6-bit field
+		w := PackSync(index, mask)
+		return SyncIndex(w) == index && SyncMask(w) == mask&RFMaskBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORing a reader bit into a sync word never disturbs the index
+// field — the invariant behind RF's FetchAndOr read protocol.
+func TestReaderBitORPreservesIndex(t *testing.T) {
+	f := func(index uint32, mask uint64, id uint8) bool {
+		index &= 0x3F
+		rid := int(id) % RFMaxReaders
+		w := PackSync(index, mask) | ReaderBit(rid)
+		return SyncIndex(w) == index && SyncMask(w)&ReaderBit(rid) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderBitsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for id := 0; id < RFMaxReaders; id++ {
+		b := ReaderBit(id)
+		if b == 0 {
+			t.Fatalf("ReaderBit(%d) = 0", id)
+		}
+		if b&^RFMaskBits != 0 {
+			t.Fatalf("ReaderBit(%d) = %#x escapes the mask field", id, b)
+		}
+		if prev, dup := seen[b]; dup {
+			t.Fatalf("ReaderBit(%d) collides with ReaderBit(%d)", id, prev)
+		}
+		seen[b] = id
+	}
+}
+
+func TestFieldConstantsConsistent(t *testing.T) {
+	if ARCIndexShift != 32 {
+		t.Errorf("ARCIndexShift = %d, want 32", ARCIndexShift)
+	}
+	if ARCCounterMask != math.MaxUint32 {
+		t.Errorf("ARCCounterMask = %#x, want %#x", ARCCounterMask, uint64(math.MaxUint32))
+	}
+	if RFMaxReaders+6 != 64 {
+		t.Errorf("RF fields do not tile 64 bits: %d mask bits + 6 index bits", RFMaxReaders)
+	}
+	if ARCMaxReaders != math.MaxUint32-1 {
+		t.Errorf("ARCMaxReaders = %d, want 2^32-2", ARCMaxReaders)
+	}
+}

@@ -1,0 +1,79 @@
+package arcreg
+
+import "arcreg/internal/mnreg"
+
+// MNConfig parametrizes an (M,N) multi-writer register.
+type MNConfig struct {
+	// Writers is M, the number of concurrent writer handles.
+	Writers int
+	// Readers is N, the number of concurrent reader handles.
+	Readers int
+	// MaxValueSize bounds user values in bytes (default 4096).
+	MaxValueSize int
+	// Initial optionally sets the starting value.
+	Initial []byte
+}
+
+// MNTag is the version tag of an (M,N) value: writes are totally ordered
+// by (Seq, Writer).
+type MNTag = mnreg.Tag
+
+// MNWriter is one of the M write endpoints. One goroutine per handle.
+type MNWriter interface {
+	// Write publishes a new value, outbidding every tag currently
+	// visible. Wait-free, O(M) ARC operations.
+	Write(p []byte) error
+	// ID reports the writer identity in [0, M).
+	ID() int
+	// Close releases the identity for reuse.
+	Close() error
+}
+
+// MNReader is one of the N read endpoints. One goroutine per handle.
+type MNReader interface {
+	// View returns the freshest value without copying; valid until the
+	// handle's next operation.
+	View() ([]byte, error)
+	// Read copies the freshest value into dst.
+	Read(dst []byte) (int, error)
+	// LastTag reports the tag of the last value returned.
+	LastTag() MNTag
+	// Close releases the handle.
+	Close() error
+}
+
+// MNRegister is a wait-free multi-word atomic (M,N) register composed
+// from M ARC (1,N) registers — the construction the paper motivates in
+// its introduction. Every operation is wait-free with O(M) cost.
+type MNRegister struct {
+	reg *mnreg.Register
+}
+
+// NewMN constructs an (M,N) register.
+func NewMN(cfg MNConfig) (*MNRegister, error) {
+	r, err := mnreg.New(mnreg.Config{
+		Writers:      cfg.Writers,
+		Readers:      cfg.Readers,
+		MaxValueSize: cfg.MaxValueSize,
+		Initial:      cfg.Initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MNRegister{reg: r}, nil
+}
+
+// NewWriter allocates one of the M writer identities.
+func (r *MNRegister) NewWriter() (MNWriter, error) { return r.reg.NewWriter() }
+
+// NewReader allocates one of the N reader handles.
+func (r *MNRegister) NewReader() (MNReader, error) { return r.reg.NewReader() }
+
+// Writers reports M.
+func (r *MNRegister) Writers() int { return r.reg.Writers() }
+
+// Readers reports N.
+func (r *MNRegister) Readers() int { return r.reg.Readers() }
+
+// MaxValueSize reports the user-value bound.
+func (r *MNRegister) MaxValueSize() int { return r.reg.MaxValueSize() }
