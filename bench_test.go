@@ -4,19 +4,20 @@ package arcreg_test
 // micro-benchmarks behind them. The figure benchmarks drive the same
 // harness as cmd/arcbench with scaled-down sweeps (this is `go test
 // -bench`, not the full evaluation — run `arcbench -figure all` for the
-// paper-sized tables recorded in EXPERIMENTS.md); each reports the ARC
-// throughput of its headline cell as a custom metric alongside ns/op.
+// paper-sized tables); each reports the ARC throughput of its headline
+// cell as a custom metric alongside ns/op.
 //
-// Index (see DESIGN.md §3 for the full experiment mapping):
+// Index (see DESIGN.md for the full experiment-to-benchmark mapping):
 //
 //	BenchmarkFig1a/b/c      — Figure 1: thread sweep at 4/32/128KB, physical
 //	BenchmarkFig2a/b/c      — Figure 2: same under CPU-steal (virtualized)
 //	BenchmarkFig3a/b/c      — Figure 3: oversubscribed thread counts
 //	BenchmarkProcessing     — §5 second workload (ops with processing)
-//	BenchmarkRMWCount       — RMW-per-read accounting, ARC vs RF
+//	BenchmarkRMWCount       — RMW-per-read accounting, ARC vs RF vs (M,N)
 //	BenchmarkAblationFastPath / BenchmarkAblationFreeHint
 //	BenchmarkRead*/BenchmarkWrite* — per-op costs per algorithm
-//	BenchmarkMN*           — the (M,N) extension
+//	BenchmarkMN*, BenchmarkFigMN — the (M,N) extension and its fresh-gate
+//	ablation (BenchmarkMNReadNoFreshGate)
 
 import (
 	"runtime"
@@ -129,7 +130,7 @@ func BenchmarkProcessing_32KB(b *testing.B) {
 // --- RMW accounting: the paper's synchronization-economy claim ---------
 
 func BenchmarkRMWCount(b *testing.B) {
-	var arcPerRead, rfPerRead float64
+	var arcPerRead, rfPerRead, mnPerRead float64
 	for b.Loop() {
 		rep, err := harness.RunRMWComparison(hostThreads(), 4<<10, benchWindow, 10*time.Millisecond)
 		if err != nil {
@@ -143,9 +144,20 @@ func BenchmarkRMWCount(b *testing.B) {
 				rfPerRead = row.RMWPerRead()
 			}
 		}
+		// (M,N) composite accounting: M=2 writers, fresh-gated collect.
+		mnRep, err := harness.RunMNRMWComparison([]int{4}, 2, 4<<10, benchWindow, 10*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range mnRep.Rows {
+			if row.Algorithm == harness.AlgMN {
+				mnPerRead = row.RMWPerRead()
+			}
+		}
 	}
 	b.ReportMetric(arcPerRead, "arc-rmw/read")
 	b.ReportMetric(rfPerRead, "rf-rmw/read")
+	b.ReportMetric(mnPerRead, "mn-rmw/read")
 }
 
 // --- Ablations ----------------------------------------------------------
@@ -291,29 +303,67 @@ func BenchmarkWritePeterson_128KB(b *testing.B) {
 
 // --- (M,N) extension -----------------------------------------------------
 
-func BenchmarkMNRead(b *testing.B) {
-	reg, err := arcreg.NewMN(arcreg.MNConfig{Writers: 4, Readers: 2, MaxValueSize: 1024})
+// benchMNSteadyRead measures the steady-state composite read: every
+// component holds a value, no writer publishes during the measurement —
+// the "readers over an idle interval between writes" regime. With the
+// fresh gate the whole scan is M atomic loads (zero RMW, zero tag
+// decoding); the ablation performs M full ARC reads per scan. The
+// mn-rmw/read metric comes from the composite ReadStats.
+func benchMNSteadyRead(b *testing.B, disableGate bool) {
+	b.Helper()
+	const m = 4
+	reg, err := arcreg.NewMN(arcreg.MNConfig{
+		Writers: m, Readers: 2, MaxValueSize: 1024,
+		DisableFreshGate: disableGate,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := reg.NewWriter()
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := w.Write(make2(1024)); err != nil {
-		b.Fatal(err)
+	val := make2(1024)
+	for i := 0; i < m; i++ {
+		w, err := reg.NewWriter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Write(val); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
 	}
 	rd, err := reg.NewReader()
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer rd.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rd.View(); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	st := rd.ReadStats()
+	if st.Ops > 0 {
+		b.ReportMetric(float64(st.RMW)/float64(st.Ops), "mn-rmw/read")
+		b.ReportMetric(100*float64(st.FastPath)/float64(st.Ops), "fresh-scan-%")
+	}
 }
+
+// BenchmarkMNRead is the headline (M,N) read cost with the fresh-gated
+// collect: ~0 mn-rmw/read in the steady state (the only RMW instructions
+// are the first scan's M slot acquisitions). Compare with
+// BenchmarkMNReadNoFreshGate, the always-View ablation — the acceptance
+// bar for the gate is ≥2x ns/op at M=4.
+func BenchmarkMNRead(b *testing.B) { benchMNSteadyRead(b, false) }
+
+// BenchmarkMNReadFreshGate names the gated variant explicitly so the
+// ablation pair reads side by side in
+// `go test -bench 'BenchmarkMNRead(No)?FreshGate'` output.
+func BenchmarkMNReadFreshGate(b *testing.B) { benchMNSteadyRead(b, false) }
+
+// BenchmarkMNReadNoFreshGate is the DisableFreshGate ablation: every scan
+// re-Views and re-decodes all M components.
+func BenchmarkMNReadNoFreshGate(b *testing.B) { benchMNSteadyRead(b, true) }
 
 func BenchmarkMNWrite(b *testing.B) {
 	reg, err := arcreg.NewMN(arcreg.MNConfig{Writers: 4, Readers: 2, MaxValueSize: 1024})
@@ -331,6 +381,15 @@ func BenchmarkMNWrite(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigMN drives the harness's (M,N) thread sweep (gated vs
+// ablated collect) at bench scale; `arcbench -figure mn` runs the full
+// version.
+func BenchmarkFigMN(b *testing.B) {
+	fig := harness.FigMN()
+	fig.Writers = 2
+	runFigure(b, scaledPaperFigure(fig, 4<<10, []int{3, 5}))
 }
 
 // --- contended read benchmark: the regime the figures measure -----------

@@ -10,14 +10,17 @@
 //	arcbench -figure fig3            # 1000–4000 threads, time-sharing
 //	arcbench -figure processing      # §5's second workload
 //	arcbench -figure ablation        # ARC vs its own disabled optimizations
-//	arcbench -figure rmw             # RMW instructions per read, ARC vs RF
+//	arcbench -figure rmw             # RMW instructions per read, ARC vs RF vs (M,N)
+//	arcbench -figure mn              # (M,N) composite: fresh-gated collect vs ablation
 //	arcbench -figure all             # everything above, in order
 //
-// Sweeps can be overridden (-threads, -sizes, -duration, -steal) and
-// shrunk for smoke runs (-quick). A single deployment can be measured
-// directly:
+// Sweeps can be overridden (-threads, -sizes, -duration, -steal,
+// -writers) and shrunk for smoke runs (-quick); explicit -threads/-sizes
+// overrides win over the -quick caps. A single deployment can be
+// measured directly:
 //
 //	arcbench -alg arc -threads 16 -size 32768 -duration 2s
+//	arcbench -alg mn -writers 4 -nthreads 8 -size 4096
 //
 // Results go to stdout; -csv appends machine-readable rows to a file.
 package main
@@ -46,12 +49,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|rmw|latency|all")
-		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
+		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|rmw|latency|all")
+		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|arc-nofastpath|arc-nohint")
 		threads  = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
 		sizes    = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
 		size     = fs.Int("size", 4096, "register size for single runs")
-		nthreads = fs.Int("nthreads", 4, "thread count for single runs (1 writer + n-1 readers)")
+		nthreads = fs.Int("nthreads", 4, "thread count for single runs (writers + readers)")
+		writers  = fs.Int("writers", 0, "writer thread count (0 = figure default / 1; >1 needs an mn algorithm)")
 		mode     = fs.String("mode", "dummy", "workload: dummy|processing")
 		duration = fs.Duration("duration", time.Second, "measurement window per cell")
 		warmup   = fs.Duration("warmup", 200*time.Millisecond, "warmup before each window")
@@ -67,12 +71,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "arcbench: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	if *figure == "" {
-		return singleRun(out, *alg, *nthreads, *size, *mode, *duration, *warmup, *stealF, *latency)
+		return singleRun(out, *alg, *nthreads, *writers, *size, *mode, *duration, *warmup, *stealF, *latency)
 	}
 
 	ids := []string{*figure}
 	if *figure == "all" {
-		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "rmw", "latency"}
+		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "rmw", "latency"}
 	}
 	var csv *os.File
 	if *csvPath != "" {
@@ -85,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, id := range ids {
 		if id == "rmw" {
-			if err := runRMW(out, *threads, *size, *duration, *warmup, *quick); err != nil {
+			if err := runRMW(out, *threads, *writers, *size, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -100,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fig = customize(fig, *threads, *sizes, *duration, *warmup, *stealF, *quick)
+		fig = customize(fig, *threads, *sizes, *writers, *duration, *warmup, *stealF, *quick)
 		progress := func(done, total int, c harness.Cell) {
 			status := fmt.Sprintf("%.2f Mops/s", c.Result.Mops())
 			if c.Err != nil {
@@ -121,18 +125,18 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// customize applies CLI overrides to a figure definition.
-func customize(fig harness.Figure, threads, sizes string, duration, warmup time.Duration, stealF float64, quick bool) harness.Figure {
-	if threads != "" {
-		fig.Threads = mustInts(threads)
-	}
-	if sizes != "" {
-		fig.Sizes = mustInts(sizes)
-	}
-	fig.Duration = duration
-	fig.Warmup = warmup
+// customize applies CLI overrides to a figure definition. Explicit
+// -threads/-sizes/-duration/-warmup win over -quick's shrinking (a 1-CPU
+// host would otherwise clip an explicitly requested sweep).
+func customize(fig harness.Figure, threads, sizes string, writers int, duration, warmup time.Duration, stealF float64, quick bool) harness.Figure {
 	if stealF >= 0 {
 		fig.StealFraction = stealF
+	}
+	// -writers only applies to figures that sweep multiple writers (the
+	// MN figure); forcing it onto the (1,N) figures would fail every
+	// cell, which matters for `-figure all -writers N`.
+	if writers > 0 && fig.Writers > 0 {
+		fig.Writers = writers
 	}
 	if quick {
 		maxTh := 2 * runtime.NumCPU()
@@ -140,29 +144,68 @@ func customize(fig harness.Figure, threads, sizes string, duration, warmup time.
 			maxTh = 64
 			fig.Threads = []int{16, 32, 64}
 		}
-		fig = fig.Scale(maxTh, 200*time.Millisecond, 50*time.Millisecond)
+		fig = fig.Scale(maxTh, 0, 0)
+		if fig.Writers > 1 {
+			// Keep at least one reader beside the writers; goroutine
+			// oversubscription is fine for a smoke run.
+			fig.Threads = []int{fig.Writers + 1, fig.Writers + 4}
+		}
 		if len(fig.Sizes) > 2 {
 			fig.Sizes = fig.Sizes[:2]
 		}
+		duration = min(duration, 200*time.Millisecond)
+		warmup = min(warmup, 50*time.Millisecond)
+	}
+	fig.Duration = duration
+	fig.Warmup = warmup
+	if threads != "" {
+		fig.Threads = mustInts(threads)
+	}
+	if sizes != "" {
+		fig.Sizes = mustInts(sizes)
 	}
 	return fig
 }
 
-func runRMW(out io.Writer, threads string, size int, duration, warmup time.Duration, quick bool) error {
+func runRMW(out io.Writer, threads string, writers, size int, duration, warmup time.Duration, quick bool) error {
 	th := []int{2, 4, 8, 16, 32}
 	if threads != "" {
 		th = mustInts(threads)
 	}
 	if quick {
-		th = []int{2, 4}
-		duration = 200 * time.Millisecond
-		warmup = 50 * time.Millisecond
+		if threads == "" {
+			th = []int{2, 4}
+		}
+		duration = min(duration, 200*time.Millisecond)
+		warmup = min(warmup, 50*time.Millisecond)
 	}
 	rep, err := harness.RunRMWComparison(th, size, duration, warmup)
 	if err != nil {
 		return err
 	}
 	rep.Render(out)
+
+	// The (M,N) composite rows: fresh-gated collect vs ablation. Reuse
+	// the thread sweep where it fits M writers + ≥1 reader, extending it
+	// with a minimal feasible deployment otherwise.
+	if writers <= 0 {
+		writers = 4
+	}
+	var mnTh []int
+	for _, t := range th {
+		if t >= writers+1 {
+			mnTh = append(mnTh, t)
+		}
+	}
+	if len(mnTh) == 0 {
+		mnTh = []int{writers + 1}
+	}
+	mnRep, err := harness.RunMNRMWComparison(mnTh, writers, size, duration, warmup)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n(M,N) composite, %d writers:\n", writers)
+	mnRep.Render(out)
 	return nil
 }
 
@@ -187,7 +230,7 @@ func runLatency(out io.Writer, threads, size int, stealF float64, duration, warm
 	return nil
 }
 
-func singleRun(out io.Writer, alg string, threads, size int, mode string, duration, warmup time.Duration, stealF float64, latencySample int) error {
+func singleRun(out io.Writer, alg string, threads, writers, size int, mode string, duration, warmup time.Duration, stealF float64, latencySample int) error {
 	a, err := harness.ParseAlgorithm(alg)
 	if err != nil {
 		return err
@@ -196,14 +239,21 @@ func singleRun(out io.Writer, alg string, threads, size int, mode string, durati
 	if err != nil {
 		return err
 	}
+	if writers == 0 && a.IsMN() {
+		writers = 4
+	}
 	cfg := harness.RunConfig{
 		Algorithm:     a,
 		Threads:       threads,
+		Writers:       writers,
 		ValueSize:     size,
 		Mode:          m,
 		Duration:      duration,
 		Warmup:        warmup,
 		LatencySample: latencySample,
+	}
+	if a.IsMN() && cfg.Threads < cfg.Writers+1 {
+		cfg.Threads = cfg.Writers + 1
 	}
 	if stealF > 0 {
 		cfg.StealFraction = stealF
@@ -212,15 +262,23 @@ func singleRun(out io.Writer, alg string, threads, size int, mode string, durati
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%s threads=%d size=%d mode=%s steal=%.0f%%\n",
-		a, threads, size, m, cfg.StealFraction*100)
+	if cfg.Writers > 1 {
+		fmt.Fprintf(out, "%s threads=%d writers=%d size=%d mode=%s steal=%.0f%%\n",
+			a, cfg.Threads, cfg.Writers, size, m, cfg.StealFraction*100)
+	} else {
+		fmt.Fprintf(out, "%s threads=%d size=%d mode=%s steal=%.0f%%\n",
+			a, cfg.Threads, size, m, cfg.StealFraction*100)
+	}
 	fmt.Fprintf(out, "  throughput: %s\n", res.Throughput())
+	// Per-op ratios use the protocol counters for both numerator and
+	// denominator: they cover the same operations (warmup included),
+	// unlike the measured-window op counts.
 	fmt.Fprintf(out, "  reads:  %d ops, %d RMW (%.4f/op), %d fast-path (%.1f%%)\n",
-		res.ReadOps, res.ReadStat.RMW, safeDiv(res.ReadStat.RMW, res.ReadOps),
-		res.ReadStat.FastPath, 100*safeDiv(res.ReadStat.FastPath, res.ReadOps))
+		res.ReadOps, res.ReadStat.RMW, safeDiv(res.ReadStat.RMW, res.ReadStat.Ops),
+		res.ReadStat.FastPath, 100*safeDiv(res.ReadStat.FastPath, res.ReadStat.Ops))
 	fmt.Fprintf(out, "  writes: %d ops, %d RMW, %d scan steps (%.2f/op), %d hint hits\n",
 		res.WriteOps, res.WriteStat.RMW, res.WriteStat.ScanSteps,
-		safeDiv(res.WriteStat.ScanSteps, res.WriteOps), res.WriteStat.HintHits)
+		safeDiv(res.WriteStat.ScanSteps, res.WriteStat.Ops), res.WriteStat.HintHits)
 	if res.Steal.Steals > 0 {
 		fmt.Fprintf(out, "  steal:  %d events, %v stolen\n", res.Steal.Steals, res.Steal.Stolen)
 	}

@@ -55,12 +55,45 @@ func TestFigureQuickWithCSV(t *testing.T) {
 func TestRMWFigure(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-figure", "rmw", "-threads", "2", "-size", "256",
-		"-duration", "30ms", "-warmup", "5ms"}, &sb)
+		"-duration", "30ms", "-warmup", "5ms", "-writers", "2"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "rmw/read") {
 		t.Fatalf("missing rmw table:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "mn-nogate") {
+		t.Fatalf("missing MN rmw rows:\n%s", sb.String())
+	}
+}
+
+func TestMNFigureQuick(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "mn", "-quick", "-sizes", "256",
+		"-duration", "30ms", "-warmup", "5ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== mn:", "writers=4", "mn-nogate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mn figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMNSingleRun(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "mn", "-writers", "2", "-nthreads", "4",
+		"-size", "256", "-duration", "40ms", "-warmup", "10ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mn threads=4 writers=2", "reads:", "writes:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mn single-run output missing %q:\n%s", want, out)
+		}
 	}
 }
 

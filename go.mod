@@ -1,0 +1,3 @@
+module arcreg
+
+go 1.24

@@ -149,9 +149,11 @@ var (
 	_ register.Register   = (*Register)(nil)
 	_ register.Writer     = (*Register)(nil)
 	_ register.StatWriter = (*Register)(nil)
-	_ register.Reader     = (*Reader)(nil)
-	_ register.Viewer     = (*Reader)(nil)
-	_ register.StatReader = (*Reader)(nil)
+	_ register.Reader          = (*Reader)(nil)
+	_ register.Viewer          = (*Reader)(nil)
+	_ register.FreshViewer     = (*Reader)(nil)
+	_ register.StatReader      = (*Reader)(nil)
+	_ register.FreshnessProber = (*Reader)(nil)
 )
 
 // New constructs an ARC register from cfg. opts tunes paper ablations; use
@@ -371,8 +373,20 @@ func (rd *Reader) ReadStats() register.ReadStats { return rd.stats }
 // Wait-freedom: the fast path is one atomic load; the slow path adds two
 // RMW instructions. There are no loops and no retries.
 func (rd *Reader) View() ([]byte, error) {
+	v, _, err := rd.ViewFresh()
+	return v, err
+}
+
+// ViewFresh implements register.FreshViewer: View plus a change report.
+// changed is false exactly when the call took the R1–R2 fast path onto the
+// slot the handle already held — the same publication epoch as the
+// previous read, so one atomic load and zero RMW instructions. Callers
+// that cache state derived from the previous view (a decoded header, the
+// view's tag) may keep it when changed is false; internal/mnreg gates its
+// per-component collect on this.
+func (rd *Reader) ViewFresh() ([]byte, bool, error) {
 	if rd.closed {
-		return nil, register.ErrReaderClosed
+		return nil, false, register.ErrReaderClosed
 	}
 	reg := rd.reg
 	cur := reg.current.Load() // R1
@@ -385,7 +399,7 @@ func (rd *Reader) View() ([]byte, error) {
 		s := &reg.slots[idx]
 		rd.stats.Ops++
 		rd.stats.FastPath++
-		return s.content[:s.size], nil
+		return s.content[:s.size], false, nil
 	}
 	// Slow path. R3: release the previously held slot, if any.
 	rd.release()
@@ -396,7 +410,7 @@ func (rd *Reader) View() ([]byte, error) {
 	rd.lastIndex = idx
 	s := &reg.slots[idx]
 	rd.stats.Ops++
-	return s.content[:s.size], nil
+	return s.content[:s.size], true, nil
 }
 
 // release increments r_end on the held slot (R3) and posts the §3.4 free

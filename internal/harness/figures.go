@@ -33,6 +33,10 @@ type Figure struct {
 	// Threads and Sizes span the sweep.
 	Threads []int
 	Sizes   []int
+	// Writers is the writer-thread count per cell (0 = 1 writer, the
+	// paper's (1,N) shape). The MN figure sets it to M; cells whose
+	// thread count leaves no reader are recorded as infeasible.
+	Writers int
 	// Mode is the workload variant.
 	Mode workload.Mode
 	// StealFraction > 0 simulates the virtualized host.
@@ -131,6 +135,27 @@ func FigExtensions() Figure {
 	return f
 }
 
+// FigMN is the (M,N) composite experiment: a thread sweep at M=4 writers
+// comparing the freshness-gated collect against its always-View ablation.
+// The gated collect serves unchanged components from the per-handle cache
+// (one atomic load each, zero RMW, zero tag decoding), so its advantage
+// grows with the read share of the workload; the ablation is the
+// pre-optimization collect that performs M full ARC reads per scan.
+func FigMN() Figure {
+	return Figure{
+		ID:         "mn",
+		Caption:    "(M,N) composite: fresh-gated collect vs always-View ablation (M=4 writers)",
+		Algorithms: []Algorithm{AlgMN, AlgMNNoGate},
+		Threads:    []int{6, 8, 16, 32},
+		Sizes:      []int{4 * 1024, 32 * 1024},
+		Writers:    4,
+		Mode:       workload.Dummy,
+		Duration:   time.Second,
+		Warmup:     200 * time.Millisecond,
+		Seed:       4,
+	}
+}
+
 // FigureByID resolves a CLI name.
 func FigureByID(id string) (Figure, error) {
 	switch id {
@@ -146,8 +171,10 @@ func FigureByID(id string) (Figure, error) {
 		return FigAblation(), nil
 	case "extensions":
 		return FigExtensions(), nil
+	case "mn":
+		return FigMN(), nil
 	}
-	return Figure{}, fmt.Errorf("harness: unknown figure %q (fig1|fig2|fig3|processing|ablation|extensions)", id)
+	return Figure{}, fmt.Errorf("harness: unknown figure %q (fig1|fig2|fig3|processing|ablation|extensions|mn)", id)
 }
 
 // Scale shrinks a figure for smoke tests and CI: thread counts are capped,
@@ -200,18 +227,26 @@ type Progress func(done, total int, c Cell)
 // aborting, mirroring the paper's "RF could not be tested" note.
 func (f Figure) Run(progress Progress) (FigureData, error) {
 	data := FigureData{Figure: f}
+	writers := f.Writers
+	if writers == 0 {
+		writers = 1
+	}
 	total := len(f.Sizes) * len(f.Threads) * len(f.Algorithms)
 	done := 0
 	for _, size := range f.Sizes {
 		for _, th := range f.Threads {
 			for _, alg := range f.Algorithms {
 				cell := Cell{Algorithm: alg, Threads: th, Size: size}
-				if th-1 > alg.MaxReaders() {
-					cell.Err = fmt.Errorf("%d readers exceed %s limit %d", th-1, alg, alg.MaxReaders())
-				} else {
+				switch {
+				case th-writers > alg.MaxReaders():
+					cell.Err = fmt.Errorf("%d readers exceed %s limit %d", th-writers, alg, alg.MaxReaders())
+				case th < writers+1:
+					cell.Err = fmt.Errorf("%d threads leave no reader beside %d writers", th, writers)
+				default:
 					res, err := Run(RunConfig{
 						Algorithm:     alg,
 						Threads:       th,
+						Writers:       f.Writers,
 						ValueSize:     size,
 						Mode:          f.Mode,
 						Duration:      f.Duration,
@@ -254,7 +289,11 @@ func (d *FigureData) Series(alg Algorithm, size int) []Cell {
 func (d *FigureData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Caption)
-	fmt.Fprintf(w, "mode=%s steal=%.0f%% duration=%v\n", f.Mode, f.StealFraction*100, f.Duration)
+	writers := f.Writers
+	if writers == 0 {
+		writers = 1
+	}
+	fmt.Fprintf(w, "mode=%s writers=%d steal=%.0f%% duration=%v\n", f.Mode, writers, f.StealFraction*100, f.Duration)
 	for _, size := range f.Sizes {
 		fmt.Fprintf(w, "\n-- register size %s --\n", fmtSize(size))
 		fmt.Fprintf(w, "%8s", "threads")

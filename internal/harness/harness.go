@@ -29,6 +29,7 @@ import (
 	"arcreg/internal/lockreg"
 	"arcreg/internal/membuf"
 	"arcreg/internal/metrics"
+	"arcreg/internal/mnreg"
 	"arcreg/internal/peterson"
 	"arcreg/internal/register"
 	"arcreg/internal/rf"
@@ -54,6 +55,11 @@ const (
 	// seqlock and leftright package docs for their progress properties).
 	AlgSeqlock   Algorithm = "seqlock"
 	AlgLeftRight Algorithm = "leftright"
+	// The (M,N) composite built from M ARC components, with the
+	// freshness-gated collect and its always-View ablation. These are the
+	// only algorithms that support RunConfig.Writers > 1.
+	AlgMN       Algorithm = "mn"
+	AlgMNNoGate Algorithm = "mn-nogate"
 )
 
 // Algorithms lists the standard comparison set of the paper's Figures 1–2.
@@ -65,11 +71,14 @@ func Algorithms() []Algorithm {
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch Algorithm(s) {
 	case AlgARC, AlgARCNoFast, AlgARCNoHint, AlgRF, AlgPeterson, AlgLock,
-		AlgSeqlock, AlgLeftRight:
+		AlgSeqlock, AlgLeftRight, AlgMN, AlgMNNoGate:
 		return Algorithm(s), nil
 	}
 	return "", fmt.Errorf("harness: unknown algorithm %q", s)
 }
+
+// IsMN reports whether the algorithm is an (M,N) composite variant.
+func (a Algorithm) IsMN() bool { return a == AlgMN || a == AlgMNNoGate }
 
 // MaxReaders reports the algorithm's architectural reader bound: 58 for
 // RF, 2³²−2 for the ARC variants, administrative limits for the rest.
@@ -116,9 +125,14 @@ func NewRegister(alg Algorithm, cfg register.Config) (register.Register, error) 
 // RunConfig describes one measured deployment — one cell of a figure.
 type RunConfig struct {
 	Algorithm Algorithm
-	// Threads is the total worker count: 1 writer + (Threads−1) readers,
-	// the paper's deployment shape. Minimum 2.
+	// Threads is the total worker count: Writers writers + the rest
+	// readers (1 writer + Threads−1 readers in the paper's deployment
+	// shape). Minimum Writers+1.
 	Threads int
+	// Writers is the number of writer threads. 0 defaults to 1, the
+	// paper's (1,N) shape. Values above 1 require an (M,N) algorithm
+	// (AlgMN / AlgMNNoGate), which deploys an M-component composite.
+	Writers int
 	// ValueSize is the register value size in bytes (4KB/32KB/128KB in
 	// the paper).
 	ValueSize int
@@ -141,8 +155,19 @@ type RunConfig struct {
 }
 
 func (c *RunConfig) defaults() error {
-	if c.Threads < 2 {
-		return fmt.Errorf("harness: need ≥ 2 threads (1 writer + readers), got %d", c.Threads)
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.Writers < 0 {
+		return fmt.Errorf("harness: negative writer count %d", c.Writers)
+	}
+	if c.Writers > 1 && !c.Algorithm.IsMN() {
+		return fmt.Errorf("harness: %s is a (1,N) register; %d writers need the mn algorithm",
+			c.Algorithm, c.Writers)
+	}
+	if c.Threads < c.Writers+1 {
+		return fmt.Errorf("harness: need ≥ %d threads (%d writers + readers), got %d",
+			c.Writers+1, c.Writers, c.Threads)
 	}
 	if c.ValueSize <= 0 {
 		c.ValueSize = register.DefaultMaxValueSize
@@ -159,11 +184,54 @@ func (c *RunConfig) defaults() error {
 	if c.Warmup == 0 {
 		c.Warmup = 100 * time.Millisecond
 	}
-	if readers := c.Threads - 1; readers > c.Algorithm.MaxReaders() {
+	if readers := c.Threads - c.Writers; readers > c.Algorithm.MaxReaders() {
 		return fmt.Errorf("harness: %d readers exceed %s's limit of %d",
 			readers, c.Algorithm, c.Algorithm.MaxReaders())
 	}
 	return nil
+}
+
+// deployment abstracts the register under test over the (1,N) and (M,N)
+// shapes: the writer endpoints (one per writer worker) and a reader
+// factory. Writer endpoints that implement register.StatWriter and reader
+// handles that implement register.StatReader contribute to the Result's
+// aggregate stats.
+type deployment struct {
+	writers   []register.Writer
+	newReader func() (register.Reader, error)
+}
+
+func newDeployment(cfg RunConfig, seed []byte) (*deployment, error) {
+	readers := cfg.Threads - cfg.Writers
+	if cfg.Algorithm.IsMN() {
+		reg, err := mnreg.New(mnreg.Config{
+			Writers:      cfg.Writers,
+			Readers:      readers,
+			MaxValueSize: cfg.ValueSize,
+			Initial:      seed,
+		}, mnreg.Options{DisableFreshGate: cfg.Algorithm == AlgMNNoGate})
+		if err != nil {
+			return nil, err
+		}
+		d := &deployment{newReader: func() (register.Reader, error) { return reg.NewReader() }}
+		for i := 0; i < cfg.Writers; i++ {
+			w, err := reg.NewWriter()
+			if err != nil {
+				return nil, fmt.Errorf("harness: mn writer %d: %w", i, err)
+			}
+			d.writers = append(d.writers, w)
+		}
+		return d, nil
+	}
+	reg, err := NewRegister(cfg.Algorithm, register.Config{
+		MaxReaders:   readers,
+		MaxValueSize: cfg.ValueSize,
+		Initial:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{writers: []register.Writer{reg.Writer()}, newReader: reg.NewReader}, nil
 }
 
 // Result aggregates one run.
@@ -203,15 +271,11 @@ func Run(cfg RunConfig) (Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return Result{}, err
 	}
-	readers := cfg.Threads - 1
+	readers := cfg.Threads - cfg.Writers
 
 	seed := make([]byte, cfg.ValueSize)
 	membuf.Encode(seed, 0)
-	reg, err := NewRegister(cfg.Algorithm, register.Config{
-		MaxReaders:   readers,
-		MaxValueSize: cfg.ValueSize,
-		Initial:      seed,
-	})
+	dep, err := newDeployment(cfg, seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -288,26 +352,30 @@ func Run(cfg RunConfig) (Result, error) {
 		done(ops, &lat, vcpu.Stats())
 	}
 
-	// Writer (worker 0).
-	ww := workload.NewWriterWork(reg.Writer(), cfg.Mode, cfg.ValueSize)
-	wg.Add(1)
-	go worker(0, ww.Do, nil, func(ops uint64, lat *metrics.Histogram, vs steal.VCPUStats) {
-		mu.Lock()
-		defer mu.Unlock()
-		res.WriteOps = ops
-		res.WriteLat.Merge(lat)
-		res.Steal.Steals += vs.Steals
-		res.Steal.Stolen += vs.Stolen
-		res.Steal.Ticks += vs.Ticks
-		if sw, ok := reg.(register.StatWriter); ok {
-			res.WriteStat = sw.WriteStats()
-		}
-	})
+	// Writers (workers 0..Writers-1); one for the paper's (1,N) shape, M
+	// for the (M,N) composite.
+	for i, wr := range dep.writers {
+		wr := wr
+		ww := workload.NewWriterWork(wr, cfg.Mode, cfg.ValueSize)
+		wg.Add(1)
+		go worker(i, ww.Do, nil, func(ops uint64, lat *metrics.Histogram, vs steal.VCPUStats) {
+			mu.Lock()
+			defer mu.Unlock()
+			res.WriteOps += ops
+			res.WriteLat.Merge(lat)
+			res.Steal.Steals += vs.Steals
+			res.Steal.Stolen += vs.Stolen
+			res.Steal.Ticks += vs.Ticks
+			if sw, ok := wr.(register.StatWriter); ok {
+				res.WriteStat.Add(sw.WriteStats())
+			}
+		})
+	}
 
-	// Readers (workers 1..Threads-1). Handles and workload state are
+	// Readers (workers Writers..Threads-1). Handles and workload state are
 	// created here, serially, before any worker runs.
 	for i := 0; i < readers; i++ {
-		rd, err := reg.NewReader()
+		rd, err := dep.newReader()
 		if err != nil {
 			phase.Store(phaseStop)
 			close(start)
@@ -316,7 +384,7 @@ func Run(cfg RunConfig) (Result, error) {
 		}
 		rw := workload.NewReaderWork(rd, cfg.Mode, cfg.ValueSize)
 		wg.Add(1)
-		go worker(1+i, rw.Do,
+		go worker(cfg.Writers+i, rw.Do,
 			func() {
 				// Release the handle on every exit: lock-register views
 				// pin the read lock until the next handle operation, and

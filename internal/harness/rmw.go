@@ -84,6 +84,46 @@ func RunRMWComparison(threads []int, size int, duration, warmup time.Duration) (
 	return rep, nil
 }
 
+// RunMNRMWComparison measures the RMW economy of the (M,N) composite:
+// the fresh-gated collect versus its always-View ablation, at a fixed
+// writer count across the given total thread counts. The composite
+// ReadStats aggregate component RMW per composite read, so the table's
+// rmw/read column is directly comparable to the (1,N) rows: a
+// read-dominated steady state shows ~0 for the gated collect. Thread
+// counts that leave no reader beside the writers are skipped.
+func RunMNRMWComparison(threads []int, writers, size int, duration, warmup time.Duration) (RMWReport, error) {
+	rep := RMWReport{Size: size, Duration: duration}
+	for _, th := range threads {
+		if th < writers+1 {
+			continue
+		}
+		for _, alg := range []Algorithm{AlgMN, AlgMNNoGate} {
+			res, err := Run(RunConfig{
+				Algorithm: alg,
+				Threads:   th,
+				Writers:   writers,
+				ValueSize: size,
+				Mode:      workload.Dummy,
+				Duration:  duration,
+				Warmup:    warmup,
+			})
+			if err != nil {
+				return rep, fmt.Errorf("mn rmw experiment (%s, %d threads): %w", alg, th, err)
+			}
+			rep.Rows = append(rep.Rows, RMWRow{
+				Algorithm:     alg,
+				Threads:       th,
+				ReadOps:       res.ReadStat.Ops,
+				ReadRMW:       res.ReadStat.RMW,
+				FastPathReads: res.ReadStat.FastPath,
+				WriteOps:      res.WriteStat.Ops,
+				WriteRMW:      res.WriteStat.RMW,
+			})
+		}
+	}
+	return rep, nil
+}
+
 // Render writes the report as an ASCII table.
 func (rep RMWReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "== RMW accounting (register size %s, window %v) ==\n", fmtSize(rep.Size), rep.Duration)

@@ -1,0 +1,384 @@
+package mnreg
+
+// Tests for the freshness-gated collect: per-reader tag monotonicity under
+// concurrency with the gate on and off, gate/no-gate equivalence in a
+// deterministic interleaving, fresh-scan accounting, and handle lifecycle
+// (double close, component handle leaks).
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/register"
+)
+
+func newRegOpts(t testing.TB, m, n, size int, opts Options) *Register {
+	t.Helper()
+	r, err := New(Config{Writers: m, Readers: n, MaxValueSize: size}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFreshGateEquivalenceDeterministic interleaves writes and reads in a
+// single goroutine and asserts the gated and ungated registers return
+// identical values and tags at every step — including steps where nothing
+// changed between two reads (the all-fresh scan) and steps where only one
+// of the M components changed (a partial re-decode).
+func TestFreshGateEquivalenceDeterministic(t *testing.T) {
+	const m, size = 3, 64
+	gated := newRegOpts(t, m, 1, size, Options{})
+	plain := newRegOpts(t, m, 1, size, Options{DisableFreshGate: true})
+
+	var gw, pw []*Writer
+	for i := 0; i < m; i++ {
+		g, err := gated.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plain.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw = append(gw, g)
+		pw = append(pw, p)
+	}
+	grd, err := gated.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prd, err := plain.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		gv, err := grd.View()
+		if err != nil {
+			t.Fatalf("%s: gated view: %v", step, err)
+		}
+		pv, err := prd.View()
+		if err != nil {
+			t.Fatalf("%s: plain view: %v", step, err)
+		}
+		if !bytes.Equal(gv, pv) {
+			t.Fatalf("%s: gated %q != plain %q", step, gv, pv)
+		}
+		if grd.LastTag() != prd.LastTag() {
+			t.Fatalf("%s: gated tag %v != plain tag %v", step, grd.LastTag(), prd.LastTag())
+		}
+	}
+
+	check("genesis")
+	check("genesis all-fresh") // second read with nothing changed
+	// Writer ids are assigned in reverse pop order in both registers, so
+	// index i names the same identity in both.
+	script := []struct {
+		w   int
+		val string
+	}{
+		{0, "a1"}, {0, "a2"}, // repeat writer: single component changes
+		{1, "b1"}, // different component changes, must outbid
+		{2, "c1"},
+		{1, "b2"},
+		{0, "a3"},
+	}
+	for _, s := range script {
+		if err := gw[s.w].Write([]byte(s.val)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pw[s.w].Write([]byte(s.val)); err != nil {
+			t.Fatal(err)
+		}
+		check(s.val)
+		check(s.val + " all-fresh")
+	}
+	// Recycle a writer identity: the successor must keep outbidding in
+	// both registers (gated writers seed their sequence from the own
+	// component since the collect skips it).
+	gid, pid := gw[0].ID(), pw[0].ID()
+	if gid != pid {
+		t.Fatalf("writer identity mismatch: %d vs %d", gid, pid)
+	}
+	if err := gw[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gated.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plain.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := grd.LastTag()
+	if err := g2.Write([]byte("recycled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Write([]byte("recycled")); err != nil {
+		t.Fatal(err)
+	}
+	check("recycled")
+	if !before.Less(grd.LastTag()) {
+		t.Fatalf("recycled writer did not outbid: %v then %v", before, grd.LastTag())
+	}
+}
+
+// TestFreshScanAccounting pins the composite ReadStats semantics: an
+// all-fresh scan counts as FastPath with zero additional RMW; a scan after
+// a publish re-acquires exactly the changed component (2 RMW: release +
+// acquire).
+func TestFreshScanAccounting(t *testing.T) {
+	r := newReg(t, 4, 1, 64)
+	w, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.View(); err != nil { // first scan: 4 acquisitions
+		t.Fatal(err)
+	}
+	base := rd.ReadStats()
+	if base.Ops != 1 || base.RMW != 4 {
+		t.Fatalf("first scan stats = %+v, want Ops=1 RMW=4", base)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := rd.View(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rd.ReadStats()
+	if st.RMW != base.RMW {
+		t.Errorf("idle scans executed %d RMW", st.RMW-base.RMW)
+	}
+	if st.FastPath != base.FastPath+10 {
+		t.Errorf("fresh scans = %d, want %d", st.FastPath-base.FastPath, 10)
+	}
+	if err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	after := rd.ReadStats()
+	if got := after.RMW - st.RMW; got != 2 {
+		t.Errorf("post-publish scan executed %d RMW, want 2 (release+acquire of one component)", got)
+	}
+	if after.FastPath != st.FastPath {
+		t.Errorf("post-publish scan counted as fresh")
+	}
+}
+
+// TestTagMonotonicityUnderGate is the concurrency stress for the cache: a
+// torn or stale cached view must never lower LastTag, with the gate on
+// and off. Readers also verify payload integrity so a stale view aliasing
+// a recycled slot would be caught.
+func TestTagMonotonicityUnderGate(t *testing.T) {
+	for _, opts := range []Options{{}, {DisableFreshGate: true}} {
+		name := "gate"
+		if opts.DisableFreshGate {
+			name = "nogate"
+		}
+		t.Run(name, func(t *testing.T) {
+			const (
+				writers = 3
+				readers = 3
+				perW    = 300
+				size    = 128
+			)
+			r := newRegOpts(t, writers, readers, size, opts)
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+readers)
+			stop := make(chan struct{})
+			for wid := 0; wid < writers; wid++ {
+				w, err := r.NewWriter()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(w *Writer) {
+					defer wg.Done()
+					buf := make([]byte, size)
+					for i := 0; i < perW; i++ {
+						membuf.Encode(buf, uint64(w.ID())<<32|uint64(i)+1)
+						if err := w.Write(buf); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			var rg sync.WaitGroup
+			for rid := 0; rid < readers; rid++ {
+				rd, err := r.NewReader()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rg.Add(1)
+				go func(rd *Reader) {
+					defer rg.Done()
+					var last Tag
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						v, err := rd.View()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(v) > 0 {
+							if _, err := membuf.Verify(v); err != nil {
+								errs <- fmt.Errorf("torn composite read: %w", err)
+								return
+							}
+						}
+						tag := rd.LastTag()
+						if tag.Less(last) {
+							errs <- fmt.Errorf("tag regressed: %v after %v", tag, last)
+							return
+						}
+						last = tag
+					}
+				}(rd)
+			}
+			wg.Wait()
+			close(stop)
+			rg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestWriterStatsNotInheritedOnRecycle pins WriteStats to the handle's
+// lifetime: a recycled writer identity must not report its predecessor's
+// publishes.
+func TestWriterStatsNotInheritedOnRecycle(t *testing.T) {
+	r := newReg(t, 2, 1, 32)
+	w, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.WriteStats(); st.Ops != 5 {
+		t.Fatalf("first holder Ops = %d, want 5", st.Ops)
+	}
+	id := w.ID()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.ID() != id {
+		t.Fatalf("identity not recycled: %d vs %d", w2.ID(), id)
+	}
+	if st := w2.WriteStats(); st.Ops != 0 || st.RMW != 0 {
+		t.Fatalf("recycled holder inherited stats: %+v", st)
+	}
+	if err := w2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if st := w2.WriteStats(); st.Ops != 1 {
+		t.Fatalf("recycled holder Ops = %d, want 1", st.Ops)
+	}
+}
+
+// TestCloseReleasesComponentHandles asserts the handle-leak contract:
+// after every composite reader and writer is closed, each component ARC
+// register reports zero live reader handles (the collect handles and the
+// writer's transient seed handle are all returned).
+func TestCloseReleasesComponentHandles(t *testing.T) {
+	const m, n = 3, 4
+	r := newReg(t, m, n, 32)
+	var ws []*Writer
+	var rds []*Reader
+	for i := 0; i < m; i++ {
+		w, err := r.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	for i := 0; i < n; i++ {
+		rd, err := r.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.View(); err != nil { // pin slots on every component
+			t.Fatal(err)
+		}
+		rds = append(rds, rd)
+	}
+	for i, comp := range r.comps {
+		// N readers collect every component; each writer collects the
+		// other M−1 components.
+		if got, want := comp.LiveReaders(), n+m-1; got != want {
+			t.Fatalf("component %d live handles = %d, want %d", i, got, want)
+		}
+	}
+	for _, w := range ws {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != register.ErrReaderClosed {
+			t.Fatalf("double writer close: %v", err)
+		}
+	}
+	for _, rd := range rds {
+		if err := rd.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rd.Close(); err != register.ErrReaderClosed {
+			t.Fatalf("double reader close: %v", err)
+		}
+	}
+	for i, comp := range r.comps {
+		if got := comp.LiveReaders(); got != 0 {
+			t.Fatalf("component %d leaked %d handles after close", i, got)
+		}
+	}
+	if got := r.LiveReaders(); got != 0 {
+		t.Fatalf("composite LiveReaders = %d after close", got)
+	}
+	// The capacity freed by Close is reusable.
+	w, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rd.View()
+	if err != nil || string(v) != "again" {
+		t.Fatalf("after reopen: %q %v", v, err)
+	}
+}

@@ -8,12 +8,12 @@
 //
 // Each of the M writers owns one ARC register. Values are published with a
 // tag — a (sequence, writerID) pair ordered lexicographically. To write,
-// a writer collects the maximum tag currently visible across all M
-// component registers, increments the sequence, and publishes tag+value
-// into its own register (one wait-free ARC write; the collect is M
-// wait-free ARC reads). To read, a reader views all M components and
-// returns the value carrying the maximum tag (M wait-free ARC reads, zero
-// copies until the caller asks for one).
+// a writer collects the maximum tag currently visible across the other
+// M−1 component registers (its own component's tag is its own last
+// publish, tracked locally), increments the sequence, and publishes
+// tag+value into its own register (one wait-free ARC write). To read, a
+// reader collects all M components and returns the value carrying the
+// maximum tag.
 //
 // Because every component register is atomic and component tags are
 // monotone (each writer's sequences increase), the maximum tag visible to
@@ -25,6 +25,35 @@
 // Conversely every tag a scan returns was published by a write that had
 // started, giving regularity; and two sequential scans relate through each
 // component's no-new-old-inversion property.
+//
+// # The freshness-gated collect
+//
+// A naive collect performs a full ARC read of every component on every
+// scan — M interface calls, M tag decodes, and, whenever a component
+// changed, 2 RMW instructions per change. That throws away the ARC
+// paper's headline property: a reader whose held slot is still freshest
+// pays zero RMW (the R1–R2 fast path). This package keeps the property at
+// the composite level. Every scan handle caches, per component, the last
+// decoded (tag, view) pair; a collect first probes each component with
+// arc.Reader.Fresh — a single atomic load, no RMW — and re-reads
+// (arc.Reader.ViewFresh) and re-decodes only the components that actually
+// changed. A running argmax over the cached tags makes the all-fresh
+// collect return the cached best without looping over tags again. The
+// cached views stay pinned by the protocol itself: a held ARC slot is
+// never recycled while the handle's presence unit is outstanding, so a
+// component that reports Fresh still exposes exactly the cached bytes.
+//
+// Steady-state cost per composite read (no component changed since the
+// last read): M atomic loads, zero RMW instructions, zero tag decoding —
+// versus M full ARC reads for the ungated collect. Options.DisableFreshGate
+// restores the ungated collect for ablation benchmarks.
+//
+// Per-component tag monotonicity is what makes the cache sound: a
+// component is only ever written by the writer that owns it, with strictly
+// increasing sequence numbers (writer identities are recycled only after
+// Close, and a new holder seeds its sequence from the component's current
+// tag), so a cached tag can never exceed the component's current tag and
+// the incremental argmax can never regress.
 //
 // All operations are wait-free with O(M) time and M·(N+M+2) buffers total
 // — inherited directly from ARC's N+2 per component.
@@ -85,20 +114,32 @@ type Config struct {
 	Initial []byte
 }
 
+// Options tune the composite register. The zero value is the optimized
+// algorithm with the freshness-gated collect enabled.
+type Options struct {
+	// DisableFreshGate forces every collect to perform a full ARC read
+	// and tag decode of every component — the ungated O(M·View) scan.
+	// Used by the ablation benchmarks to quantify the gate's effect;
+	// applications should leave it false.
+	DisableFreshGate bool
+}
+
 // Register is a wait-free multi-word atomic (M,N) register.
 type Register struct {
 	comps        []*arc.Register // component (1,N+M) ARC registers
 	writers      int
 	readers      int
 	maxValueSize int
+	opts         Options
 
 	mu          sync.Mutex
 	writerIDs   []uint32 // free writer identities
 	liveReaders int
 }
 
-// New constructs the composite register.
-func New(cfg Config) (*Register, error) {
+// New constructs the composite register. Use Options{} for the default
+// (fresh-gated) collect.
+func New(cfg Config, opts Options) (*Register, error) {
 	if cfg.Writers <= 0 {
 		return nil, fmt.Errorf("mnreg: Writers must be positive, got %d", cfg.Writers)
 	}
@@ -117,6 +158,7 @@ func New(cfg Config) (*Register, error) {
 		writers:      cfg.Writers,
 		readers:      cfg.Readers,
 		maxValueSize: cfg.MaxValueSize,
+		opts:         opts,
 	}
 	// Every component is read by all N readers and by all M writers
 	// (the tag collect), so its reader capacity is N+M.
@@ -148,21 +190,52 @@ func (r *Register) Readers() int { return r.readers }
 // MaxValueSize reports the user-value bound.
 func (r *Register) MaxValueSize() int { return r.maxValueSize }
 
-// scan holds per-handle component views: both readers and writers collect
-// over all M components.
-type scan struct {
-	handles []*arc.Reader
-	buf     []byte // write staging (writers only)
+// LiveReaders reports the number of open composite reader handles.
+func (r *Register) LiveReaders() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.liveReaders
 }
 
-func (r *Register) newScan(withStaging bool) (*scan, error) {
-	s := &scan{handles: make([]*arc.Reader, len(r.comps))}
+// noBest marks a scan that has not cached any component yet.
+const noBest = -1
+
+// scan holds the per-handle collect state: one ARC reader handle per
+// collected component plus the freshness cache — the last decoded tag and
+// view per component and a running argmax over the cached tags.
+type scan struct {
+	handles []*arc.Reader // nil at the writer's own (skipped) component
+	tags    []Tag         // cached decoded tag per component
+	views   [][]byte      // cached full view (tag header included)
+	primed  []bool        // component has a valid (tag, view) cache entry
+	best    int           // index of the max cached tag, or noBest
+	gate    bool          // freshness gate enabled (false = ablation)
+	buf     []byte        // write staging (writers only)
+
+	// Collect accounting, surfaced through ReadStats/WriteStats.
+	ops       uint64 // collects completed
+	fastScans uint64 // collects where every component was fresh
+}
+
+// newScan builds the collect state. skip names a component to exclude
+// (the writer's own; pass -1 to collect all).
+func (r *Register) newScan(skip int, withStaging bool) (*scan, error) {
+	m := len(r.comps)
+	s := &scan{
+		handles: make([]*arc.Reader, m),
+		tags:    make([]Tag, m),
+		views:   make([][]byte, m),
+		primed:  make([]bool, m),
+		best:    noBest,
+		gate:    !r.opts.DisableFreshGate,
+	}
 	for i, comp := range r.comps {
+		if i == skip {
+			continue
+		}
 		h, err := comp.NewReaderHandle()
 		if err != nil {
-			for _, prev := range s.handles[:i] {
-				prev.Close()
-			}
+			s.close()
 			return nil, fmt.Errorf("mnreg: component %d handle: %w", i, err)
 		}
 		s.handles[i] = h
@@ -173,15 +246,27 @@ func (r *Register) newScan(withStaging bool) (*scan, error) {
 	return s, nil
 }
 
-// collect views every component and returns the maximum tag and the view
-// carrying it. The views stay pinned until the handles' next operation.
+// collect returns the maximum tag visible across the collected components
+// and the view carrying it. Fresh components (held slot still the
+// component's current publication) are served from the cache: one atomic
+// load, no RMW, no tag decode. The returned view stays pinned until the
+// underlying handle's next re-read — which, by per-component tag
+// monotonicity, can only happen after the component published something
+// newer.
 func (s *scan) collect() (Tag, []byte, error) {
-	var (
-		best     Tag
-		bestView []byte
-	)
-	for _, h := range s.handles {
-		v, err := h.View()
+	changed := false
+	for i, h := range s.handles {
+		if h == nil {
+			continue // the writer's own component
+		}
+		if s.gate && s.primed[i] && h.Fresh() {
+			continue // one load: cached (tag, view) still current
+		}
+		// Re-read and re-decode. The change report is necessarily true
+		// here — a failed Fresh probe cannot flip back (a held slot is
+		// never republished) and a first read always changes — so only
+		// the view is consumed.
+		v, _, err := h.ViewFresh()
 		if err != nil {
 			return Tag{}, nil, err
 		}
@@ -189,17 +274,42 @@ func (s *scan) collect() (Tag, []byte, error) {
 			return Tag{}, nil, fmt.Errorf("mnreg: component value shorter than tag header (%d bytes)", len(v))
 		}
 		t := getTag(v)
-		if bestView == nil || best.Less(t) {
-			best = t
-			bestView = v
+		s.tags[i] = t
+		s.views[i] = v
+		s.primed[i] = true
+		changed = true
+		// Running argmax. Component tags are monotone, so a component
+		// that was the best and changed is still at least its old tag.
+		if s.best == noBest || s.best == i || s.tags[s.best].Less(t) {
+			s.best = i
 		}
 	}
-	return best, bestView, nil
+	s.ops++
+	if !changed {
+		s.fastScans++
+	}
+	if s.best == noBest {
+		// Only reachable for a writer with M == 1: nothing to collect.
+		return Tag{}, nil, nil
+	}
+	return s.tags[s.best], s.views[s.best], nil
+}
+
+// rmw sums the RMW instructions the scan's component handles executed.
+func (s *scan) rmw() (rmw uint64) {
+	for _, h := range s.handles {
+		if h != nil {
+			rmw += h.ReadStats().RMW
+		}
+	}
+	return rmw
 }
 
 func (s *scan) close() {
 	for _, h := range s.handles {
-		h.Close()
+		if h != nil {
+			h.Close()
+		}
 	}
 }
 
@@ -210,6 +320,10 @@ type Writer struct {
 	scan   *scan
 	seq    uint64 // highest sequence this writer has used or observed
 	closed bool
+	// base snapshots the own component's register-lifetime write
+	// counters at handle creation, so WriteStats reports only this
+	// handle's work even when the identity was recycled.
+	base register.WriteStats
 }
 
 // NewWriter allocates one of the M writer identities.
@@ -222,22 +336,55 @@ func (r *Register) NewWriter() (*Writer, error) {
 	id := r.writerIDs[len(r.writerIDs)-1]
 	r.writerIDs = r.writerIDs[:len(r.writerIDs)-1]
 	r.mu.Unlock()
-	s, err := r.newScan(true)
-	if err != nil {
+	release := func() {
 		r.mu.Lock()
 		r.writerIDs = append(r.writerIDs, id)
 		r.mu.Unlock()
+	}
+	s, err := r.newScan(int(id), true)
+	if err != nil {
+		release()
 		return nil, err
 	}
-	return &Writer{reg: r, id: id, scan: s}, nil
+	// The collect skips the own component, so seed the sequence from its
+	// current tag: a recycled identity must outbid its predecessor's last
+	// publish, which only the own component records.
+	seq, err := r.ownSeq(id)
+	if err != nil {
+		s.close()
+		release()
+		return nil, err
+	}
+	return &Writer{reg: r, id: id, scan: s, seq: seq, base: r.comps[id].WriteStats()}, nil
+}
+
+// ownSeq reads the sequence number currently published in component id,
+// through a transient handle (the component is sized for it: at most
+// N readers + M−1 collecting writers are live on it at any time).
+func (r *Register) ownSeq(id uint32) (uint64, error) {
+	h, err := r.comps[id].NewReaderHandle()
+	if err != nil {
+		return 0, fmt.Errorf("mnreg: component %d seed handle: %w", id, err)
+	}
+	defer h.Close()
+	v, err := h.View()
+	if err != nil {
+		return 0, err
+	}
+	if len(v) < tagSize {
+		return 0, fmt.Errorf("mnreg: component %d value shorter than tag header (%d bytes)", id, len(v))
+	}
+	return getTag(v).Seq, nil
 }
 
 // ID reports the writer identity.
 func (w *Writer) ID() int { return int(w.id) }
 
-// Write publishes a new value: collect the maximum visible tag (M
-// wait-free ARC reads), outbid it, publish into the own component (one
-// wait-free ARC write).
+// Write publishes a new value: collect the maximum tag visible across the
+// other components (fresh-gated — unchanged components cost one load
+// each), outbid it, publish into the own component (one wait-free ARC
+// write). The own component is not collected: its tag is this writer's
+// own last publish, already folded into w.seq.
 func (w *Writer) Write(p []byte) error {
 	if w.closed {
 		return register.ErrReaderClosed
@@ -257,6 +404,25 @@ func (w *Writer) Write(p []byte) error {
 	putTag(w.scan.buf, tag)
 	n := copy(w.scan.buf[tagSize:], p)
 	return w.reg.comps[w.id].Write(w.scan.buf[:tagSize+n])
+}
+
+// WriteStats implements register.StatWriter for the composite: the own
+// component's publish-side counters (this handle's share — a recycled
+// identity does not inherit its predecessor's) plus the RMW instructions
+// the tag collect spent on the other components. Collect only after the
+// writer's goroutine has quiesced.
+func (w *Writer) WriteStats() register.WriteStats {
+	cur := w.reg.comps[w.id].WriteStats()
+	ws := register.WriteStats{
+		Ops:       cur.Ops - w.base.Ops,
+		RMW:       cur.RMW - w.base.RMW,
+		ScanSteps: cur.ScanSteps - w.base.ScanSteps,
+		HintHits:  cur.HintHits - w.base.HintHits,
+		CopyOuts:  cur.CopyOuts - w.base.CopyOuts,
+		LockSpins: cur.LockSpins - w.base.LockSpins,
+	}
+	ws.RMW += w.scan.rmw()
+	return ws
 }
 
 // Close releases the writer identity and its collect handles.
@@ -280,6 +446,16 @@ type Reader struct {
 	closed  bool
 }
 
+// Compile-time interface conformance checks against the shared register
+// contract (the composite reader is plugged into the harness unchanged).
+var (
+	_ register.Reader     = (*Reader)(nil)
+	_ register.Viewer     = (*Reader)(nil)
+	_ register.StatReader = (*Reader)(nil)
+	_ register.StatWriter = (*Writer)(nil)
+	_ register.Writer     = (*Writer)(nil)
+)
+
 // NewReader allocates a reader handle.
 func (r *Register) NewReader() (*Reader, error) {
 	r.mu.Lock()
@@ -289,7 +465,7 @@ func (r *Register) NewReader() (*Reader, error) {
 	}
 	r.liveReaders++
 	r.mu.Unlock()
-	s, err := r.newScan(false)
+	s, err := r.newScan(-1, false)
 	if err != nil {
 		r.mu.Lock()
 		r.liveReaders--
@@ -301,7 +477,9 @@ func (r *Register) NewReader() (*Reader, error) {
 
 // View returns the freshest value without copying. Valid until this
 // handle's next View, Read or Close (every component view stays pinned
-// until then).
+// until then). On the steady-state path — no component changed since the
+// previous View — the cost is one atomic load per component: zero RMW
+// instructions and zero tag decoding.
 func (rd *Reader) View() ([]byte, error) {
 	if rd.closed {
 		return nil, register.ErrReaderClosed
@@ -329,6 +507,19 @@ func (rd *Reader) Read(dst []byte) (int, error) {
 // LastTag reports the tag of the last value View/Read returned — the
 // composite's version, used by tests to assert monotonicity.
 func (rd *Reader) LastTag() Tag { return rd.lastTag }
+
+// ReadStats implements register.StatReader at the composite level: Ops
+// counts composite reads, FastPath counts all-fresh collects (served
+// entirely from the per-component cache with zero RMW), and RMW sums the
+// RMW instructions the component handles executed. Collect only after the
+// owning goroutine has quiesced.
+func (rd *Reader) ReadStats() register.ReadStats {
+	return register.ReadStats{
+		Ops:      rd.scan.ops,
+		FastPath: rd.scan.fastScans,
+		RMW:      rd.scan.rmw(),
+	}
+}
 
 // Close releases the handle.
 func (rd *Reader) Close() error {

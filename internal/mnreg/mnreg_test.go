@@ -13,7 +13,7 @@ import (
 
 func newReg(t testing.TB, m, n, size int) *Register {
 	t.Helper()
-	r, err := New(Config{Writers: m, Readers: n, MaxValueSize: size})
+	r, err := New(Config{Writers: m, Readers: n, MaxValueSize: size}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,19 +21,19 @@ func newReg(t testing.TB, m, n, size int) *Register {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{Writers: 0, Readers: 1}); err == nil {
+	if _, err := New(Config{Writers: 0, Readers: 1}, Options{}); err == nil {
 		t.Error("zero writers accepted")
 	}
-	if _, err := New(Config{Writers: 1, Readers: 0}); err == nil {
+	if _, err := New(Config{Writers: 1, Readers: 0}, Options{}); err == nil {
 		t.Error("zero readers accepted")
 	}
-	if _, err := New(Config{Writers: 1, Readers: 1, MaxValueSize: 4, Initial: make([]byte, 8)}); err == nil {
+	if _, err := New(Config{Writers: 1, Readers: 1, MaxValueSize: 4, Initial: make([]byte, 8)}, Options{}); err == nil {
 		t.Error("oversized initial accepted")
 	}
 }
 
 func TestInitialValue(t *testing.T) {
-	r, err := New(Config{Writers: 2, Readers: 1, MaxValueSize: 32, Initial: []byte("genesis")})
+	r, err := New(Config{Writers: 2, Readers: 1, MaxValueSize: 32, Initial: []byte("genesis")}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -215,6 +215,23 @@ type FreshnessProber interface {
 	Fresh() bool
 }
 
+// FreshViewer is implemented by readers whose zero-copy View can also
+// report whether it returned a different publication than the handle's
+// previous read — a combined probe-and-fetch. For ARC the unchanged case
+// is the R1–R2 fast path: one atomic load, zero RMW instructions, and the
+// caller learns it may keep using whatever it derived from the previous
+// view (decoded headers, parsed structures). Compositions over several
+// registers (internal/mnreg) use this to skip re-decoding components that
+// did not change, paying one load per unchanged component.
+type FreshViewer interface {
+	// ViewFresh returns the freshest value without copying, like
+	// Viewer.View, plus changed: false when the view is the same
+	// publication the handle's previous View/ViewFresh/Read returned.
+	// The first read on a handle always reports changed == true. The
+	// view's validity rules are those of Viewer.View.
+	ViewFresh() (view []byte, changed bool, err error)
+}
+
 // StatWriter is implemented by writers that expose WriteStats.
 type StatWriter interface {
 	WriteStats() WriteStats

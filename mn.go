@@ -12,6 +12,11 @@ type MNConfig struct {
 	MaxValueSize int
 	// Initial optionally sets the starting value.
 	Initial []byte
+	// DisableFreshGate forces every scan to perform a full ARC read and
+	// tag decode of all M components instead of the freshness-gated
+	// collect (which serves unchanged components from a per-handle cache
+	// at the cost of one atomic load each). Ablation benchmarks only.
+	DisableFreshGate bool
 }
 
 // MNTag is the version tag of an (M,N) value: writes are totally ordered
@@ -21,10 +26,14 @@ type MNTag = mnreg.Tag
 // MNWriter is one of the M write endpoints. One goroutine per handle.
 type MNWriter interface {
 	// Write publishes a new value, outbidding every tag currently
-	// visible. Wait-free, O(M) ARC operations.
+	// visible. Wait-free, O(M) ARC operations — and unchanged components
+	// cost one atomic load each under the freshness-gated collect.
 	Write(p []byte) error
 	// ID reports the writer identity in [0, M).
 	ID() int
+	// WriteStats reports the publish-side counters of the writer's own
+	// component plus the RMW instructions its tag collect executed.
+	WriteStats() WriteStats
 	// Close releases the identity for reuse.
 	Close() error
 }
@@ -32,19 +41,26 @@ type MNWriter interface {
 // MNReader is one of the N read endpoints. One goroutine per handle.
 type MNReader interface {
 	// View returns the freshest value without copying; valid until the
-	// handle's next operation.
+	// handle's next operation. When no writer published since the last
+	// View, the cost is one atomic load per component: zero RMW
+	// instructions and zero tag decoding.
 	View() ([]byte, error)
 	// Read copies the freshest value into dst.
 	Read(dst []byte) (int, error)
 	// LastTag reports the tag of the last value returned.
 	LastTag() MNTag
+	// ReadStats reports composite read counters: Ops counts composite
+	// reads, FastPath counts all-fresh scans, RMW sums component RMW.
+	ReadStats() ReadStats
 	// Close releases the handle.
 	Close() error
 }
 
 // MNRegister is a wait-free multi-word atomic (M,N) register composed
 // from M ARC (1,N) registers — the construction the paper motivates in
-// its introduction. Every operation is wait-free with O(M) cost.
+// its introduction. Every operation is wait-free with O(M) cost, and the
+// freshness-gated collect makes steady-state reads cost M atomic loads
+// with zero RMW instructions (see internal/mnreg for the protocol).
 type MNRegister struct {
 	reg *mnreg.Register
 }
@@ -56,7 +72,7 @@ func NewMN(cfg MNConfig) (*MNRegister, error) {
 		Readers:      cfg.Readers,
 		MaxValueSize: cfg.MaxValueSize,
 		Initial:      cfg.Initial,
-	})
+	}, mnreg.Options{DisableFreshGate: cfg.DisableFreshGate})
 	if err != nil {
 		return nil, err
 	}
