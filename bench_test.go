@@ -306,16 +306,15 @@ func BenchmarkWritePeterson_128KB(b *testing.B) {
 // benchMNSteadyRead measures the steady-state composite read: every
 // component holds a value, no writer publishes during the measurement —
 // the "readers over an idle interval between writes" regime. With the
-// fresh gate the whole scan is M atomic loads (zero RMW, zero tag
-// decoding); the ablation performs M full ARC reads per scan. The
+// adaptive epoch gate the whole scan is ONE atomic load; with only the
+// per-component fresh gate it is M loads (zero RMW, zero tag decoding
+// either way); the full ablation performs M ARC reads per scan. The
 // mn-rmw/read metric comes from the composite ReadStats.
-func benchMNSteadyRead(b *testing.B, disableGate bool) {
+func benchMNSteadyRead(b *testing.B, cfg arcreg.MNConfig) {
 	b.Helper()
 	const m = 4
-	reg, err := arcreg.NewMN(arcreg.MNConfig{
-		Writers: m, Readers: 2, MaxValueSize: 1024,
-		DisableFreshGate: disableGate,
-	})
+	cfg.Writers, cfg.Readers, cfg.MaxValueSize = m, 2, 1024
+	reg, err := arcreg.NewMN(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -349,21 +348,31 @@ func benchMNSteadyRead(b *testing.B, disableGate bool) {
 	}
 }
 
-// BenchmarkMNRead is the headline (M,N) read cost with the fresh-gated
-// collect: ~0 mn-rmw/read in the steady state (the only RMW instructions
-// are the first scan's M slot acquisitions). Compare with
-// BenchmarkMNReadNoFreshGate, the always-View ablation — the acceptance
-// bar for the gate is ≥2x ns/op at M=4.
-func BenchmarkMNRead(b *testing.B) { benchMNSteadyRead(b, false) }
+// BenchmarkMNRead is the headline (M,N) read cost with all gates on:
+// ~0 mn-rmw/read in the steady state (the only RMW instructions are the
+// first scan's M slot acquisitions) and one atomic load per scan once
+// the epoch gate validates. Compare with BenchmarkMNReadNoFreshGate, the
+// always-View ablation — the acceptance bar for the gates is ≥2x ns/op
+// at M=4.
+func BenchmarkMNRead(b *testing.B) { benchMNSteadyRead(b, arcreg.MNConfig{}) }
 
 // BenchmarkMNReadFreshGate names the gated variant explicitly so the
 // ablation pair reads side by side in
 // `go test -bench 'BenchmarkMNRead(No)?FreshGate'` output.
-func BenchmarkMNReadFreshGate(b *testing.B) { benchMNSteadyRead(b, false) }
+func BenchmarkMNReadFreshGate(b *testing.B) { benchMNSteadyRead(b, arcreg.MNConfig{}) }
+
+// BenchmarkMNReadNoEpochGate isolates the adaptive epoch gate: the
+// per-component fresh gate stays on, so a steady scan is M probe loads
+// instead of one epoch load.
+func BenchmarkMNReadNoEpochGate(b *testing.B) {
+	benchMNSteadyRead(b, arcreg.MNConfig{DisableEpochGate: true})
+}
 
 // BenchmarkMNReadNoFreshGate is the DisableFreshGate ablation: every scan
 // re-Views and re-decodes all M components.
-func BenchmarkMNReadNoFreshGate(b *testing.B) { benchMNSteadyRead(b, true) }
+func BenchmarkMNReadNoFreshGate(b *testing.B) {
+	benchMNSteadyRead(b, arcreg.MNConfig{DisableFreshGate: true})
+}
 
 func BenchmarkMNWrite(b *testing.B) {
 	reg, err := arcreg.NewMN(arcreg.MNConfig{Writers: 4, Readers: 2, MaxValueSize: 1024})

@@ -49,13 +49,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|rmw|latency|all")
-		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|arc-nofastpath|arc-nohint")
+		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|all")
+		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|map|arc-nofastpath|arc-nohint")
 		threads  = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
 		sizes    = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
 		size     = fs.Int("size", 4096, "register size for single runs")
 		nthreads = fs.Int("nthreads", 4, "thread count for single runs (writers + readers)")
-		writers  = fs.Int("writers", 0, "writer thread count (0 = figure default / 1; >1 needs an mn algorithm)")
+		writers  = fs.String("writers", "", "writer thread count(s): one value for single runs, a comma list sweeps M on the mn figure (e.g. 1,2,4,8)")
 		mode     = fs.String("mode", "dummy", "workload: dummy|processing")
 		duration = fs.Duration("duration", time.Second, "measurement window per cell")
 		warmup   = fs.Duration("warmup", 200*time.Millisecond, "warmup before each window")
@@ -63,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "shrink sweeps and windows for a smoke run")
 		csvPath  = fs.String("csv", "", "also append CSV rows to this file")
 		latency  = fs.Int("latency-sample", 0, "record every Nth op latency in single runs (0=off)")
+		keys     = fs.String("keys", "", "comma-separated key counts for the map figure (overrides the sweep)")
+		zipf     = fs.Float64("zipf", -1, "map figure key-popularity Zipf exponent (≤1 uniform; -1 keeps the default)")
+		shards   = fs.Int("shards", 0, "map figure shard count (0 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,13 +73,19 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "arcbench: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 
+	writerList := mustInts(*writers)
+	firstWriters := 0
+	if len(writerList) > 0 {
+		firstWriters = writerList[0]
+	}
+
 	if *figure == "" {
-		return singleRun(out, *alg, *nthreads, *writers, *size, *mode, *duration, *warmup, *stealF, *latency)
+		return singleRun(out, *alg, *nthreads, firstWriters, *size, *mode, *duration, *warmup, *stealF, *latency)
 	}
 
 	ids := []string{*figure}
 	if *figure == "all" {
-		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "rmw", "latency"}
+		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "map", "rmw", "latency"}
 	}
 	var csv *os.File
 	if *csvPath != "" {
@@ -89,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, id := range ids {
 		if id == "rmw" {
-			if err := runRMW(out, *threads, *writers, *size, *duration, *warmup, *quick); err != nil {
+			if err := runRMW(out, *threads, firstWriters, *size, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -100,11 +109,17 @@ func run(args []string, out io.Writer) error {
 			}
 			continue
 		}
+		if id == "map" {
+			if err := runMapFigure(out, csv, *threads, *keys, *sizes, *shards, *zipf, *stealF, *mode, *duration, *warmup, *quick); err != nil {
+				return err
+			}
+			continue
+		}
 		fig, err := harness.FigureByID(id)
 		if err != nil {
 			return err
 		}
-		fig = customize(fig, *threads, *sizes, *writers, *duration, *warmup, *stealF, *quick)
+		fig = customize(fig, *threads, *sizes, writerList, *duration, *warmup, *stealF, *quick)
 		progress := func(done, total int, c harness.Cell) {
 			status := fmt.Sprintf("%.2f Mops/s", c.Result.Mops())
 			if c.Err != nil {
@@ -128,15 +143,21 @@ func run(args []string, out io.Writer) error {
 // customize applies CLI overrides to a figure definition. Explicit
 // -threads/-sizes/-duration/-warmup win over -quick's shrinking (a 1-CPU
 // host would otherwise clip an explicitly requested sweep).
-func customize(fig harness.Figure, threads, sizes string, writers int, duration, warmup time.Duration, stealF float64, quick bool) harness.Figure {
+func customize(fig harness.Figure, threads, sizes string, writers []int, duration, warmup time.Duration, stealF float64, quick bool) harness.Figure {
 	if stealF >= 0 {
 		fig.StealFraction = stealF
 	}
 	// -writers only applies to figures that sweep multiple writers (the
 	// MN figure); forcing it onto the (1,N) figures would fail every
-	// cell, which matters for `-figure all -writers N`.
-	if writers > 0 && fig.Writers > 0 {
-		fig.Writers = writers
+	// cell, which matters for `-figure all -writers N`. A single value
+	// replaces the figure's M; a list turns M into a sweep axis.
+	if len(writers) > 0 && fig.Writers > 0 {
+		if len(writers) == 1 {
+			fig.Writers = writers[0]
+			fig.WriterCounts = nil
+		} else {
+			fig.WriterCounts = writers
+		}
 	}
 	if quick {
 		maxTh := 2 * runtime.NumCPU()
@@ -145,10 +166,10 @@ func customize(fig harness.Figure, threads, sizes string, writers int, duration,
 			fig.Threads = []int{16, 32, 64}
 		}
 		fig = fig.Scale(maxTh, 0, 0)
-		if fig.Writers > 1 {
+		if maxW := maxWriters(fig); maxW > 1 {
 			// Keep at least one reader beside the writers; goroutine
 			// oversubscription is fine for a smoke run.
-			fig.Threads = []int{fig.Writers + 1, fig.Writers + 4}
+			fig.Threads = []int{maxW + 1, maxW + 4}
 		}
 		if len(fig.Sizes) > 2 {
 			fig.Sizes = fig.Sizes[:2]
@@ -165,6 +186,17 @@ func customize(fig harness.Figure, threads, sizes string, writers int, duration,
 		fig.Sizes = mustInts(sizes)
 	}
 	return fig
+}
+
+// maxWriters reports the largest writer count a figure will deploy.
+func maxWriters(fig harness.Figure) int {
+	m := fig.Writers
+	for _, w := range fig.WriterCounts {
+		if w > m {
+			m = w
+		}
+	}
+	return m
 }
 
 func runRMW(out io.Writer, threads string, writers, size int, duration, warmup time.Duration, quick bool) error {
@@ -206,6 +238,60 @@ func runRMW(out io.Writer, threads string, writers, size int, duration, warmup t
 	}
 	fmt.Fprintf(out, "\n(M,N) composite, %d writers:\n", writers)
 	mnRep.Render(out)
+	return nil
+}
+
+// runMapFigure regenerates the keyed-workload figure (the regmap sharded
+// snapshot map): thread sweep × key-count sweep, Zipf key popularity.
+// The shared -sizes and -steal overrides apply here too (the map figure
+// measures one value size per run; the first -sizes entry wins).
+func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shards int, zipf, stealF float64, mode string, duration, warmup time.Duration, quick bool) error {
+	fig := harness.FigMap()
+	m, err := workload.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	fig.Mode = m
+	if shards > 0 {
+		fig.Shards = shards
+	}
+	if zipf >= 0 {
+		fig.Zipf = zipf
+	}
+	if stealF >= 0 {
+		fig.StealFraction = stealF
+	}
+	if sizes != "" {
+		sz := mustInts(sizes)
+		fig.ValueSize = sz[0]
+		if len(sz) > 1 {
+			fmt.Fprintf(os.Stderr, "arcbench: map figure measures one value size per run; using %d\n", sz[0])
+		}
+	}
+	if quick {
+		fig = fig.Scale(2*runtime.NumCPU(), min(duration, 200*time.Millisecond), min(warmup, 50*time.Millisecond))
+	} else {
+		fig.Duration = duration
+		fig.Warmup = warmup
+	}
+	if threads != "" {
+		fig.Threads = mustInts(threads)
+	}
+	if keys != "" {
+		fig.Keys = mustInts(keys)
+	}
+	progress := func(done, total int, c harness.MapCell) {
+		fmt.Fprintf(os.Stderr, "[%s %d/%d] keys=%d threads=%d: %.2f Mops/s (%.4f rmw/get)\n",
+			fig.ID, done, total, c.Keys, c.Threads, c.Result.Mops(), c.Result.RMWPerGet())
+	}
+	data, err := fig.Run(progress)
+	if err != nil {
+		return err
+	}
+	data.RenderTable(out)
+	if csv != nil {
+		data.RenderCSV(csv)
+	}
 	return nil
 }
 

@@ -97,6 +97,56 @@ func TestMNSingleRun(t *testing.T) {
 	}
 }
 
+func TestMNWriterSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "mn", "-writers", "1,2", "-threads", "3",
+		"-sizes", "256", "-duration", "20ms", "-warmup", "5ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"writers=1,2", " M", "mn-nogate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mn writer sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMapFigureQuick(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "map.csv")
+	var sb strings.Builder
+	err := run([]string{"-figure", "map", "-quick", "-threads", "2", "-keys", "8",
+		"-duration", "30ms", "-warmup", "5ms", "-csv", csv}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== map:", "rmw/get", "keys"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("map figure output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(blob), "figure,keys,threads,mops") {
+		t.Fatalf("map csv header wrong: %q", string(blob))
+	}
+}
+
+func TestMapSingleRun(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "map", "-nthreads", "2", "-size", "256",
+		"-duration", "30ms", "-warmup", "5ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "map threads=2") {
+		t.Fatalf("map single-run output:\n%s", sb.String())
+	}
+}
+
 func TestLatencyFigure(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-figure", "latency", "-quick", "-nthreads", "3", "-size", "256"}, &sb)

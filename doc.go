@@ -48,11 +48,18 @@
 //   - NewLocked — a reader/writer-spinlock register; simple but not
 //     wait-free: one preempted reader stalls the writer. Comparator.
 //   - NewMN — an (M,N) multi-writer register composed from M ARC
-//     registers with tag-based ordering and a freshness-gated collect.
+//     registers with tag-based ordering, a freshness-gated collect and
+//     an adaptive epoch gate (one-load all-fresh scans).
+//   - NewMap — a sharded, keyed store where every key is its own ARC
+//     register and each shard publishes its key directory through a
+//     directory ARC register: a wait-free snapshot map scaling the
+//     primitive to many values. Use this when you share more than one
+//     value.
 //
-// All five share the Register/Reader/Writer interfaces, so they are
-// interchangeable in application code and in the bundled benchmark
-// harness (cmd/arcbench) that regenerates the paper's figures.
+// All of them share or adapt to the Register/Reader/Writer interfaces,
+// so they are interchangeable in application code and in the bundled
+// benchmark harness (cmd/arcbench) that regenerates the paper's
+// figures.
 //
 // # The (M,N) fresh-gated collect
 //
@@ -74,4 +81,18 @@
 // BenchmarkRMWCount and cmd/arcbench -figure rmw), and MNWriter
 // .WriteStats folds the collect cost into the publish-side counters.
 // See DESIGN.md for the design notes and measured numbers.
+//
+// # The sharded snapshot map
+//
+// Map scales the register to an addressable store: keys are partitioned
+// over shards, each key owns an ARC register, and each shard publishes
+// its growable key directory through a further ARC register — so key
+// lookup, enumeration, and value reads are all wait-free zero-copy
+// register reads. Per-reader handles cache the decoded directory behind
+// ARC's freshness probe: a Get of an unchanged hot key is two atomic
+// loads with zero RMW instructions regardless of map size, observable
+// through MapReader.ReadStats (BenchmarkMapGet; cmd/arcbench -figure
+// map sweeps key counts × threads under Zipf popularity). Typed access
+// mirrors the single-register API: MapOf[T]/NewJSONMap for the map,
+// Typed[T]/NewJSON for (1,N), TypedMN[T]/NewJSONMN for (M,N).
 package arcreg

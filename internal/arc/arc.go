@@ -146,9 +146,9 @@ type Register struct {
 
 // Compile-time interface conformance checks.
 var (
-	_ register.Register   = (*Register)(nil)
-	_ register.Writer     = (*Register)(nil)
-	_ register.StatWriter = (*Register)(nil)
+	_ register.Register        = (*Register)(nil)
+	_ register.Writer          = (*Register)(nil)
+	_ register.StatWriter      = (*Register)(nil)
 	_ register.Reader          = (*Reader)(nil)
 	_ register.Viewer          = (*Reader)(nil)
 	_ register.FreshViewer     = (*Reader)(nil)

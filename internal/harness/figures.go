@@ -37,6 +37,11 @@ type Figure struct {
 	// paper's (1,N) shape). The MN figure sets it to M; cells whose
 	// thread count leaves no reader are recorded as infeasible.
 	Writers int
+	// WriterCounts optionally turns the writer count into a sweep axis:
+	// every (size, threads, algorithm) cell is measured once per M, with
+	// rows labeled by M (`arcbench -figure mn -writers 1,2,4,8`). Empty
+	// means the single count in Writers.
+	WriterCounts []int
 	// Mode is the workload variant.
 	Mode workload.Mode
 	// StealFraction > 0 simulates the virtualized host.
@@ -138,9 +143,12 @@ func FigExtensions() Figure {
 // FigMN is the (M,N) composite experiment: a thread sweep at M=4 writers
 // comparing the freshness-gated collect against its always-View ablation.
 // The gated collect serves unchanged components from the per-handle cache
-// (one atomic load each, zero RMW, zero tag decoding), so its advantage
-// grows with the read share of the workload; the ablation is the
-// pre-optimization collect that performs M full ARC reads per scan.
+// (one atomic load each — one load total once the epoch gate validates —
+// zero RMW, zero tag decoding), so its advantage grows with the read
+// share of the workload; the ablation is the pre-optimization collect
+// that performs M full ARC reads per scan. Setting WriterCounts (CLI:
+// `-figure mn -writers 1,2,4,8`) sweeps M as an extra axis, with rows
+// labeled by M.
 func FigMN() Figure {
 	return Figure{
 		ID:         "mn",
@@ -204,13 +212,28 @@ func (f Figure) Scale(maxThreads int, duration, warmup time.Duration) Figure {
 	return f
 }
 
+// writerCounts resolves the writer sweep: WriterCounts when set, else
+// the single Writers value (0 = the paper's 1-writer shape).
+func (f Figure) writerCounts() []int {
+	if len(f.WriterCounts) > 0 {
+		return f.WriterCounts
+	}
+	w := f.Writers
+	if w == 0 {
+		w = 1
+	}
+	return []int{w}
+}
+
 // Cell is one measured point of a figure.
 type Cell struct {
 	Algorithm Algorithm
 	Threads   int
 	Size      int
-	Result    Result
-	Err       error // non-nil when the cell is infeasible (e.g. RF > 58)
+	// Writers is the cell's writer count M (1 for the (1,N) figures).
+	Writers int
+	Result  Result
+	Err     error // non-nil when the cell is infeasible (e.g. RF > 58)
 }
 
 // FigureData is the measured content of a figure: cells in sweep order.
@@ -227,44 +250,45 @@ type Progress func(done, total int, c Cell)
 // aborting, mirroring the paper's "RF could not be tested" note.
 func (f Figure) Run(progress Progress) (FigureData, error) {
 	data := FigureData{Figure: f}
-	writers := f.Writers
-	if writers == 0 {
-		writers = 1
-	}
-	total := len(f.Sizes) * len(f.Threads) * len(f.Algorithms)
+	wcs := f.writerCounts()
+	total := len(f.Sizes) * len(wcs) * len(f.Threads) * len(f.Algorithms)
 	done := 0
 	for _, size := range f.Sizes {
-		for _, th := range f.Threads {
-			for _, alg := range f.Algorithms {
-				cell := Cell{Algorithm: alg, Threads: th, Size: size}
-				switch {
-				case th-writers > alg.MaxReaders():
-					cell.Err = fmt.Errorf("%d readers exceed %s limit %d", th-writers, alg, alg.MaxReaders())
-				case th < writers+1:
-					cell.Err = fmt.Errorf("%d threads leave no reader beside %d writers", th, writers)
-				default:
-					res, err := Run(RunConfig{
-						Algorithm:     alg,
-						Threads:       th,
-						Writers:       f.Writers,
-						ValueSize:     size,
-						Mode:          f.Mode,
-						Duration:      f.Duration,
-						Warmup:        f.Warmup,
-						StealFraction: f.StealFraction,
-						Pin:           f.Pin,
-						Seed:          f.Seed,
-					})
-					if err != nil {
-						return data, fmt.Errorf("figure %s (%s, %d threads, %dB): %w",
-							f.ID, alg, th, size, err)
+		for _, writers := range wcs {
+			for _, th := range f.Threads {
+				for _, alg := range f.Algorithms {
+					cell := Cell{Algorithm: alg, Threads: th, Size: size, Writers: writers}
+					switch {
+					case writers > 1 && !alg.IsMN():
+						cell.Err = fmt.Errorf("%s is a (1,N) register; %d writers need mn", alg, writers)
+					case th-writers > alg.MaxReaders():
+						cell.Err = fmt.Errorf("%d readers exceed %s limit %d", th-writers, alg, alg.MaxReaders())
+					case th < writers+1:
+						cell.Err = fmt.Errorf("%d threads leave no reader beside %d writers", th, writers)
+					default:
+						res, err := Run(RunConfig{
+							Algorithm:     alg,
+							Threads:       th,
+							Writers:       writers,
+							ValueSize:     size,
+							Mode:          f.Mode,
+							Duration:      f.Duration,
+							Warmup:        f.Warmup,
+							StealFraction: f.StealFraction,
+							Pin:           f.Pin,
+							Seed:          f.Seed,
+						})
+						if err != nil {
+							return data, fmt.Errorf("figure %s (%s, %d threads, M=%d, %dB): %w",
+								f.ID, alg, th, writers, size, err)
+						}
+						cell.Result = res
 					}
-					cell.Result = res
-				}
-				data.Cells = append(data.Cells, cell)
-				done++
-				if progress != nil {
-					progress(done, total, cell)
+					data.Cells = append(data.Cells, cell)
+					done++
+					if progress != nil {
+						progress(done, total, cell)
+					}
 				}
 			}
 		}
@@ -272,7 +296,8 @@ func (f Figure) Run(progress Progress) (FigureData, error) {
 	return data, nil
 }
 
-// Series extracts the (threads → Mops) series for one algorithm and size.
+// Series extracts the (threads → Mops) series for one algorithm and
+// size, in sweep order (grouped by writer count when M is swept).
 func (d *FigureData) Series(alg Algorithm, size int) []Cell {
 	var out []Cell
 	for _, c := range d.Cells {
@@ -289,57 +314,78 @@ func (d *FigureData) Series(alg Algorithm, size int) []Cell {
 func (d *FigureData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Caption)
-	writers := f.Writers
-	if writers == 0 {
-		writers = 1
+	wcs := f.writerCounts()
+	sweep := len(wcs) > 1
+	if sweep {
+		fmt.Fprintf(w, "mode=%s writers=%s steal=%.0f%% duration=%v\n", f.Mode, fmtInts(wcs), f.StealFraction*100, f.Duration)
+	} else {
+		fmt.Fprintf(w, "mode=%s writers=%d steal=%.0f%% duration=%v\n", f.Mode, wcs[0], f.StealFraction*100, f.Duration)
 	}
-	fmt.Fprintf(w, "mode=%s writers=%d steal=%.0f%% duration=%v\n", f.Mode, writers, f.StealFraction*100, f.Duration)
 	for _, size := range f.Sizes {
 		fmt.Fprintf(w, "\n-- register size %s --\n", fmtSize(size))
 		fmt.Fprintf(w, "%8s", "threads")
+		if sweep {
+			fmt.Fprintf(w, " %4s", "M")
+		}
 		for _, alg := range f.Algorithms {
 			fmt.Fprintf(w, " %14s", alg)
 		}
 		fmt.Fprintln(w)
-		for _, th := range f.Threads {
-			fmt.Fprintf(w, "%8d", th)
-			for _, alg := range f.Algorithms {
-				c := d.cell(alg, th, size)
-				switch {
-				case c == nil:
-					fmt.Fprintf(w, " %14s", "-")
-				case c.Err != nil:
-					fmt.Fprintf(w, " %14s", "n/a")
-				default:
-					fmt.Fprintf(w, " %14.2f", c.Result.Mops())
+		for _, wc := range wcs {
+			for _, th := range f.Threads {
+				fmt.Fprintf(w, "%8d", th)
+				if sweep {
+					fmt.Fprintf(w, " %4d", wc)
 				}
+				for _, alg := range f.Algorithms {
+					c := d.cell(alg, th, size, wc)
+					switch {
+					case c == nil:
+						fmt.Fprintf(w, " %14s", "-")
+					case c.Err != nil:
+						fmt.Fprintf(w, " %14s", "n/a")
+					default:
+						fmt.Fprintf(w, " %14.2f", c.Result.Mops())
+					}
+				}
+				fmt.Fprintln(w)
 			}
-			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintln(w)
 }
 
+func fmtInts(xs []int) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s
+}
+
 // RenderCSV writes the figure in long form:
-// figure,size,threads,algorithm,mops,read_ops,write_ops,rmw_reads,fastpath_reads
+// figure,size,threads,algorithm,writers,mops,read_ops,write_ops,…
 func (d *FigureData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,size,threads,algorithm,mops,read_ops,write_ops,read_rmw,read_fastpath,write_scan_steps,hint_hits,steal_events")
+	fmt.Fprintln(w, "figure,size,threads,algorithm,writers,mops,read_ops,write_ops,read_rmw,read_fastpath,write_scan_steps,hint_hits,steal_events")
 	for _, c := range d.Cells {
 		if c.Err != nil {
 			continue
 		}
 		r := c.Result
-		fmt.Fprintf(w, "%s,%d,%d,%s,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
-			d.Figure.ID, c.Size, c.Threads, c.Algorithm, r.Mops(),
+		fmt.Fprintf(w, "%s,%d,%d,%s,%d,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
+			d.Figure.ID, c.Size, c.Threads, c.Algorithm, c.Writers, r.Mops(),
 			r.ReadOps, r.WriteOps, r.ReadStat.RMW, r.ReadStat.FastPath,
 			r.WriteStat.ScanSteps, r.WriteStat.HintHits, r.Steal.Steals)
 	}
 }
 
-func (d *FigureData) cell(alg Algorithm, threads, size int) *Cell {
+func (d *FigureData) cell(alg Algorithm, threads, size, writers int) *Cell {
 	for i := range d.Cells {
 		c := &d.Cells[i]
-		if c.Algorithm == alg && c.Threads == threads && c.Size == size {
+		if c.Algorithm == alg && c.Threads == threads && c.Size == size && c.Writers == writers {
 			return c
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"arcreg/internal/mnreg"
 	"arcreg/internal/peterson"
 	"arcreg/internal/register"
+	"arcreg/internal/regmap"
 	"arcreg/internal/rf"
 	"arcreg/internal/seqlock"
 	"arcreg/internal/steal"
@@ -60,6 +61,12 @@ const (
 	// only algorithms that support RunConfig.Writers > 1.
 	AlgMN       Algorithm = "mn"
 	AlgMNNoGate Algorithm = "mn-nogate"
+	// The regmap sharded snapshot map, adapted to the (1,N) contract
+	// through a single key — every operation runs the full map path
+	// (shard routing, directory probe, key lookup, value register), so
+	// the conformance battery and single runs measure the map's real
+	// overhead versus raw ARC.
+	AlgMap Algorithm = "map"
 )
 
 // Algorithms lists the standard comparison set of the paper's Figures 1–2.
@@ -71,7 +78,7 @@ func Algorithms() []Algorithm {
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch Algorithm(s) {
 	case AlgARC, AlgARCNoFast, AlgARCNoHint, AlgRF, AlgPeterson, AlgLock,
-		AlgSeqlock, AlgLeftRight, AlgMN, AlgMNNoGate:
+		AlgSeqlock, AlgLeftRight, AlgMN, AlgMNNoGate, AlgMap:
 		return Algorithm(s), nil
 	}
 	return "", fmt.Errorf("harness: unknown algorithm %q", s)
@@ -118,6 +125,8 @@ func NewRegister(alg Algorithm, cfg register.Config) (register.Register, error) 
 		return seqlock.New(cfg)
 	case AlgLeftRight:
 		return leftright.New(cfg)
+	case AlgMap:
+		return regmap.NewSingleKeyRegister(cfg)
 	}
 	return nil, fmt.Errorf("harness: unknown algorithm %q", alg)
 }
@@ -266,6 +275,91 @@ const (
 	phaseStop
 )
 
+// loopEnv is the shared measured-operation machinery used by Run and
+// RunMap: the phase word, the all-spawned start gate, the steal
+// injector, CPU pinning and latency sampling. Extracting it keeps the
+// measurement discipline (spawn gating, warmup window, op counting)
+// identical across the register and map deployments.
+type loopEnv struct {
+	phase         atomic.Uint32
+	start         chan struct{}
+	clock         *history.Clock
+	inj           *steal.Injector
+	pin           bool
+	latencySample int
+}
+
+func newLoopEnv(threads int, pin bool, latencySample int, stealCfg steal.Config) (*loopEnv, error) {
+	inj, err := steal.NewInjector(stealCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &loopEnv{
+		start:         make(chan struct{}),
+		clock:         history.NewClock(),
+		inj:           inj,
+		pin:           pin && affinity.Available() && threads <= runtime.NumCPU(),
+		latencySample: latencySample,
+	}, nil
+}
+
+// loop drives one worker: block until every worker exists (without this
+// gate, spawning degenerates at oversubscribed thread counts — the
+// first spawned workers saturate the CPUs and the spawning goroutine
+// waits out their scheduler quanta between spawns), pin if requested,
+// then spin on body until phaseStop, counting ops and sampling latency
+// inside the measured window only.
+func (e *loopEnv) loop(id int, body func() error) (ops uint64, lat metrics.Histogram, vs steal.VCPUStats, err error) {
+	<-e.start
+	if e.pin {
+		if release, perr := affinity.Pin(id % runtime.NumCPU()); perr == nil {
+			defer release()
+		}
+	}
+	vcpu := e.inj.VCPU(id)
+	for {
+		p := e.phase.Load()
+		if p == phaseStop {
+			break
+		}
+		sample := e.latencySample > 0 && p == phaseMeasure &&
+			ops%uint64(e.latencySample) == 0
+		var t0 int64
+		if sample {
+			t0 = e.clock.Now()
+		}
+		if err = body(); err != nil {
+			return ops, lat, vcpu.Stats(), err
+		}
+		if sample {
+			lat.RecordSince(t0, e.clock.Now())
+		}
+		if p == phaseMeasure {
+			ops++
+		}
+		vcpu.Tick()
+	}
+	return ops, lat, vcpu.Stats(), nil
+}
+
+// window releases the workers, sleeps out warmup + duration, stops the
+// run and reports the measured window's length.
+func (e *loopEnv) window(warmup, duration time.Duration) time.Duration {
+	close(e.start)
+	time.Sleep(warmup)
+	t0 := time.Now()
+	e.phase.Store(phaseMeasure)
+	time.Sleep(duration)
+	e.phase.Store(phaseStop)
+	return time.Since(t0)
+}
+
+// abort stops a run whose setup failed before the window opened.
+func (e *loopEnv) abort() {
+	e.phase.Store(phaseStop)
+	close(e.start)
+}
+
 // Run executes one measured deployment.
 func Run(cfg RunConfig) (Result, error) {
 	if err := cfg.defaults(); err != nil {
@@ -280,7 +374,7 @@ func Run(cfg RunConfig) (Result, error) {
 		return Result{}, err
 	}
 
-	inj, err := steal.NewInjector(steal.Config{
+	env, err := newLoopEnv(cfg.Threads, cfg.Pin, cfg.LatencySample, steal.Config{
 		Fraction: cfg.StealFraction,
 		Slice:    cfg.StealSlice,
 		Seed:     cfg.Seed,
@@ -290,14 +384,10 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	var (
-		phase    atomic.Uint32
-		start    = make(chan struct{})
 		wg       sync.WaitGroup
 		mu       sync.Mutex // guards the aggregates below after workers finish
 		res      Result
 		workErrs []error
-		clock    = history.NewClock()
-		pin      = cfg.Pin && affinity.Available() && cfg.Threads <= runtime.NumCPU()
 	)
 	res.Config = cfg
 
@@ -308,48 +398,14 @@ func Run(cfg RunConfig) (Result, error) {
 			// abandoning a pinned lock view would deadlock the writer.
 			defer cleanup()
 		}
-		// Block until every worker exists. Without this gate, spawning
-		// degenerates at oversubscribed thread counts (Figure 3): the
-		// first spawned workers saturate the CPUs and the spawning
-		// goroutine waits out their scheduler quanta between spawns —
-		// setup goes quadratic. Blocked goroutines cost nothing.
-		<-start
-		if pin {
-			if release, err := affinity.Pin(id % runtime.NumCPU()); err == nil {
-				defer release()
-			}
+		ops, lat, vs, err := env.loop(id, body)
+		if err != nil {
+			mu.Lock()
+			workErrs = append(workErrs, fmt.Errorf("worker %d: %w", id, err))
+			mu.Unlock()
+			return
 		}
-		vcpu := inj.VCPU(id)
-		var (
-			ops uint64
-			lat metrics.Histogram
-		)
-		for {
-			p := phase.Load()
-			if p == phaseStop {
-				break
-			}
-			sample := cfg.LatencySample > 0 && p == phaseMeasure &&
-				ops%uint64(cfg.LatencySample) == 0
-			var start int64
-			if sample {
-				start = clock.Now()
-			}
-			if err := body(); err != nil {
-				mu.Lock()
-				workErrs = append(workErrs, fmt.Errorf("worker %d: %w", id, err))
-				mu.Unlock()
-				return
-			}
-			if sample {
-				lat.RecordSince(start, clock.Now())
-			}
-			if p == phaseMeasure {
-				ops++
-			}
-			vcpu.Tick()
-		}
-		done(ops, &lat, vcpu.Stats())
+		done(ops, &lat, vs)
 	}
 
 	// Writers (workers 0..Writers-1); one for the paper's (1,N) shape, M
@@ -377,8 +433,7 @@ func Run(cfg RunConfig) (Result, error) {
 	for i := 0; i < readers; i++ {
 		rd, err := dep.newReader()
 		if err != nil {
-			phase.Store(phaseStop)
-			close(start)
+			env.abort()
 			wg.Wait()
 			return Result{}, fmt.Errorf("harness: reader %d: %w", i, err)
 		}
@@ -407,13 +462,7 @@ func Run(cfg RunConfig) (Result, error) {
 			})
 	}
 
-	close(start) // all workers exist; release them together
-	time.Sleep(cfg.Warmup)
-	t0 := time.Now()
-	phase.Store(phaseMeasure)
-	time.Sleep(cfg.Duration)
-	phase.Store(phaseStop)
-	elapsed := time.Since(t0)
+	elapsed := env.window(cfg.Warmup, cfg.Duration)
 	wg.Wait()
 
 	if len(workErrs) > 0 {

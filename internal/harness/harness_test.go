@@ -238,7 +238,7 @@ func TestFigureRunAndRender(t *testing.T) {
 	if len(lines) != 5 { // header + 4 cells
 		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
 	}
-	if !strings.HasPrefix(lines[0], "figure,size,threads,algorithm,mops") {
+	if !strings.HasPrefix(lines[0], "figure,size,threads,algorithm,writers,mops") {
 		t.Fatalf("csv header = %q", lines[0])
 	}
 }

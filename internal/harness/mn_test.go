@@ -126,6 +126,69 @@ func TestFigMNRunAndRender(t *testing.T) {
 	}
 }
 
+// TestFigMNWriterSweep pins the writer-count sweep axis: WriterCounts
+// multiplies the cell grid, rows carry their M, infeasible (threads ≤ M)
+// cells are recorded, and the rendered table labels rows by M.
+func TestFigMNWriterSweep(t *testing.T) {
+	fig := FigMN()
+	fig.WriterCounts = []int{1, 2}
+	fig.Threads = []int{3}
+	fig.Sizes = []int{256}
+	fig.Duration = 20 * time.Millisecond
+	fig.Warmup = 5 * time.Millisecond
+	data, err := fig.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Cells) != 4 { // 2 writer counts × 1 thread × 2 algorithms
+		t.Fatalf("cells = %d, want 4", len(data.Cells))
+	}
+	byM := map[int]int{}
+	for _, c := range data.Cells {
+		if c.Err != nil {
+			t.Errorf("cell %s th=%d M=%d infeasible: %v", c.Algorithm, c.Threads, c.Writers, c.Err)
+		}
+		byM[c.Writers]++
+	}
+	if byM[1] != 2 || byM[2] != 2 {
+		t.Fatalf("cells per M = %v, want 2 each", byM)
+	}
+	var sb strings.Builder
+	data.RenderTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"writers=1,2", " M", "mn-nogate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	data.RenderCSV(&csv)
+	if !strings.Contains(csv.String(), "mn,256,3,mn,2,") {
+		t.Fatalf("csv missing M=2 row:\n%s", csv.String())
+	}
+}
+
+// TestFigWriterSweepInfeasibleForSingleWriterAlg pins that sweeping M
+// over a (1,N) algorithm records infeasible cells instead of failing.
+func TestFigWriterSweepInfeasibleForSingleWriterAlg(t *testing.T) {
+	f := Figure{
+		ID:           "sweep-1n",
+		Algorithms:   []Algorithm{AlgARC},
+		Threads:      []int{4},
+		Sizes:        []int{64},
+		WriterCounts: []int{2},
+		Duration:     5 * time.Millisecond,
+		Warmup:       time.Millisecond,
+	}
+	data, err := f.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Cells) != 1 || data.Cells[0].Err == nil {
+		t.Fatalf("expected one infeasible cell, got %+v", data.Cells)
+	}
+}
+
 func TestMNRMWComparison(t *testing.T) {
 	rep, err := RunMNRMWComparison([]int{2, 4}, 2, 256, 40*time.Millisecond, 5*time.Millisecond)
 	if err != nil {

@@ -1,0 +1,277 @@
+package mnreg
+
+// Tests for the adaptive epoch gate: one-load all-fresh scans, validated
+// snapshot bookkeeping, equivalence with the per-component probe collect
+// in a deterministic interleaving, and concurrent monotonicity stress.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"arcreg/internal/membuf"
+)
+
+// TestEpochGateAccounting pins the gate mechanics: the first collect
+// validates a quiescent snapshot, idle collects take the one-load path
+// (epochFast), a publish invalidates exactly one collect, and the gate
+// revalidates afterwards — all without any reader RMW beyond the
+// re-acquisition of changed components.
+func TestEpochGateAccounting(t *testing.T) {
+	r := newReg(t, 4, 1, 64)
+	w, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.scan.epochGate {
+		t.Fatal("reader scan has the epoch gate disabled")
+	}
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.scan.epochValid {
+		t.Fatal("quiescent first collect did not validate the epoch")
+	}
+	base := rd.ReadStats()
+	for i := 0; i < 10; i++ {
+		if _, err := rd.View(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rd.scan.epochFast; got != 10 {
+		t.Errorf("idle collects took the one-load path %d times, want 10", got)
+	}
+	if st := rd.ReadStats(); st.RMW != base.RMW {
+		t.Errorf("idle epoch-gated collects executed %d RMW", st.RMW-base.RMW)
+	}
+
+	if err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rd.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("x")) {
+		t.Fatalf("post-publish view = %q", v)
+	}
+	if rd.scan.epochFast != 10 {
+		t.Errorf("post-publish collect took the one-load path")
+	}
+	if !rd.scan.epochValid {
+		t.Error("gate did not revalidate after the publish completed")
+	}
+	if _, err := rd.View(); err != nil {
+		t.Fatal(err)
+	}
+	if rd.scan.epochFast != 11 {
+		t.Errorf("revalidated gate not used: epochFast = %d, want 11", rd.scan.epochFast)
+	}
+}
+
+// TestEpochGateWriterScansExcluded pins the design choice that writer tag
+// collects never use the epoch gate (their own publishes would invalidate
+// it every write) while still maintaining the shared counters.
+func TestEpochGateWriterScansExcluded(t *testing.T) {
+	r := newReg(t, 2, 1, 32)
+	w, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.scan.epochGate {
+		t.Error("writer scan has the epoch gate enabled")
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.pubStarted.Load(); got != 3 {
+		t.Errorf("pubStarted = %d, want 3", got)
+	}
+	if got := r.pubDone.Load(); got != 3 {
+		t.Errorf("pubDone = %d, want 3", got)
+	}
+	// The two counter bumps per write are reported as writer RMW.
+	if st := w.WriteStats(); st.RMW < 3*2 {
+		t.Errorf("WriteStats.RMW = %d, want ≥ 6 (2 gate bumps per write)", st.RMW)
+	}
+}
+
+// TestEpochGateEquivalenceDeterministic interleaves writes and reads in a
+// single goroutine across the three collect variants — epoch-gated
+// (default), per-component probes only (DisableEpochGate), and the full
+// ungated scan (DisableFreshGate) — asserting identical values and tags
+// at every step, including repeated all-fresh reads (the one-load path)
+// and partial re-decodes.
+func TestEpochGateEquivalenceDeterministic(t *testing.T) {
+	const m, size = 3, 64
+	variants := []Options{
+		{},
+		{DisableEpochGate: true},
+		{DisableFreshGate: true},
+	}
+	regs := make([]*Register, len(variants))
+	writers := make([][]*Writer, len(variants))
+	readers := make([]*Reader, len(variants))
+	for vi, opts := range variants {
+		regs[vi] = newRegOpts(t, m, 1, size, opts)
+		for i := 0; i < m; i++ {
+			w, err := regs[vi].NewWriter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			writers[vi] = append(writers[vi], w)
+		}
+		rd, err := regs[vi].NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers[vi] = rd
+	}
+
+	check := func(step string) {
+		t.Helper()
+		v0, err := readers[0].View()
+		if err != nil {
+			t.Fatalf("%s: variant 0: %v", step, err)
+		}
+		for vi := 1; vi < len(variants); vi++ {
+			v, err := readers[vi].View()
+			if err != nil {
+				t.Fatalf("%s: variant %d: %v", step, vi, err)
+			}
+			if !bytes.Equal(v0, v) {
+				t.Fatalf("%s: variant %d view %q != %q", step, vi, v, v0)
+			}
+			if readers[vi].LastTag() != readers[0].LastTag() {
+				t.Fatalf("%s: variant %d tag %v != %v", step, vi, readers[vi].LastTag(), readers[0].LastTag())
+			}
+		}
+	}
+
+	check("genesis")
+	check("genesis all-fresh")
+	check("genesis all-fresh again") // epoch path on the gated variant
+	script := []struct {
+		w   int
+		val string
+	}{
+		{0, "a1"}, {0, "a2"},
+		{1, "b1"},
+		{2, "c1"},
+		{1, "b2"},
+		{0, "a3"},
+	}
+	for _, s := range script {
+		for vi := range variants {
+			if err := writers[vi][s.w].Write([]byte(s.val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(s.val)
+		check(s.val + " all-fresh")
+		check(s.val + " all-fresh again")
+	}
+	// The gated variant must actually have exercised the one-load path.
+	if readers[0].scan.epochFast == 0 {
+		t.Error("epoch-gated variant never took the one-load path")
+	}
+}
+
+// TestTagMonotonicityEpochGate is the concurrency stress of
+// TestTagMonotonicityUnderGate, run with per-component probes disabled in
+// favor of the epoch short-circuit: concurrent writers and readers, tags
+// must never regress and payloads must never tear. This is the test that
+// would catch an unsound epoch gate (a counter-gated scan serving state
+// older than an earlier scan returned).
+func TestTagMonotonicityEpochGate(t *testing.T) {
+	const (
+		writers = 3
+		readers = 3
+		perW    = 300
+		size    = 128
+	)
+	r := newRegOpts(t, writers, readers, size, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	stop := make(chan struct{})
+	for wid := 0; wid < writers; wid++ {
+		w, err := r.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w *Writer) {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < perW; i++ {
+				membuf.Encode(buf, uint64(w.ID())<<32|uint64(i)+1)
+				if err := w.Write(buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	epochFast := make(chan uint64, readers)
+	for rid := 0; rid < readers; rid++ {
+		rd, err := r.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg.Add(1)
+		go func(rd *Reader) {
+			defer rg.Done()
+			var last Tag
+			for {
+				select {
+				case <-stop:
+					epochFast <- rd.scan.epochFast
+					return
+				default:
+				}
+				v, err := rd.View()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(v) > 0 {
+					if _, err := membuf.Verify(v); err != nil {
+						errs <- err
+						return
+					}
+				}
+				tag := rd.LastTag()
+				if tag.Less(last) {
+					errs <- errTagRegressed(tag, last)
+					return
+				}
+				last = tag
+			}
+		}(rd)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// errTagRegressed keeps the stress loop allocation-free until failure.
+func errTagRegressed(got, prev Tag) error {
+	return &tagRegression{got: got, prev: prev}
+}
+
+type tagRegression struct{ got, prev Tag }
+
+func (e *tagRegression) Error() string {
+	return "tag regressed: " + e.got.String() + " after " + e.prev.String()
+}

@@ -48,6 +48,41 @@
 // versus M full ARC reads for the ungated collect. Options.DisableFreshGate
 // restores the ungated collect for ablation benchmarks.
 //
+// # The adaptive epoch gate
+//
+// On top of the per-component probes, the register keeps a shared pair of
+// publish counters — pubStarted, bumped by every writer immediately
+// before its component publish, and pubDone, bumped immediately after —
+// so a reader can gate an entire all-fresh scan behind ONE atomic load
+// instead of M probes. The subtlety is that a bare "counter unchanged ⟹
+// nothing changed" check is unsound: the counter and the component
+// publish are separate atomic words, so a scan could observe a publish
+// whose counter increment is still in flight (or vice versa), and a later
+// counter-gated scan would then serve older state than an earlier scan
+// returned — a new/old inversion that breaks composite atomicity.
+//
+// The gate therefore only trusts an epoch recorded by a validated probe
+// pass: load started (S) and done (D) before the per-component probes,
+// run the probes, and re-load started after. Only when S == D (no publish
+// was in flight when the pass began) and started is still S afterwards
+// (no publish began during the pass) is the pass a consistent snapshot
+// at epoch S; the scan records lastStarted = S. A later collect that
+// loads pubStarted == lastStarted knows no publish started since that
+// snapshot — and none can be in flight, because in-flight publishes bump
+// started first — so the cached (tag, view) table is exactly current and
+// is served with zero further loads. Any other outcome simply falls back
+// to the per-component probes, which are exact; the epoch word is an
+// accelerator, never a correctness mechanism. Validation failure
+// invalidates the recorded epoch, keeping every path loop-free and
+// wait-free.
+//
+// Writers do not use the epoch gate for their own tag collects (their
+// own publishes invalidate it every write); they pay the probe loop,
+// which their skipped own component makes M−1 loads. The two counter
+// bumps add 2 RMW instructions per composite write, reported in
+// WriteStats.RMW. Options.DisableEpochGate keeps the per-component
+// probes only, for ablation and equivalence testing.
+//
 // Per-component tag monotonicity is what makes the cache sound: a
 // component is only ever written by the writer that owns it, with strictly
 // increasing sequence numbers (writer identities are recycled only after
@@ -65,6 +100,7 @@ import (
 	"sync"
 
 	"arcreg/internal/arc"
+	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
 
@@ -115,17 +151,30 @@ type Config struct {
 }
 
 // Options tune the composite register. The zero value is the optimized
-// algorithm with the freshness-gated collect enabled.
+// algorithm with the freshness-gated collect and the adaptive epoch gate
+// enabled.
 type Options struct {
 	// DisableFreshGate forces every collect to perform a full ARC read
 	// and tag decode of every component — the ungated O(M·View) scan.
-	// Used by the ablation benchmarks to quantify the gate's effect;
-	// applications should leave it false.
+	// It implies DisableEpochGate. Used by the ablation benchmarks to
+	// quantify the gate's effect; applications should leave it false.
 	DisableFreshGate bool
+	// DisableEpochGate keeps the per-component freshness probes but
+	// turns off the shared publish-epoch short-circuit (the one-load
+	// all-fresh scan). Used by the equivalence tests and ablations.
+	DisableEpochGate bool
 }
 
 // Register is a wait-free multi-word atomic (M,N) register.
 type Register struct {
+	// pubStarted and pubDone are the adaptive epoch gate's shared
+	// publish counters: every writer bumps pubStarted immediately before
+	// and pubDone immediately after its component publish. started ==
+	// done ⟺ no publish is in flight. Padded: they are RMW targets of
+	// all M writers.
+	pubStarted pad.PaddedUint64
+	pubDone    pad.PaddedUint64
+
 	comps        []*arc.Register // component (1,N+M) ARC registers
 	writers      int
 	readers      int
@@ -202,19 +251,31 @@ const noBest = -1
 
 // scan holds the per-handle collect state: one ARC reader handle per
 // collected component plus the freshness cache — the last decoded tag and
-// view per component and a running argmax over the cached tags.
+// view per component, a running argmax over the cached tags, and the
+// epoch-gate snapshot state.
 type scan struct {
+	reg     *Register
 	handles []*arc.Reader // nil at the writer's own (skipped) component
 	tags    []Tag         // cached decoded tag per component
 	views   [][]byte      // cached full view (tag header included)
 	primed  []bool        // component has a valid (tag, view) cache entry
+	nprimed int           // primed entries (all collected primed ⇒ cache complete)
+	ncomps  int           // collected (non-skipped) components
 	best    int           // index of the max cached tag, or noBest
 	gate    bool          // freshness gate enabled (false = ablation)
 	buf     []byte        // write staging (writers only)
 
+	// Epoch-gate state: lastStarted is the pubStarted value of the last
+	// validated probe pass (see the package doc); epochValid marks it
+	// trustworthy. Readers only — writers invalidate it every write.
+	epochGate   bool
+	epochValid  bool
+	lastStarted uint64
+
 	// Collect accounting, surfaced through ReadStats/WriteStats.
 	ops       uint64 // collects completed
 	fastScans uint64 // collects where every component was fresh
+	epochFast uint64 // fast scans served by the one-load epoch gate
 }
 
 // newScan builds the collect state. skip names a component to exclude
@@ -222,12 +283,17 @@ type scan struct {
 func (r *Register) newScan(skip int, withStaging bool) (*scan, error) {
 	m := len(r.comps)
 	s := &scan{
+		reg:     r,
 		handles: make([]*arc.Reader, m),
 		tags:    make([]Tag, m),
 		views:   make([][]byte, m),
 		primed:  make([]bool, m),
 		best:    noBest,
 		gate:    !r.opts.DisableFreshGate,
+		// The epoch gate pays off only when the scan covers every
+		// component (a writer's own publishes would invalidate it on
+		// every write anyway).
+		epochGate: skip < 0 && !r.opts.DisableFreshGate && !r.opts.DisableEpochGate,
 	}
 	for i, comp := range r.comps {
 		if i == skip {
@@ -239,6 +305,7 @@ func (r *Register) newScan(skip int, withStaging bool) (*scan, error) {
 			return nil, fmt.Errorf("mnreg: component %d handle: %w", i, err)
 		}
 		s.handles[i] = h
+		s.ncomps++
 	}
 	if withStaging {
 		s.buf = make([]byte, tagSize+r.maxValueSize)
@@ -249,12 +316,57 @@ func (r *Register) newScan(skip int, withStaging bool) (*scan, error) {
 // collect returns the maximum tag visible across the collected components
 // and the view carrying it. Fresh components (held slot still the
 // component's current publication) are served from the cache: one atomic
-// load, no RMW, no tag decode. The returned view stays pinned until the
-// underlying handle's next re-read — which, by per-component tag
-// monotonicity, can only happen after the component published something
-// newer.
+// load, no RMW, no tag decode. An all-fresh scan whose previous probe
+// pass validated a quiescent epoch is served by one load of pubStarted
+// alone. The returned view stays pinned until the underlying handle's
+// next re-read — which, by per-component tag monotonicity, can only
+// happen after the component published something newer.
 func (s *scan) collect() (Tag, []byte, error) {
-	changed := false
+	if s.epochGate && s.epochValid && s.reg.pubStarted.Load() == s.lastStarted {
+		// One load: no publish started since the validated snapshot and
+		// none can be in flight (in-flight publishes bump pubStarted
+		// first), so the whole cache is exactly current.
+		s.ops++
+		s.fastScans++
+		s.epochFast++
+		return s.tags[s.best], s.views[s.best], nil
+	}
+	var started, done uint64
+	if s.epochGate {
+		started = s.reg.pubStarted.Load()
+		done = s.reg.pubDone.Load()
+	}
+	changed, err := s.probe()
+	if err != nil {
+		return Tag{}, nil, err
+	}
+	if s.epochGate {
+		// The pass is a consistent snapshot at epoch `started` only if
+		// no publish was in flight when it began and none began during
+		// it; otherwise the epoch word proves nothing and the next
+		// collect falls back to the (exact) per-component probes.
+		if started == done && s.nprimed == s.ncomps && s.reg.pubStarted.Load() == started {
+			s.lastStarted = started
+			s.epochValid = true
+		} else {
+			s.epochValid = false
+		}
+	}
+	s.ops++
+	if !changed {
+		s.fastScans++
+	}
+	if s.best == noBest {
+		// Only reachable for a writer with M == 1: nothing to collect.
+		return Tag{}, nil, nil
+	}
+	return s.tags[s.best], s.views[s.best], nil
+}
+
+// probe runs the per-component freshness-gated pass: each collected
+// component is either confirmed fresh (one atomic load) or re-read and
+// re-decoded into the cache. Reports whether anything changed.
+func (s *scan) probe() (changed bool, err error) {
 	for i, h := range s.handles {
 		if h == nil {
 			continue // the writer's own component
@@ -268,15 +380,18 @@ func (s *scan) collect() (Tag, []byte, error) {
 		// the view is consumed.
 		v, _, err := h.ViewFresh()
 		if err != nil {
-			return Tag{}, nil, err
+			return changed, err
 		}
 		if len(v) < tagSize {
-			return Tag{}, nil, fmt.Errorf("mnreg: component value shorter than tag header (%d bytes)", len(v))
+			return changed, fmt.Errorf("mnreg: component value shorter than tag header (%d bytes)", len(v))
 		}
 		t := getTag(v)
 		s.tags[i] = t
 		s.views[i] = v
-		s.primed[i] = true
+		if !s.primed[i] {
+			s.primed[i] = true
+			s.nprimed++
+		}
 		changed = true
 		// Running argmax. Component tags are monotone, so a component
 		// that was the best and changed is still at least its old tag.
@@ -284,15 +399,7 @@ func (s *scan) collect() (Tag, []byte, error) {
 			s.best = i
 		}
 	}
-	s.ops++
-	if !changed {
-		s.fastScans++
-	}
-	if s.best == noBest {
-		// Only reachable for a writer with M == 1: nothing to collect.
-		return Tag{}, nil, nil
-	}
-	return s.tags[s.best], s.views[s.best], nil
+	return changed, nil
 }
 
 // rmw sums the RMW instructions the scan's component handles executed.
@@ -315,11 +422,12 @@ func (s *scan) close() {
 
 // Writer is one of the M write endpoints. One goroutine per Writer.
 type Writer struct {
-	reg    *Register
-	id     uint32
-	scan   *scan
-	seq    uint64 // highest sequence this writer has used or observed
-	closed bool
+	reg     *Register
+	id      uint32
+	scan    *scan
+	seq     uint64 // highest sequence this writer has used or observed
+	gateRMW uint64 // pubStarted/pubDone bumps executed (2 per write)
+	closed  bool
 	// base snapshots the own component's register-lifetime write
 	// counters at handle creation, so WriteStats reports only this
 	// handle's work even when the identity was recycled.
@@ -403,7 +511,20 @@ func (w *Writer) Write(p []byte) error {
 	tag := Tag{Seq: w.seq, Writer: w.id}
 	putTag(w.scan.buf, tag)
 	n := copy(w.scan.buf[tagSize:], p)
+	if w.reg.epochCounters() {
+		// Epoch-gate bracket: started before the publish, done after.
+		// Readers treat started == done as "no publish in flight".
+		w.reg.pubStarted.Add(1)
+		defer w.reg.pubDone.Add(1)
+		w.gateRMW += 2
+	}
 	return w.reg.comps[w.id].Write(w.scan.buf[:tagSize+n])
+}
+
+// epochCounters reports whether writers must maintain the shared publish
+// counters (readers consult them only when the epoch gate is enabled).
+func (r *Register) epochCounters() bool {
+	return !r.opts.DisableFreshGate && !r.opts.DisableEpochGate
 }
 
 // WriteStats implements register.StatWriter for the composite: the own
@@ -421,7 +542,7 @@ func (w *Writer) WriteStats() register.WriteStats {
 		CopyOuts:  cur.CopyOuts - w.base.CopyOuts,
 		LockSpins: cur.LockSpins - w.base.LockSpins,
 	}
-	ws.RMW += w.scan.rmw()
+	ws.RMW += w.scan.rmw() + w.gateRMW
 	return ws
 }
 

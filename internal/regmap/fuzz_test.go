@@ -1,0 +1,69 @@
+package regmap
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// FuzzShardRouting pins the shard router on arbitrary keys: the inlined
+// FNV-1a matches the stdlib reference, the assignment is in range and a
+// pure function of (key, shard count), and a key written through Set is
+// found again through Get at the shard the router names — hash, router
+// and directory agree for every byte sequence.
+func FuzzShardRouting(f *testing.F) {
+	f.Add("")
+	f.Add("key-000001")
+	f.Add("a long key \x00 with embedded zero bytes \xff and high bits")
+	f.Add("ünïcødé ✓")
+	for _, seed := range []string{"a", "ab", "abc", "abcd"} {
+		f.Add(seed)
+	}
+	m8, err := New(Config{Shards: 8, MaxReaders: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m1, err := New(Config{Shards: 1, MaxReaders: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rd, err := m8.NewReader()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		ref := fnv.New64a()
+		ref.Write([]byte(key))
+		if got, want := Hash(key), ref.Sum64(); got != want {
+			t.Fatalf("Hash(%q) = %d, stdlib fnv-1a = %d", key, got, want)
+		}
+		si := m8.ShardOf(key)
+		if si < 0 || si >= m8.Shards() {
+			t.Fatalf("ShardOf(%q) = %d out of [0,%d)", key, si, m8.Shards())
+		}
+		if again := m8.ShardOf(key); again != si {
+			t.Fatalf("ShardOf(%q) unstable: %d then %d", key, si, again)
+		}
+		if got := m1.ShardOf(key); got != 0 {
+			t.Fatalf("single-shard ShardOf(%q) = %d", key, got)
+		}
+		// Round-trip through the directory: the router, the writer-side
+		// index and the reader-side decode must agree on the key bytes.
+		if err := m8.Set(key, []byte("v")); err != nil {
+			t.Fatalf("Set(%q): %v", key, err)
+		}
+		before := m8.Len()
+		if err := m8.Set(key, []byte("v2")); err != nil { // update, not a new key
+			t.Fatalf("re-Set(%q): %v", key, err)
+		}
+		if m8.Len() != before {
+			t.Fatalf("re-Set(%q) created a duplicate key", key)
+		}
+		v, err := rd.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", key, err)
+		}
+		if string(v) != "v2" {
+			t.Fatalf("Get(%q) = %q", key, v)
+		}
+	})
+}

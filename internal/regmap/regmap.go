@@ -1,0 +1,607 @@
+// Package regmap composes many ARC (1,N) registers into one addressable,
+// sharded, wait-free snapshot map — the "large-scale data sharing" step
+// the paper motivates: the register is the primitive, a keyed store of
+// registers is the service built from it (registers as the communication
+// substrate larger objects are composed from, in Vitányi's framing).
+//
+// # Structure
+//
+//   - Every key owns a dedicated ARC (1,N) register holding its current
+//     value. Value reads inherit ARC's properties verbatim: wait-free,
+//     zero-copy views, zero RMW instructions when the value is unchanged.
+//
+//   - Keys are partitioned over S shards by an FNV-1a hash. Each shard
+//     owns a dynamically growable key directory — the ordered list of the
+//     shard's keys; a key's position in it is its slot index, stable for
+//     the key's lifetime (the directory is append-only: this is a
+//     snapshot map, keys are added, never removed).
+//
+//   - The directory itself is published through a directory ARC register
+//     (one per shard, §3.3 dynamic-buffer variant, so its value can grow
+//     without bound while unchanged publications cost nothing). Adding a
+//     key is therefore one register creation plus one directory
+//     re-publish by that shard's writer — and directory lookups, key
+//     enumeration and change detection on the reader side are all
+//     wait-free zero-copy register reads, never mutex acquisitions.
+//
+// # The fresh-gated Get
+//
+// Every Reader handle caches, per shard, the decoded directory — a
+// (directory epoch, key→slot table, per-key ARC reader) tuple. A Get
+// probes the shard's directory register with arc.Reader.Fresh (one atomic
+// load, no RMW); only when the directory actually changed does it re-view
+// and re-decode — and the decode is incremental: the append-only encoding
+// is prefix-stable, so only the new tail entries are parsed. The key's
+// own register is then read through arc.Reader.ViewFresh, whose unchanged
+// case is ARC's R1–R2 fast path. A Get of an unchanged key on an
+// unchanged directory therefore costs two atomic loads total — zero RMW
+// instructions, zero decoding, zero copies — regardless of how many keys
+// the map holds. A miss on an unchanged directory costs one atomic load
+// plus a hash lookup.
+//
+// # Concurrency contract
+//
+// Each shard is single-writer: Set may be invoked concurrently only for
+// keys living on different shards (ShardOf reports the routing). The
+// common deployment is one writer goroutine for the whole map, mirroring
+// the paper's (1,N) shape; partition keys by ShardOf to scale writes.
+// Readers are one handle per goroutine, as everywhere in this module.
+//
+// The writer-to-reader handoff of a new key needs no locks: the shard's
+// slot array is an immutable snapshot behind an atomic pointer, replaced
+// (copy-on-append) before the directory register publishes the new
+// count. A reader that observes the new directory through the register's
+// RMW chain therefore observes the longer slot array too, and slot
+// indices below the published count are always valid. The new key's
+// register is created with the first value as its initial content, so no
+// reader can ever see a key without a value.
+package regmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arcreg/internal/arc"
+	"arcreg/internal/register"
+)
+
+// ErrKeyNotFound is returned by Get for a key no Set has created.
+var ErrKeyNotFound = errors.New("regmap: key not found")
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 8
+
+// dirMaxBytes bounds a shard directory encoding (1 GiB of key material
+// per shard — an administrative ceiling, not a pre-allocation: the
+// directory register uses dynamic buffers).
+const dirMaxBytes = 1 << 30
+
+// dirHeaderSize is the fixed directory prefix: 8-byte epoch + 4-byte
+// entry count. Fixed-width (not varint) so the entry region's byte
+// offsets never shift as the directory grows — that is what makes the
+// reader's incremental tail decode sound.
+const dirHeaderSize = 12
+
+// Config parametrizes a Map.
+type Config struct {
+	// Shards is the number of key partitions, rounded up to a power of
+	// two (default DefaultShards). More shards mean more write
+	// parallelism headroom and smaller directories, at the cost of one
+	// directory register (and one per-reader handle) each.
+	Shards int
+	// MaxReaders is N, the number of concurrently live Reader handles.
+	MaxReaders int
+	// MaxValueSize bounds values in bytes (default
+	// register.DefaultMaxValueSize). Per-key registers pre-allocate
+	// MaxReaders+2 buffers of this size unless DynamicValues is set.
+	MaxValueSize int
+	// DynamicValues selects the §3.3 dynamic-buffer variant for the
+	// per-key value registers: each Set allocates an exact-size buffer
+	// instead of filling a pre-allocated slot. Memory then scales with
+	// the values actually stored — the right choice when the map holds
+	// many keys with small or rarely-updated values.
+	DynamicValues bool
+}
+
+// fnv64Offset/fnv64Prime are the FNV-1a 64-bit parameters. The hash is
+// inlined (rather than hash/fnv) to keep ShardOf allocation-free on the
+// read path; the fuzz tests pin it to the stdlib implementation.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// Hash is the FNV-1a 64-bit hash of key — the map's shard router,
+// exported for tests and for callers that partition writer goroutines.
+func Hash(key string) uint64 {
+	h := uint64(fnv64Offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// slots is an immutable snapshot of a shard's per-key registers, in slot
+// (directory) order. Grown copy-on-append by the shard writer; readers
+// load it atomically after observing the directory.
+type slots struct {
+	regs []*arc.Register
+}
+
+// shard owns one key partition: the directory register and the
+// writer-side key table. All non-atomic fields are owned by the shard's
+// single writer.
+type shard struct {
+	dir     *arc.Register         // directory publications (dynamic buffers)
+	entries atomic.Pointer[slots] // reader-visible slot array snapshot
+	index   map[string]int        // writer-side key → slot
+	wregs   []*arc.Register       // writer-side slot array (uncopied)
+	epoch   uint64                // directory publish count (== key count while add-only)
+	dirBuf  []byte                // directory encoding (prefix-stable, appended to)
+}
+
+// Map is a sharded wait-free snapshot map of ARC registers.
+type Map struct {
+	shards       []*shard
+	mask         uint64
+	maxReaders   int
+	maxValueSize int
+	dynamic      bool
+
+	mu          sync.Mutex
+	liveReaders int
+}
+
+// New constructs a Map.
+func New(cfg Config) (*Map, error) {
+	if cfg.MaxReaders <= 0 {
+		return nil, fmt.Errorf("regmap: MaxReaders must be positive, got %d", cfg.MaxReaders)
+	}
+	if cfg.MaxValueSize == 0 {
+		cfg.MaxValueSize = register.DefaultMaxValueSize
+	}
+	if cfg.MaxValueSize < 0 {
+		return nil, fmt.Errorf("regmap: MaxValueSize must be positive, got %d", cfg.MaxValueSize)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("regmap: Shards must be positive, got %d", cfg.Shards)
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	m := &Map{
+		shards:       make([]*shard, nshards),
+		mask:         uint64(nshards - 1),
+		maxReaders:   cfg.MaxReaders,
+		maxValueSize: cfg.MaxValueSize,
+		dynamic:      cfg.DynamicValues,
+	}
+	genesis := make([]byte, dirHeaderSize) // epoch 0, count 0
+	for i := range m.shards {
+		dir, err := arc.New(register.Config{
+			MaxReaders:   cfg.MaxReaders,
+			MaxValueSize: dirMaxBytes,
+			Initial:      genesis,
+		}, arc.Options{DynamicBuffers: true})
+		if err != nil {
+			return nil, fmt.Errorf("regmap: shard %d directory: %w", i, err)
+		}
+		sh := &shard{
+			dir:    dir,
+			index:  make(map[string]int),
+			dirBuf: append([]byte(nil), genesis...),
+		}
+		sh.entries.Store(&slots{})
+		m.shards[i] = sh
+	}
+	return m, nil
+}
+
+// Shards reports the shard count (a power of two).
+func (m *Map) Shards() int { return len(m.shards) }
+
+// MaxReaders reports the Reader-handle capacity N.
+func (m *Map) MaxReaders() int { return m.maxReaders }
+
+// MaxValueSize reports the per-value byte bound.
+func (m *Map) MaxValueSize() int { return m.maxValueSize }
+
+// ShardOf reports which shard key routes to — deterministic across
+// processes and Map instances with the same shard count. Writers that
+// want parallel Sets partition their keys by this.
+func (m *Map) ShardOf(key string) int { return int(Hash(key) & m.mask) }
+
+// Len reports the number of keys in the map. Safe to call concurrently
+// with Sets (it sums the shards' atomic slot snapshots).
+func (m *Map) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		n += len(sh.entries.Load().regs)
+	}
+	return n
+}
+
+// Set publishes val under key, creating the key if needed. Single
+// goroutine per shard (see the package concurrency contract). The value
+// is copied into a register slot; the caller keeps ownership of val.
+func (m *Map) Set(key string, val []byte) error {
+	if len(val) > m.maxValueSize {
+		return fmt.Errorf("%w: %d > %d", register.ErrValueTooLarge, len(val), m.maxValueSize)
+	}
+	sh := m.shards[m.ShardOf(key)]
+	if i, ok := sh.index[key]; ok {
+		return sh.wregs[i].Write(val)
+	}
+	return m.addKey(sh, key, val)
+}
+
+// addKey creates the key's register (seeded with the first value, so the
+// key is never visible without one), grows the reader-visible slot
+// snapshot, and re-publishes the shard directory. The order — register
+// ready, slots stored, directory published — is what readers rely on:
+// observing the new directory count through the register's RMW chain
+// happens-after the slot store.
+func (m *Map) addKey(sh *shard, key string, val []byte) error {
+	initial := val
+	if initial == nil {
+		initial = []byte{}
+	}
+	reg, err := arc.New(register.Config{
+		MaxReaders:   m.maxReaders,
+		MaxValueSize: m.maxValueSize,
+		Initial:      initial,
+	}, arc.Options{DynamicBuffers: m.dynamic})
+	if err != nil {
+		return fmt.Errorf("regmap: key %q register: %w", key, err)
+	}
+	if len(sh.dirBuf)+binary.MaxVarintLen64+len(key) > dirMaxBytes {
+		return fmt.Errorf("regmap: shard directory full (%d bytes)", len(sh.dirBuf))
+	}
+
+	sh.wregs = append(sh.wregs, reg)
+	next := &slots{regs: append(make([]*arc.Register, 0, len(sh.wregs)), sh.wregs...)}
+	sh.entries.Store(next)
+	sh.index[key] = len(sh.wregs) - 1
+
+	// Append the entry to the prefix-stable encoding and re-publish.
+	sh.epoch++
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+	sh.dirBuf = append(sh.dirBuf, lenBuf[:n]...)
+	sh.dirBuf = append(sh.dirBuf, key...)
+	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
+	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(len(sh.wregs)))
+	return sh.dir.Write(sh.dirBuf)
+}
+
+// WriteStats aggregates the map's publish-side counters. Collect only at
+// quiescence (no Set in flight), like every stats accessor in this
+// module.
+func (m *Map) WriteStats() WriteStats {
+	var ws WriteStats
+	for _, sh := range m.shards {
+		ws.Directory.Add(sh.dir.WriteStats())
+		ws.Keys += uint64(len(sh.wregs))
+		for _, reg := range sh.entries.Load().regs {
+			ws.Value.Add(reg.WriteStats())
+		}
+	}
+	return ws
+}
+
+// WriteStats counts the work the map's writer side performed.
+type WriteStats struct {
+	// Value aggregates the per-key value registers' write counters.
+	Value register.WriteStats
+	// Directory aggregates the shard directory registers' write
+	// counters; Directory.Ops is the number of directory publications.
+	Directory register.WriteStats
+	// Keys is the number of keys created.
+	Keys uint64
+}
+
+// ReadStats counts the work a Reader handle performed.
+type ReadStats struct {
+	// ReadStats aggregates over the handle's component registers: Ops
+	// counts Gets (hits and misses), FastPath counts Gets served with
+	// zero RMW instructions (unchanged directory and unchanged or absent
+	// key), RMW sums the RMW instructions the directory and per-key
+	// handles executed.
+	register.ReadStats
+	// Misses counts Gets of absent keys.
+	Misses uint64
+	// DirRefreshes counts directory re-decodes (a changed directory
+	// observed); the incremental decode parses only the tail entries.
+	DirRefreshes uint64
+}
+
+// readerShard is a Reader's per-shard cache: the directory reader handle
+// plus the decoded (epoch, key→slot, per-key handle) table.
+type readerShard struct {
+	dirRd *arc.Reader
+	// table, keys, regs, handles are the decoded directory: key → slot,
+	// keys in slot order, the slot snapshot the decode observed, and the
+	// lazily created per-key reader handles.
+	table   map[string]int
+	keys    []string
+	regs    []*arc.Register
+	handles []*arc.Reader
+	// epoch is the decoded directory epoch — consumed as a monotonicity
+	// guard: a publication carries a strictly larger epoch, so a decode
+	// observing a smaller one means the protocol broke. decoded/tailOff
+	// track the incremental decode frontier (entries parsed, byte offset
+	// of the next one — valid across publications because the encoding
+	// is prefix-stable).
+	epoch   uint64
+	decoded int
+	tailOff int
+}
+
+// Reader is a per-goroutine read endpoint over the whole map. One handle
+// per goroutine; at most MaxReaders live at once.
+type Reader struct {
+	m      *Map
+	shards []readerShard
+	closed bool
+
+	ops       uint64
+	fastPath  uint64
+	misses    uint64
+	refreshes uint64
+}
+
+// NewReader allocates a reader handle (one directory handle per shard;
+// per-key handles are created lazily on first Get of each key).
+func (m *Map) NewReader() (*Reader, error) {
+	m.mu.Lock()
+	if m.liveReaders >= m.maxReaders {
+		m.mu.Unlock()
+		return nil, register.ErrTooManyReaders
+	}
+	m.liveReaders++
+	m.mu.Unlock()
+	r := &Reader{m: m, shards: make([]readerShard, len(m.shards))}
+	for i, sh := range m.shards {
+		h, err := sh.dir.NewReaderHandle()
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("regmap: shard %d directory handle: %w", i, err)
+		}
+		r.shards[i].dirRd = h
+		r.shards[i].table = make(map[string]int)
+	}
+	return r, nil
+}
+
+// refresh re-views and incrementally decodes shard si's directory. Called
+// only when the directory register reports a change (or on first touch).
+func (r *Reader) refresh(si int) error {
+	rs := &r.shards[si]
+	v, err := rs.dirRd.View()
+	if err != nil {
+		return err
+	}
+	if len(v) < dirHeaderSize {
+		return fmt.Errorf("regmap: shard %d directory shorter than header (%d bytes)", si, len(v))
+	}
+	epoch := binary.LittleEndian.Uint64(v[0:8])
+	count := int(binary.LittleEndian.Uint32(v[8:12]))
+	if epoch < rs.epoch || count < rs.decoded {
+		// ARC never serves an older publication to the same handle; a
+		// regressed epoch or count means the directory protocol broke.
+		return fmt.Errorf("regmap: shard %d directory regressed (epoch %d→%d, count %d→%d)",
+			si, rs.epoch, epoch, rs.decoded, count)
+	}
+	// Load the slot snapshot after viewing the directory: the writer
+	// stored it before publishing, so it covers every published slot.
+	el := r.m.shards[si].entries.Load()
+	if count > len(el.regs) {
+		return fmt.Errorf("regmap: shard %d directory count %d exceeds %d slots", si, count, len(el.regs))
+	}
+	off := rs.tailOff
+	if rs.decoded == 0 {
+		off = dirHeaderSize
+	}
+	for i := rs.decoded; i < count; i++ {
+		klen, n := binary.Uvarint(v[off:])
+		if n <= 0 || off+n+int(klen) > len(v) {
+			return fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off)
+		}
+		off += n
+		key := string(v[off : off+int(klen)])
+		off += int(klen)
+		rs.table[key] = i
+		rs.keys = append(rs.keys, key)
+		rs.handles = append(rs.handles, nil)
+	}
+	rs.decoded = count
+	rs.tailOff = off
+	rs.epoch = epoch
+	rs.regs = el.regs
+	r.refreshes++
+	return nil
+}
+
+// Get returns a zero-copy view of key's freshest value, or ErrKeyNotFound.
+// The view is valid until this handle's next Get/GetCopy of the same key
+// or Close; Gets of other keys do not invalidate it. When neither the
+// shard directory nor the key changed since the handle's last Get of it,
+// the cost is two atomic loads — zero RMW instructions, zero decoding.
+func (r *Reader) Get(key string) ([]byte, error) {
+	if r.closed {
+		return nil, register.ErrReaderClosed
+	}
+	si := r.m.ShardOf(key)
+	rs := &r.shards[si]
+	r.ops++
+	dirFresh := rs.dirRd.Fresh()
+	if !dirFresh {
+		if err := r.refresh(si); err != nil {
+			return nil, err
+		}
+	}
+	i, ok := rs.table[key]
+	if !ok {
+		r.misses++
+		if dirFresh {
+			r.fastPath++ // one load, no RMW: the directory probe
+		}
+		return nil, ErrKeyNotFound
+	}
+	h := rs.handles[i]
+	if h == nil {
+		var err error
+		h, err = rs.regs[i].NewReaderHandle()
+		if err != nil {
+			return nil, fmt.Errorf("regmap: key %q handle: %w", key, err)
+		}
+		rs.handles[i] = h
+	}
+	v, changed, err := h.ViewFresh()
+	if err != nil {
+		return nil, err
+	}
+	if dirFresh && !changed {
+		r.fastPath++ // two loads, no RMW: the fully gated hot path
+	}
+	return v, nil
+}
+
+// GetCopy copies key's freshest value into dst and returns its length
+// (register.ErrBufferTooSmall with the required length if dst cannot
+// hold it).
+func (r *Reader) GetCopy(key string, dst []byte) (int, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) < len(v) {
+		return len(v), register.ErrBufferTooSmall
+	}
+	return copy(dst, v), nil
+}
+
+// Fresh reports whether the handle's last Get of key would return the
+// same publication again — the map-level freshness probe: true only when
+// the shard directory is unchanged, the key is known, and its register
+// still holds the handle's slot. A key this handle never Get was not
+// read, so it reports false (matching register.FreshnessProber).
+func (r *Reader) Fresh(key string) bool {
+	if r.closed {
+		return false
+	}
+	rs := &r.shards[r.m.ShardOf(key)]
+	if !rs.dirRd.Fresh() {
+		return false
+	}
+	i, ok := rs.table[key]
+	if !ok {
+		return false
+	}
+	h := rs.handles[i]
+	return h != nil && h.Fresh()
+}
+
+// Keys returns the map's keys (shard by shard, slot order within a
+// shard; no cross-shard snapshot is implied — each shard's listing is
+// individually atomic). The slice is the caller's.
+func (r *Reader) Keys() ([]string, error) {
+	if r.closed {
+		return nil, register.ErrReaderClosed
+	}
+	n := 0
+	for si := range r.shards {
+		rs := &r.shards[si]
+		if !rs.dirRd.Fresh() {
+			if err := r.refresh(si); err != nil {
+				return nil, err
+			}
+		}
+		n += len(rs.keys)
+	}
+	out := make([]string, 0, n)
+	for si := range r.shards {
+		out = append(out, r.shards[si].keys...)
+	}
+	return out, nil
+}
+
+// Len reports the number of keys visible to this handle (refreshing each
+// shard's directory view first).
+func (r *Reader) Len() (int, error) {
+	if r.closed {
+		return 0, register.ErrReaderClosed
+	}
+	n := 0
+	for si := range r.shards {
+		rs := &r.shards[si]
+		if !rs.dirRd.Fresh() {
+			if err := r.refresh(si); err != nil {
+				return 0, err
+			}
+		}
+		n += len(rs.keys)
+	}
+	return n, nil
+}
+
+// Stats reports the handle's read counters. Collect after the owning
+// goroutine has quiesced.
+func (r *Reader) Stats() ReadStats {
+	st := ReadStats{
+		ReadStats:    register.ReadStats{Ops: r.ops, FastPath: r.fastPath},
+		Misses:       r.misses,
+		DirRefreshes: r.refreshes,
+	}
+	for si := range r.shards {
+		rs := &r.shards[si]
+		if rs.dirRd != nil {
+			st.RMW += rs.dirRd.ReadStats().RMW
+		}
+		for _, h := range rs.handles {
+			if h != nil {
+				st.RMW += h.ReadStats().RMW
+			}
+		}
+	}
+	return st
+}
+
+// Close releases the handle: every per-key handle and directory handle
+// is returned to its register, and the map-level capacity is freed.
+func (r *Reader) Close() error {
+	if r.closed {
+		return register.ErrReaderClosed
+	}
+	r.closed = true
+	for si := range r.shards {
+		rs := &r.shards[si]
+		if rs.dirRd != nil {
+			rs.dirRd.Close()
+		}
+		for _, h := range rs.handles {
+			if h != nil {
+				h.Close()
+			}
+		}
+	}
+	r.m.mu.Lock()
+	r.m.liveReaders--
+	r.m.mu.Unlock()
+	return nil
+}
+
+// LiveReaders reports the number of open Reader handles.
+func (m *Map) LiveReaders() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveReaders
+}

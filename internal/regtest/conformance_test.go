@@ -18,6 +18,11 @@ func TestConformance(t *testing.T) {
 		harness.AlgLock,
 		harness.AlgSeqlock,
 		harness.AlgLeftRight,
+		// The regmap sharded snapshot map, adapted through a single key:
+		// Set/Get run the full directory-probe + value-register path, so
+		// the map layer is held to the same (1,N) behavioral contract as
+		// the raw algorithms.
+		harness.AlgMap,
 	}
 	for _, alg := range algs {
 		t.Run(string(alg), func(t *testing.T) {

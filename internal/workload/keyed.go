@@ -1,0 +1,161 @@
+package workload
+
+// The keyed workload path: operation bodies for the regmap sharded
+// snapshot map, extending the paper's Hold-model workloads from one
+// register to a keyed store. Key popularity follows a Zipf distribution
+// (the standard model for skewed config/cache access: a few hot keys
+// absorb most reads) or uniform when the exponent is ≤ 1.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/regmap"
+)
+
+// KeyChooser picks key indices in [0, n) — Zipf-skewed when exponent > 1,
+// uniform otherwise. Deterministic for a given seed; one instance per
+// goroutine.
+type KeyChooser struct {
+	n    int
+	r    *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewKeyChooser builds a chooser over n keys. exponent is the Zipf s
+// parameter (math/rand requires s > 1; pass 0 or 1 for uniform).
+func NewKeyChooser(n int, exponent float64, seed uint64) *KeyChooser {
+	if n <= 0 {
+		n = 1
+	}
+	c := &KeyChooser{n: n, r: rand.New(rand.NewSource(int64(seed)))}
+	if exponent > 1 && n > 1 {
+		c.zipf = rand.NewZipf(c.r, exponent, 1, uint64(n-1))
+	}
+	return c
+}
+
+// Next returns the next key index.
+func (c *KeyChooser) Next() int {
+	if c.zipf != nil {
+		return int(c.zipf.Uint64())
+	}
+	return c.r.Intn(c.n)
+}
+
+// KeyName formats the canonical benchmark key for index i. Shared by the
+// populate and operation paths so they agree on the key space.
+func KeyName(i int) string { return fmt.Sprintf("key-%06d", i) }
+
+// MapGetWork drives one regmap reader handle through the keyed read
+// workload. One instance per goroutine.
+type MapGetWork struct {
+	rd     *regmap.Reader
+	keys   []string
+	choose *KeyChooser
+	mode   Mode
+	// missEvery > 0 makes every missEvery-th Get target an absent key,
+	// exercising the directory-probe miss path.
+	missEvery uint64
+	ops       uint64
+	misses    uint64
+	sink      uint64
+}
+
+// NewMapGetWork prepares the keyed read body: Gets over keys, chosen by
+// choose, with the selected processing mode.
+func NewMapGetWork(rd *regmap.Reader, keys []string, choose *KeyChooser, mode Mode, missEvery int) *MapGetWork {
+	w := &MapGetWork{rd: rd, keys: keys, choose: choose, mode: mode}
+	if missEvery > 0 {
+		w.missEvery = uint64(missEvery)
+	}
+	return w
+}
+
+// Do performs one Get operation.
+func (w *MapGetWork) Do() error {
+	w.ops++
+	if w.missEvery > 0 && w.ops%w.missEvery == 0 {
+		if _, err := w.rd.Get("\x00absent"); !errors.Is(err, regmap.ErrKeyNotFound) {
+			if err == nil {
+				return errors.New("workload: absent key found")
+			}
+			return err
+		}
+		w.misses++
+		return nil
+	}
+	val, err := w.rd.Get(w.keys[w.choose.Next()])
+	if err != nil {
+		return err
+	}
+	switch w.mode {
+	case Dummy:
+		// Pointer retrieval only; touch one byte so the view cannot be
+		// optimized away.
+		w.sink += uint64(len(val))
+		if len(val) > 0 {
+			w.sink += uint64(val[0])
+		}
+	case Processing:
+		w.sink += membuf.Checksum(val)
+	}
+	return nil
+}
+
+// Sink exposes the accumulated checksum so the compiler must keep the
+// reads.
+func (w *MapGetWork) Sink() uint64 { return w.sink }
+
+// Misses reports the deliberate absent-key Gets performed.
+func (w *MapGetWork) Misses() uint64 { return w.misses }
+
+// MapSetWork drives the map's writer side: updates over the key space,
+// optionally interleaved with key creation (directory churn). One
+// instance, one goroutine — the map's single-writer shape.
+type MapSetWork struct {
+	m      *regmap.Map
+	keys   []string
+	choose *KeyChooser
+	mode   Mode
+	buf    []byte
+	// churnEvery > 0 makes every churnEvery-th Set create a brand-new
+	// key, re-publishing that shard's directory.
+	churnEvery uint64
+	version    uint64
+	created    uint64
+}
+
+// NewMapSetWork prepares the keyed write body. size is the value size for
+// every Set.
+func NewMapSetWork(m *regmap.Map, keys []string, choose *KeyChooser, mode Mode, size, churnEvery int) *MapSetWork {
+	if size < membuf.MinPayload {
+		size = membuf.MinPayload
+	}
+	w := &MapSetWork{m: m, keys: keys, choose: choose, mode: mode, buf: make([]byte, size)}
+	if churnEvery > 0 {
+		w.churnEvery = uint64(churnEvery)
+	}
+	// Dummy mode posts the same pre-built content on every write.
+	membuf.Encode(w.buf, 0)
+	return w
+}
+
+// Do performs one Set operation.
+func (w *MapSetWork) Do() error {
+	w.version++
+	if w.mode == Processing {
+		// "a write actually generates some data": refill the payload.
+		membuf.Encode(w.buf, w.version)
+	}
+	if w.churnEvery > 0 && w.version%w.churnEvery == 0 {
+		w.created++
+		return w.m.Set(fmt.Sprintf("churn-%08d", w.created), w.buf)
+	}
+	return w.m.Set(w.keys[w.choose.Next()], w.buf)
+}
+
+// Created reports the number of churn keys this work body added.
+func (w *MapSetWork) Created() uint64 { return w.created }

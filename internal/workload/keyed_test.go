@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"arcreg/internal/regmap"
+)
+
+// TestKeyChooserDeterminism pins the chooser contract: same seed → same
+// sequence, indices always in range, Zipf actually skews toward low
+// indices while uniform does not.
+func TestKeyChooserDeterminism(t *testing.T) {
+	const n, draws = 64, 4096
+	a := NewKeyChooser(n, 1.2, 7)
+	b := NewKeyChooser(n, 1.2, 7)
+	zipfLow := 0
+	for i := 0; i < draws; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+		if x < 0 || x >= n {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+		if x < n/8 {
+			zipfLow++
+		}
+	}
+	uni := NewKeyChooser(n, 0, 7)
+	uniLow := 0
+	for i := 0; i < draws; i++ {
+		x := uni.Next()
+		if x < 0 || x >= n {
+			t.Fatalf("uniform draw out of range: %d", x)
+		}
+		if x < n/8 {
+			uniLow++
+		}
+	}
+	if zipfLow <= uniLow {
+		t.Errorf("Zipf(1.2) not skewed: %d low draws vs uniform's %d", zipfLow, uniLow)
+	}
+	// Degenerate sizes must not panic.
+	if got := NewKeyChooser(1, 1.2, 1).Next(); got != 0 {
+		t.Errorf("single-key chooser returned %d", got)
+	}
+	if got := NewKeyChooser(0, 0, 1).Next(); got != 0 {
+		t.Errorf("zero-key chooser returned %d", got)
+	}
+}
+
+// TestMapWorkBodies smoke-tests the keyed operation bodies against a real
+// map: misses are deliberate and counted, churn creates keys, the sink
+// accumulates.
+func TestMapWorkBodies(t *testing.T) {
+	m, err := regmap.New(regmap.Config{Shards: 4, MaxReaders: 1, MaxValueSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 8)
+	seed := make([]byte, 64)
+	for i := range keys {
+		keys[i] = KeyName(i)
+		if err := m.Set(keys[i], seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw := NewMapSetWork(m, keys, NewKeyChooser(len(keys), 0, 1), Processing, 64, 5)
+	for i := 0; i < 20; i++ {
+		if err := sw.Do(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Created() != 4 { // every 5th of 20 Sets
+		t.Errorf("churn keys = %d, want 4", sw.Created())
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	rw := NewMapGetWork(rd, keys, NewKeyChooser(len(keys), 1.2, 2), Processing, 7)
+	for i := 0; i < 70; i++ {
+		if err := rw.Do(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rw.Misses() != 10 {
+		t.Errorf("deliberate misses = %d, want 10", rw.Misses())
+	}
+	if rw.Sink() == 0 {
+		t.Error("sink did not accumulate")
+	}
+}

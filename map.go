@@ -1,0 +1,214 @@
+package arcreg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"arcreg/internal/regmap"
+)
+
+// ErrKeyNotFound is returned by MapReader.Get for a key no Set created.
+var ErrKeyNotFound = regmap.ErrKeyNotFound
+
+// MapConfig parametrizes a Map.
+type MapConfig struct {
+	// Shards is the number of key partitions, rounded up to a power of
+	// two (default 8). Writes to different shards may run concurrently;
+	// see Map.Set.
+	Shards int
+	// MaxReaders is N, the number of concurrently live MapReader
+	// handles.
+	MaxReaders int
+	// MaxValueSize bounds values in bytes (default 4096).
+	MaxValueSize int
+	// DynamicValues makes every Set allocate an exact-size buffer (the
+	// paper's §3.3 variant) instead of pre-allocating MaxReaders+2
+	// MaxValueSize buffers per key — the right choice for maps with many
+	// keys holding small values.
+	DynamicValues bool
+}
+
+// MapReadStats counts a MapReader's work: Ops (Gets), FastPath (Gets
+// served with zero RMW instructions), RMW (summed over the directory and
+// per-key handles), plus Misses and DirRefreshes.
+type MapReadStats = regmap.ReadStats
+
+// MapWriteStats counts the map writer side's work: value publishes,
+// directory publications and keys created.
+type MapWriteStats = regmap.WriteStats
+
+// Map is a sharded, keyed store where every key is its own wait-free ARC
+// (1,N) register and every shard publishes its key directory through a
+// directory ARC register. Key lookup, key enumeration and value reads
+// are wait-free zero-copy register reads; adding a key is one directory
+// re-publish by that shard's writer. A Get of an unchanged hot key costs
+// two atomic loads — zero RMW instructions — regardless of map size (see
+// internal/regmap for the protocol).
+type Map struct {
+	m *regmap.Map
+}
+
+// NewMap constructs a Map.
+func NewMap(cfg MapConfig) (*Map, error) {
+	m, err := regmap.New(regmap.Config{
+		Shards:        cfg.Shards,
+		MaxReaders:    cfg.MaxReaders,
+		MaxValueSize:  cfg.MaxValueSize,
+		DynamicValues: cfg.DynamicValues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Map{m: m}, nil
+}
+
+// Set publishes val under key, creating the key if needed (keys are
+// never removed — this is a snapshot map). Each shard is single-writer:
+// call Set from one goroutine, or partition keys by ShardOf to write
+// shards in parallel.
+func (m *Map) Set(key string, val []byte) error { return m.m.Set(key, val) }
+
+// ShardOf reports which shard key routes to (deterministic FNV-1a
+// routing, stable across Map instances with equal shard counts).
+func (m *Map) ShardOf(key string) int { return m.m.ShardOf(key) }
+
+// Shards reports the shard count.
+func (m *Map) Shards() int { return m.m.Shards() }
+
+// Len reports the number of keys; safe concurrently with Sets.
+func (m *Map) Len() int { return m.m.Len() }
+
+// MaxReaders reports the MapReader capacity N.
+func (m *Map) MaxReaders() int { return m.m.MaxReaders() }
+
+// MaxValueSize reports the per-value byte bound.
+func (m *Map) MaxValueSize() int { return m.m.MaxValueSize() }
+
+// WriteStats reports aggregate publish-side counters. Collect at
+// quiescence.
+func (m *Map) WriteStats() MapWriteStats { return m.m.WriteStats() }
+
+// NewReader allocates a read endpoint (one per goroutine, up to
+// MaxReaders).
+func (m *Map) NewReader() (*MapReader, error) {
+	r, err := m.m.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return &MapReader{r: r}, nil
+}
+
+// MapReader is a per-goroutine read endpoint over the whole map. It
+// caches, per shard, the decoded directory and the per-key reader
+// handles, so repeated Gets of unchanged keys are two atomic loads.
+type MapReader struct {
+	r *regmap.Reader
+}
+
+// Get returns a zero-copy view of key's freshest value, or
+// ErrKeyNotFound. The view is valid until this handle's next Get/GetCopy
+// of the same key or Close; Gets of other keys do not invalidate it.
+// Callers must not modify the returned slice.
+func (r *MapReader) Get(key string) ([]byte, error) { return r.r.Get(key) }
+
+// GetCopy copies key's freshest value into dst and returns its length
+// (ErrBufferTooSmall with the required length if dst cannot hold it).
+func (r *MapReader) GetCopy(key string, dst []byte) (int, error) { return r.r.GetCopy(key, dst) }
+
+// Fresh reports whether the handle's last Get of key is still current —
+// one to two atomic loads, no RMW; false for keys this handle never Get.
+func (r *MapReader) Fresh(key string) bool { return r.r.Fresh(key) }
+
+// Keys lists the map's keys (each shard's listing individually atomic;
+// no cross-shard snapshot implied).
+func (r *MapReader) Keys() ([]string, error) { return r.r.Keys() }
+
+// Len reports the number of keys visible to this handle.
+func (r *MapReader) Len() (int, error) { return r.r.Len() }
+
+// ReadStats reports the handle's counters; collect after the owning
+// goroutine has quiesced.
+func (r *MapReader) ReadStats() MapReadStats { return r.r.Stats() }
+
+// Close releases the handle and every register handle it cached.
+func (r *MapReader) Close() error { return r.r.Close() }
+
+// MapOf wraps a Map with an encoding, turning the byte-oriented keyed
+// store into a typed one — the Typed equivalent at map scale. Encoding
+// and decoding run outside the registers' critical operations, so they
+// may be arbitrarily expensive without affecting other threads'
+// progress.
+type MapOf[T any] struct {
+	m   *Map
+	enc func(T) ([]byte, error)
+	dec func([]byte) (T, error)
+}
+
+// NewMapOf wraps m with the given encoding. enc must produce at most
+// MaxValueSize bytes; dec must not retain its argument (the slice may
+// alias a register slot recycled after the decode returns).
+func NewMapOf[T any](m *Map, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *MapOf[T] {
+	return &MapOf[T]{m: m, enc: enc, dec: dec}
+}
+
+// NewJSONMap builds a Map-backed typed store using encoding/json — the
+// zero-configuration path for keyed configuration and snapshot sharing.
+func NewJSONMap[T any](cfg MapConfig) (*MapOf[T], error) {
+	m, err := NewMap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewMapOf(m,
+		func(v T) ([]byte, error) { return json.Marshal(v) },
+		func(p []byte) (T, error) {
+			var v T
+			err := json.Unmarshal(p, &v)
+			return v, err
+		}), nil
+}
+
+// Map exposes the underlying byte map (stats, capacity, raw access).
+func (t *MapOf[T]) Map() *Map { return t.m }
+
+// Set publishes a typed value under key (shard-single-writer, like
+// Map.Set).
+func (t *MapOf[T]) Set(key string, v T) error {
+	blob, err := t.enc(v)
+	if err != nil {
+		return fmt.Errorf("arcreg: encode %q: %w", key, err)
+	}
+	return t.m.Set(key, blob)
+}
+
+// NewReader allocates a typed read endpoint (counted against the map's
+// MaxReaders).
+func (t *MapOf[T]) NewReader() (*MapOfReader[T], error) {
+	r, err := t.m.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return &MapOfReader[T]{r: r, dec: t.dec}, nil
+}
+
+// MapOfReader is a per-goroutine typed read endpoint.
+type MapOfReader[T any] struct {
+	r   *MapReader
+	dec func([]byte) (T, error)
+}
+
+// Get returns the freshest typed value under key (decoding straight from
+// the register slot, no intermediate copy), or ErrKeyNotFound.
+func (r *MapOfReader[T]) Get(key string) (T, error) {
+	v, err := r.r.Get(key)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return r.dec(v)
+}
+
+// Reader exposes the underlying byte reader (freshness probes, stats).
+func (r *MapOfReader[T]) Reader() *MapReader { return r.r }
+
+// Close releases the handle.
+func (r *MapOfReader[T]) Close() error { return r.r.Close() }

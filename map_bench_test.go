@@ -1,0 +1,163 @@
+package arcreg_test
+
+// Benchmarks for the sharded snapshot map. BenchmarkMapGet is the
+// acceptance benchmark: a Get of an unchanged hot key must report ~0
+// rmw/get through map-level ReadStats — ARC's fresh-path economy
+// surviving both the directory and the per-key layer. BenchmarkMapMiss
+// prices the absent-key path (directory probe + hash lookup), and the
+// remaining benchmarks cover updates, skewed multi-key reading, and the
+// harness figure at smoke scale.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"arcreg"
+	"arcreg/internal/harness"
+	"arcreg/internal/workload"
+)
+
+func benchMap(b *testing.B, keys int) (*arcreg.Map, []string) {
+	b.Helper()
+	m, err := arcreg.NewMap(arcreg.MapConfig{Shards: 16, MaxReaders: 2, MaxValueSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, keys)
+	val := make2(1024)
+	for i := range names {
+		names[i] = workload.KeyName(i)
+		if err := m.Set(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, names
+}
+
+// BenchmarkMapGet is the steady-state hot path: the key and its shard
+// directory are unchanged, so every Get is two atomic loads. The
+// rmw/get metric (from map ReadStats) must be ~0.
+func BenchmarkMapGet(b *testing.B) {
+	m, names := benchMap(b, 64)
+	rd, err := m.NewReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rd.Close()
+	hot := names[7]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Get(hot); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rd.ReadStats()
+	if st.Ops > 0 {
+		b.ReportMetric(float64(st.RMW)/float64(st.Ops), "rmw/get")
+		b.ReportMetric(100*float64(st.FastPath)/float64(st.Ops), "fastpath-%")
+	}
+}
+
+// BenchmarkMapMiss prices a Get of an absent key on an unchanged
+// directory: one atomic load plus the hash lookup.
+func BenchmarkMapMiss(b *testing.B) {
+	m, _ := benchMap(b, 64)
+	rd, err := m.NewReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rd.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Get("absent-key"); err != arcreg.ErrKeyNotFound {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rd.ReadStats()
+	if st.Ops > 0 {
+		b.ReportMetric(float64(st.RMW)/float64(st.Ops), "rmw/get")
+	}
+}
+
+// BenchmarkMapGetZipf reads across 4096 keys under Zipf(1.2) popularity
+// — the keyed figure's read body as a micro-benchmark.
+func BenchmarkMapGetZipf(b *testing.B) {
+	m, names := benchMap(b, 4096)
+	rd, err := m.NewReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rd.Close()
+	choose := workload.NewKeyChooser(len(names), 1.2, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Get(names[choose.Next()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rd.ReadStats()
+	if st.Ops > 0 {
+		b.ReportMetric(float64(st.RMW)/float64(st.Ops), "rmw/get")
+	}
+}
+
+// BenchmarkMapSet prices an update of an existing key (one ARC write:
+// one copy, one RMW publish).
+func BenchmarkMapSet(b *testing.B) {
+	m, names := benchMap(b, 64)
+	val := make2(1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Set(names[i&63], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapAddKey prices key creation — register construction plus
+// the shard directory re-publish — under dynamic value buffers, the
+// configuration meant for large key counts.
+func BenchmarkMapAddKey(b *testing.B) {
+	m, err := arcreg.NewMap(arcreg.MapConfig{
+		Shards: 16, MaxReaders: 1, MaxValueSize: 1 << 20, DynamicValues: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := []byte("first value")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Set(fmt.Sprintf("grow-%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigMap drives the harness keyed figure at bench scale;
+// `arcbench -figure map` runs the full version.
+func BenchmarkFigMap(b *testing.B) {
+	var mops, rmwPerGet float64
+	for b.Loop() {
+		res, err := harness.RunMap(harness.MapRunConfig{
+			Threads:   2,
+			Keys:      256,
+			ValueSize: 1024,
+			Zipf:      1.2,
+			Duration:  60 * time.Millisecond,
+			Warmup:    10 * time.Millisecond,
+			Seed:      5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mops = res.Mops()
+		rmwPerGet = res.RMWPerGet()
+	}
+	b.ReportMetric(mops, "Mops")
+	b.ReportMetric(rmwPerGet, "rmw/get")
+}

@@ -1,0 +1,178 @@
+package arcreg_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"arcreg"
+)
+
+// TestMapBasic covers the public Map surface: Set/Get/GetCopy round
+// trips, key enumeration, shard routing, misses, freshness probes.
+func TestMapBasic(t *testing.T) {
+	m, err := arcreg.NewMap(arcreg.MapConfig{Shards: 4, MaxReaders: 2, MaxValueSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 4 || m.MaxReaders() != 2 || m.MaxValueSize() != 128 {
+		t.Fatalf("config round-trip: %d/%d/%d", m.Shards(), m.MaxReaders(), m.MaxValueSize())
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	if _, err := rd.Get("missing"); !errors.Is(err, arcreg.ErrKeyNotFound) {
+		t.Fatalf("miss error = %v", err)
+	}
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("cfg/%d", i)
+		if err := m.Set(k, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if m.ShardOf(k) < 0 || m.ShardOf(k) >= m.Shards() {
+			t.Fatalf("ShardOf out of range for %q", k)
+		}
+	}
+	if m.Len() != 32 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	v, err := rd.Get("cfg/7")
+	if err != nil || string(v) != "value-7" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if !rd.Fresh("cfg/7") {
+		t.Error("just-read key not fresh")
+	}
+	dst := make([]byte, 4)
+	if n, err := rd.GetCopy("cfg/7", dst); !errors.Is(err, arcreg.ErrBufferTooSmall) || n != len("value-7") {
+		t.Fatalf("short GetCopy = %d, %v", n, err)
+	}
+	dst = make([]byte, 64)
+	n, err := rd.GetCopy("cfg/7", dst)
+	if err != nil || string(dst[:n]) != "value-7" {
+		t.Fatalf("GetCopy = %q, %v", dst[:n], err)
+	}
+	keys, err := rd.Keys()
+	if err != nil || len(keys) != 32 {
+		t.Fatalf("Keys = %d, %v", len(keys), err)
+	}
+	if n, err := rd.Len(); err != nil || n != 32 {
+		t.Fatalf("Reader.Len = %d, %v", n, err)
+	}
+	// Key creation seeds the value register via its initial content (no
+	// Write op); only updates count as value publishes.
+	if err := m.Set("cfg/7", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	ws := m.WriteStats()
+	if ws.Keys != 32 || ws.Value.Ops != 1 || ws.Directory.Ops != 32 {
+		t.Fatalf("WriteStats = %+v", ws)
+	}
+}
+
+// TestMapHotGetZeroRMW is the acceptance criterion at the public layer:
+// a Get of an unchanged hot key reports ~0 rmw/get through map-level
+// ReadStats — the fresh gate preserved through the map.
+func TestMapHotGetZeroRMW(t *testing.T) {
+	m, err := arcreg.NewMap(arcreg.MapConfig{MaxReaders: 1, MaxValueSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := m.Set(fmt.Sprintf("key-%06d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if _, err := rd.Get("key-000007"); err != nil {
+		t.Fatal(err)
+	}
+	base := rd.ReadStats()
+	const hot = 10_000
+	for i := 0; i < hot; i++ {
+		if _, err := rd.Get("key-000007"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rd.ReadStats()
+	if st.RMW != base.RMW {
+		t.Errorf("hot Gets executed %d RMW instructions, want 0", st.RMW-base.RMW)
+	}
+	if got := st.FastPath - base.FastPath; got != hot {
+		t.Errorf("fast-path Gets = %d, want %d", got, hot)
+	}
+}
+
+// TestMapOfJSON covers the typed wrapper end to end.
+func TestMapOfJSON(t *testing.T) {
+	type endpoint struct {
+		Host string
+		Port int
+	}
+	tm, err := arcreg.NewJSONMap[endpoint](arcreg.MapConfig{MaxReaders: 2, MaxValueSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := tm.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if _, err := rd.Get("svc/a"); !errors.Is(err, arcreg.ErrKeyNotFound) {
+		t.Fatalf("typed miss = %v", err)
+	}
+	if err := tm.Set("svc/a", endpoint{Host: "10.0.0.1", Port: 443}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Set("svc/b", endpoint{Host: "10.0.0.2", Port: 80}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Get("svc/a")
+	if err != nil || got != (endpoint{Host: "10.0.0.1", Port: 443}) {
+		t.Fatalf("typed Get = %+v, %v", got, err)
+	}
+	if err := tm.Set("svc/a", endpoint{Host: "10.0.0.9", Port: 443}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = rd.Get("svc/a")
+	if err != nil || got.Host != "10.0.0.9" {
+		t.Fatalf("typed Get after update = %+v, %v", got, err)
+	}
+	if tm.Map().Len() != 2 {
+		t.Fatalf("underlying Len = %d", tm.Map().Len())
+	}
+	if rd.Reader().ReadStats().Ops == 0 {
+		t.Error("typed reads not counted in map ReadStats")
+	}
+}
+
+// ExampleMap shows the map as a wait-free config service: one writer
+// goroutine publishes keyed snapshots, readers poll hot keys for free.
+func ExampleMap() {
+	m, err := arcreg.NewMap(arcreg.MapConfig{MaxReaders: 8})
+	if err != nil {
+		panic(err)
+	}
+	_ = m.Set("limits/max-conns", []byte("4096"))
+	_ = m.Set("limits/max-rps", []byte("10000"))
+
+	rd, _ := m.NewReader()
+	defer rd.Close()
+	v, _ := rd.Get("limits/max-conns")
+	fmt.Printf("max-conns=%s keys=%d\n", v, m.Len())
+
+	// Nothing changed: this Get costs two atomic loads, zero RMW.
+	v, _ = rd.Get("limits/max-conns")
+	fmt.Printf("still %s, fresh=%v\n", v, rd.Fresh("limits/max-conns"))
+	// Output:
+	// max-conns=4096 keys=2
+	// still 4096, fresh=true
+}

@@ -17,6 +17,11 @@ type MNConfig struct {
 	// collect (which serves unchanged components from a per-handle cache
 	// at the cost of one atomic load each). Ablation benchmarks only.
 	DisableFreshGate bool
+	// DisableEpochGate keeps the per-component freshness probes but
+	// turns off the adaptive epoch gate — the shared publish-epoch
+	// counter that lets an all-fresh scan cost one atomic load instead
+	// of M probes. Ablation and equivalence testing only.
+	DisableEpochGate bool
 }
 
 // MNTag is the version tag of an (M,N) value: writes are totally ordered
@@ -42,8 +47,9 @@ type MNWriter interface {
 type MNReader interface {
 	// View returns the freshest value without copying; valid until the
 	// handle's next operation. When no writer published since the last
-	// View, the cost is one atomic load per component: zero RMW
-	// instructions and zero tag decoding.
+	// View, the cost is one atomic load per component — or one atomic
+	// load total once the adaptive epoch gate has validated a quiescent
+	// scan: zero RMW instructions and zero tag decoding either way.
 	View() ([]byte, error)
 	// Read copies the freshest value into dst.
 	Read(dst []byte) (int, error)
@@ -72,7 +78,10 @@ func NewMN(cfg MNConfig) (*MNRegister, error) {
 		Readers:      cfg.Readers,
 		MaxValueSize: cfg.MaxValueSize,
 		Initial:      cfg.Initial,
-	}, mnreg.Options{DisableFreshGate: cfg.DisableFreshGate})
+	}, mnreg.Options{
+		DisableFreshGate: cfg.DisableFreshGate,
+		DisableEpochGate: cfg.DisableEpochGate,
+	})
 	if err != nil {
 		return nil, err
 	}

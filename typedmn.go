@@ -1,0 +1,128 @@
+package arcreg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TypedMN wraps an (M,N) register with an encoding — the Typed
+// equivalent for the multi-writer composite: up to M goroutines Set
+// through their own writer handles, up to N goroutines Get, all with the
+// underlying register's wait-free progress. Encoding and decoding run
+// outside the register's critical operations, so they may be arbitrarily
+// expensive without affecting other threads' progress.
+type TypedMN[T any] struct {
+	reg *MNRegister
+	enc func(T) ([]byte, error)
+	dec func([]byte) (T, error)
+}
+
+// NewTypedMN wraps reg with the given encoding. enc must produce at most
+// reg.MaxValueSize() bytes. dec must not retain its argument: the slice
+// may alias a register slot that is recycled after the decode returns.
+func NewTypedMN[T any](reg *MNRegister, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *TypedMN[T] {
+	return &TypedMN[T]{reg: reg, enc: enc, dec: dec}
+}
+
+// NewJSONMN builds an (M,N)-backed typed register using encoding/json —
+// the multi-writer counterpart of NewJSON. When cfg.Initial is nil the
+// JSON encoding of T's zero value seeds the register, so a Get before
+// the first Set decodes cleanly.
+func NewJSONMN[T any](cfg MNConfig) (*TypedMN[T], error) {
+	if cfg.Initial == nil {
+		var zero T
+		blob, err := json.Marshal(zero)
+		if err != nil {
+			return nil, fmt.Errorf("arcreg: encoding zero value: %w", err)
+		}
+		if cfg.MaxValueSize != 0 && len(blob) > cfg.MaxValueSize {
+			return nil, fmt.Errorf("arcreg: zero value needs %d bytes > MaxValueSize %d", len(blob), cfg.MaxValueSize)
+		}
+		cfg.Initial = blob
+	}
+	reg, err := NewMN(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewTypedMN(reg,
+		func(v T) ([]byte, error) { return json.Marshal(v) },
+		func(p []byte) (T, error) {
+			var v T
+			err := json.Unmarshal(p, &v)
+			return v, err
+		}), nil
+}
+
+// Register exposes the underlying (M,N) byte register (stats, capacity,
+// raw access).
+func (t *TypedMN[T]) Register() *MNRegister { return t.reg }
+
+// NewWriter allocates one of the M typed writer endpoints (one
+// goroutine per handle).
+func (t *TypedMN[T]) NewWriter() (*TypedMNWriter[T], error) {
+	w, err := t.reg.NewWriter()
+	if err != nil {
+		return nil, err
+	}
+	return &TypedMNWriter[T]{w: w, enc: t.enc}, nil
+}
+
+// NewReader allocates one of the N typed reader endpoints (one goroutine
+// per handle).
+func (t *TypedMN[T]) NewReader() (*TypedMNReader[T], error) {
+	rd, err := t.reg.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return &TypedMNReader[T]{rd: rd, dec: t.dec}, nil
+}
+
+// TypedMNWriter is one of the M typed write endpoints.
+type TypedMNWriter[T any] struct {
+	w   MNWriter
+	enc func(T) ([]byte, error)
+}
+
+// Set publishes a typed value, outbidding every write currently visible.
+func (w *TypedMNWriter[T]) Set(v T) error {
+	blob, err := w.enc(v)
+	if err != nil {
+		return fmt.Errorf("arcreg: encode: %w", err)
+	}
+	return w.w.Write(blob)
+}
+
+// ID reports the writer identity in [0, M).
+func (w *TypedMNWriter[T]) ID() int { return w.w.ID() }
+
+// Writer exposes the underlying byte endpoint (stats, raw writes).
+func (w *TypedMNWriter[T]) Writer() MNWriter { return w.w }
+
+// Close releases the writer identity for reuse.
+func (w *TypedMNWriter[T]) Close() error { return w.w.Close() }
+
+// TypedMNReader is one of the N typed read endpoints.
+type TypedMNReader[T any] struct {
+	rd  MNReader
+	dec func([]byte) (T, error)
+}
+
+// Get returns the freshest typed value, decoding straight from the
+// winning component's slot (no intermediate copy).
+func (r *TypedMNReader[T]) Get() (T, error) {
+	var zero T
+	v, err := r.rd.View()
+	if err != nil {
+		return zero, err
+	}
+	return r.dec(v)
+}
+
+// LastTag reports the (M,N) version tag of the last value Get returned.
+func (r *TypedMNReader[T]) LastTag() MNTag { return r.rd.LastTag() }
+
+// Reader exposes the underlying byte endpoint (stats, freshness).
+func (r *TypedMNReader[T]) Reader() MNReader { return r.rd }
+
+// Close releases the handle.
+func (r *TypedMNReader[T]) Close() error { return r.rd.Close() }
