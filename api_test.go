@@ -1,0 +1,238 @@
+package arcreg_test
+
+// Golden snapshot of the package's exported API surface. The redesigned
+// generics-first facade is now the contract every future algorithm and
+// store plugs into; this test makes any change to it — a renamed option,
+// a dropped method, a widened interface — show up as a reviewable diff
+// in testdata/api.txt instead of slipping through. Regenerate after an
+// intentional change with:
+//
+//	go test -run TestPublicAPI -update .
+//
+// CI runs this test on every push.
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/api.txt with the current exported API")
+
+const apiGolden = "testdata/api.txt"
+
+func TestPublicAPI(t *testing.T) {
+	got := renderPublicAPI(t, ".")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(apiGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiGolden)
+		return
+	}
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing golden API snapshot (run `go test -run TestPublicAPI -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API drifted from %s.\nIf the change is intentional, regenerate with `go test -run TestPublicAPI -update .` and review the diff.\n--- got ---\n%s", apiGolden, diffHint(string(want), got))
+	}
+}
+
+// renderPublicAPI parses the package in dir and renders one sorted,
+// normalized entry per exported symbol: funcs and methods as bodyless
+// signatures, types with unexported struct fields elided, consts and
+// vars as name/type lines.
+func renderPublicAPI(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["arcreg"]
+	if !ok {
+		t.Fatalf("package arcreg not found in %s (got %v)", dir, pkgs)
+	}
+
+	var entries []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if e := renderFunc(fset, d); e != "" {
+					entries = append(entries, e)
+				}
+			case *ast.GenDecl:
+				entries = append(entries, renderGen(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n"
+}
+
+func renderFunc(fset *token.FileSet, d *ast.FuncDecl) string {
+	if !d.Name.IsExported() {
+		return ""
+	}
+	if d.Recv != nil && !exportedRecv(d.Recv) {
+		return ""
+	}
+	clone := *d
+	clone.Doc = nil
+	clone.Body = nil
+	return oneLine(render(fset, &clone))
+}
+
+// exportedRecv reports whether a method's receiver base type is
+// exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.IndexListExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func renderGen(fset *token.FileSet, d *ast.GenDecl) []string {
+	var entries []string
+	kw := d.Tok.String()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			clone := *s
+			clone.Doc = nil
+			clone.Comment = nil
+			clone.Type = elideUnexported(clone.Type)
+			entries = append(entries, kw+" "+render(fset, &clone))
+		case *ast.ValueSpec:
+			var names []string
+			for _, n := range s.Names {
+				if n.IsExported() {
+					names = append(names, n.Name)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			line := kw + " " + strings.Join(names, ", ")
+			if s.Type != nil {
+				line += " " + oneLine(render(fset, s.Type))
+			}
+			entries = append(entries, line)
+		}
+	}
+	return entries
+}
+
+// elideUnexported strips unexported fields from struct types (they are
+// not API) and comments everywhere, so internal layout changes don't
+// churn the snapshot.
+func elideUnexported(typ ast.Expr) ast.Expr {
+	st, ok := typ.(*ast.StructType)
+	if !ok {
+		return typ
+	}
+	clone := *st
+	fields := &ast.FieldList{Opening: st.Fields.Opening, Closing: st.Fields.Closing}
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(f.Names) > 0 && len(names) == 0 {
+			continue // all-unexported field line
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: keep only if its base type is exported.
+			if !exportedRecv(&ast.FieldList{List: []*ast.Field{f}}) {
+				continue
+			}
+		}
+		fc := *f
+		fc.Doc = nil
+		fc.Comment = nil
+		fc.Names = names
+		if len(f.Names) == 0 {
+			fc.Names = nil
+		}
+		fields.List = append(fields.List, &fc)
+	}
+	clone.Fields = fields
+	return &clone
+}
+
+func render(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		return "<render error: " + err.Error() + ">"
+	}
+	return b.String()
+}
+
+// oneLine collapses a rendering onto a single line so gofmt wrapping
+// differences can't churn the snapshot.
+func oneLine(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// diffHint renders a compact line diff — enough to locate the drift
+// without a diff dependency.
+func diffHint(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	inWant := map[string]bool{}
+	for _, l := range wl {
+		inWant[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range gl {
+		inGot[l] = true
+	}
+	var b strings.Builder
+	for _, l := range wl {
+		if !inGot[l] {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range gl {
+		if !inWant[l] {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering or whitespace difference)"
+	}
+	return b.String()
+}

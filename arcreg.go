@@ -146,6 +146,10 @@ func NewLeftRight(cfg Config) (Register, error) { return leftright.New(cfg) }
 // View returns a zero-copy view of the freshest value if the reader
 // supports it, or (nil, false) otherwise. The view is valid until the
 // handle's next Read, View or Close.
+//
+// Deprecated: the New facade resolves capabilities at construction —
+// use TypedReader.ViewBytes (and Reg.Caps().ZeroCopyView) instead of
+// asserting byte handles. View remains for raw-register code.
 func View(r Reader) ([]byte, bool) {
 	v, ok := r.(Viewer)
 	if !ok {
@@ -172,6 +176,11 @@ type FreshnessProber = register.FreshnessProber
 //	    v, _ := rd.Read(buf) // something new (or unknown): actually read
 //	    process(v)
 //	}
+//
+// Deprecated: the New facade resolves capabilities at construction —
+// use TypedReader.Fresh (and Reg.Caps().FreshProbe), or the Values poll
+// iterator, instead of asserting byte handles. Fresh remains for
+// raw-register code.
 func Fresh(r Reader) (fresh, ok bool) {
 	p, ok := r.(FreshnessProber)
 	if !ok {

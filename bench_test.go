@@ -283,6 +283,66 @@ func BenchmarkViewARC(b *testing.B) {
 func BenchmarkViewRF(b *testing.B)   { benchViewUncontended(b, arcreg.NewRF, 4<<10) }
 func BenchmarkViewLock(b *testing.B) { benchViewUncontended(b, arcreg.NewLocked, 4<<10) }
 
+// --- facade overhead ---------------------------------------------------
+
+// BenchmarkFacadeRawGet measures the typed facade's steady-state read
+// over the Raw codec: New[[]byte] + TypedReader.Get against the raw
+// BenchmarkViewARC path it wraps. The delta is the cost of the
+// capability-complete handle (one codec-interface call; the codec
+// itself is the identity).
+func BenchmarkFacadeRawGet(b *testing.B) {
+	reg, err := arcreg.New[[]byte](
+		arcreg.WithCodec(arcreg.Raw()),
+		arcreg.WithReaders(1),
+		arcreg.WithMaxValueSize(4<<10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Set(make([]byte, 4<<10)); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := reg.NewReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rd.Close()
+	b.SetBytes(4 << 10)
+	for b.Loop() {
+		if _, err := rd.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeFresh measures the handle freshness probe — ARC's R1
+// comparison through the facade: one atomic load, no RMW, no decode.
+func BenchmarkFacadeFresh(b *testing.B) {
+	reg, err := arcreg.New[[]byte](
+		arcreg.WithCodec(arcreg.Raw()),
+		arcreg.WithReaders(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Set([]byte("steady")); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := reg.NewReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rd.Close()
+	if _, err := rd.Get(); err != nil {
+		b.Fatal(err)
+	}
+	for b.Loop() {
+		if !rd.Fresh() {
+			b.Fatal("steady-state handle went stale")
+		}
+	}
+}
+
 func BenchmarkWriteARC_4KB(b *testing.B) {
 	benchWriteUncontended(b, func(c arcreg.Config) (arcreg.Register, error) { return arcreg.NewARC(c) }, 4<<10)
 }

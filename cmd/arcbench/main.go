@@ -307,6 +307,10 @@ func runLatency(out io.Writer, threads, size int, stealF float64, duration, warm
 	algs := []harness.Algorithm{
 		harness.AlgARC, harness.AlgRF, harness.AlgPeterson,
 		harness.AlgLock, harness.AlgSeqlock, harness.AlgLeftRight,
+		// The keyed store, measured through its single-key adapter (the
+		// full directory-probe-then-value-read path), so map tail
+		// latency is tracked alongside the raw algorithms.
+		harness.AlgMap,
 	}
 	rep, err := harness.RunLatencyComparison(algs, threads, size, frac, duration, warmup)
 	if err != nil {

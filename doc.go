@@ -19,47 +19,90 @@
 //
 // # Quick start
 //
-//	reg, err := arcreg.NewARC(arcreg.Config{
-//		MaxReaders:   8,
-//		MaxValueSize: 4096,
-//	})
+// New is the generics-first entry point: one constructor for every
+// algorithm, both writer shapes, and any encoding. The defaults are the
+// paper's algorithm (ARC) over encoding/json, seeded with T's zero
+// value:
+//
+//	type Limits struct{ RPS, Burst int }
+//
+//	reg, err := arcreg.New[Limits]()
 //	if err != nil { ... }
 //
 //	// One goroutine writes:
-//	w := reg.Writer()
-//	_ = w.Write(snapshot)
+//	_ = reg.Set(Limits{RPS: 100, Burst: 250})
 //
-//	// Up to MaxReaders goroutines read, each through its own handle:
+//	// Up to Readers goroutines read, each through its own handle:
 //	rd, _ := reg.NewReader()
-//	buf := make([]byte, 4096)
-//	n, _ := rd.Read(buf)      // copying read
-//	v, _ := arcreg.View(rd)   // zero-copy view (valid until rd's next op)
+//	defer rd.Close()
+//	v, _ := rd.Get()          // decoded straight from the slot, no copy
 //
-// # Choosing an implementation
+// Options select the construction, shape, capacity and codec:
 //
-//   - NewARC — the paper's algorithm; wait-free, constant-time reads,
-//     amortized constant-time writes, zero-copy views. Use this.
-//   - NewRF — the Readers-Field register (Larsson et al. 2009); wait-free
-//     but pays one RMW per read and is limited to 58 readers. Provided as
-//     the paper's principal baseline.
-//   - NewPeterson — Peterson's 1983 construction from single-word
+//	reg, err := arcreg.New[Snapshot](
+//		arcreg.WithAlgorithm(arcreg.ARC), // or RF, Peterson, Lock, Seqlock, LeftRight
+//		arcreg.WithWriters(4),            // M > 1 selects the (M,N) composition
+//		arcreg.WithReaders(64),
+//		arcreg.WithMaxValueSize(32<<10),
+//		arcreg.WithCodec(arcreg.Binary[Snapshot]()),
+//		arcreg.WithInitial(Snapshot{Epoch: 1}),
+//	)
+//
+// The handles are capability-complete — Get, ViewBytes, Fresh,
+// ReadStats/WriteStats, and the Values poll iterator are methods, with
+// Reg.Caps reporting at construction time what the chosen algorithm
+// supports (no type assertions):
+//
+//	for v, err := range rd.Values(time.Millisecond) {
+//		if err != nil { break }
+//		apply(v) // runs once per observed change; idle polls are one
+//		         // atomic load, zero RMW, zero decoding on ARC
+//	}
+//
+// # Codecs
+//
+// Codec[T] is the one encoding layer every typed surface shares: JSON
+// (the default), Raw (zero-copy []byte passthrough with view
+// semantics), String, and Binary (encoding.BinaryMarshaler/
+// Unmarshaler) are built in; implement the interface to plug in any
+// wire format. Decoders must not retain the slice they are handed — it
+// may alias a register slot that is recycled after the decode returns
+// (Raw is the documented exception).
+//
+// # Choosing an algorithm
+//
+//   - ARC — the paper's algorithm; wait-free, constant-time reads,
+//     amortized constant-time writes, zero-copy views. Use this (it is
+//     the default).
+//   - RF — the Readers-Field register (Larsson et al. 2009); wait-free
+//     but pays one RMW per read and is limited to 58 readers. The
+//     paper's principal baseline.
+//   - Peterson — Peterson's 1983 construction from single-word
 //     registers; wait-free without any RMW instruction, but reads copy
 //     the value up to three times. Historical baseline.
-//   - NewLocked — a reader/writer-spinlock register; simple but not
+//   - Lock — a reader/writer-spinlock register; simple but not
 //     wait-free: one preempted reader stalls the writer. Comparator.
-//   - NewMN — an (M,N) multi-writer register composed from M ARC
-//     registers with tag-based ordering, a freshness-gated collect and
-//     an adaptive epoch gate (one-load all-fresh scans).
-//   - NewMap — a sharded, keyed store where every key is its own ARC
-//     register and each shard publishes its key directory through a
-//     directory ARC register: a wait-free snapshot map scaling the
-//     primitive to many values. Use this when you share more than one
-//     value.
+//   - Seqlock, LeftRight — extension baselines beyond the paper (see
+//     their constant docs for the trade-offs).
 //
-// All of them share or adapt to the Register/Reader/Writer interfaces,
-// so they are interchangeable in application code and in the bundled
-// benchmark harness (cmd/arcbench) that regenerates the paper's
-// figures.
+// WithWriters(m > 1) composes M ARC registers into an (M,N) multi-
+// writer register with tag-based ordering, a freshness-gated collect
+// and an adaptive epoch gate (one-load all-fresh scans). NewMap scales
+// the primitive to a keyed store instead — use it when you share more
+// than one value (typed access via NewJSONMap/NewCodecMap).
+//
+// # Byte-level access
+//
+// The untyped constructors remain for code that works in raw bytes:
+// NewARC, NewRF, NewPeterson, NewLocked, NewSeqlock, NewLeftRight
+// return Register (one Writer, per-goroutine Readers, optional Viewer/
+// FreshnessProber capabilities), NewMN the (M,N) composite, NewMap the
+// keyed store. All of them share or adapt to the Register/Reader/
+// Writer interfaces, so they are interchangeable in application code
+// and in the bundled benchmark harness (cmd/arcbench) that regenerates
+// the paper's figures. Reg.Register/Reg.MN expose the byte register
+// underneath a typed facade; TypedReader.ViewBytes/ReadBytes and
+// TypedWriter.SetBytes bypass the codec per call.
 //
 // # The (M,N) fresh-gated collect
 //
@@ -93,6 +136,6 @@
 // loads with zero RMW instructions regardless of map size, observable
 // through MapReader.ReadStats (BenchmarkMapGet; cmd/arcbench -figure
 // map sweeps key counts × threads under Zipf popularity). Typed access
-// mirrors the single-register API: MapOf[T]/NewJSONMap for the map,
-// Typed[T]/NewJSON for (1,N), TypedMN[T]/NewJSONMN for (M,N).
+// mirrors the single-register API: MapOf[T] (NewJSONMap/NewCodecMap)
+// shares the same Codec[T] layer as New.
 package arcreg

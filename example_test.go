@@ -2,11 +2,135 @@ package arcreg_test
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"arcreg"
 )
 
-// The canonical usage: one writer publishes, readers consume wait-free.
+// The canonical usage: New builds an ARC register over JSON; one
+// goroutine Sets, readers Get wait-free through their own handles.
+func ExampleNew() {
+	type limits struct {
+		RPS   int `json:"rps"`
+		Burst int `json:"burst"`
+	}
+	reg, err := arcreg.New[limits](
+		arcreg.WithReaders(4),
+		arcreg.WithMaxValueSize(256),
+	)
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.Set(limits{RPS: 100, Burst: 250}); err != nil {
+		panic(err)
+	}
+	rd, err := reg.NewReader()
+	if err != nil {
+		panic(err)
+	}
+	defer rd.Close()
+	cfg, err := rd.Get()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rps=%d burst=%d\n", cfg.RPS, cfg.Burst)
+	// Output: rps=100 burst=250
+}
+
+// WithWriters selects the (M,N) multi-writer composition: several
+// writers, totally ordered by tag, same handle surface.
+func ExampleNew_multiWriter() {
+	reg, err := arcreg.New[string](
+		arcreg.WithWriters(2),
+		arcreg.WithReaders(1),
+		arcreg.WithCodec(arcreg.String()),
+		arcreg.WithMaxValueSize(32),
+	)
+	if err != nil {
+		panic(err)
+	}
+	w0, _ := reg.NewWriter()
+	w1, _ := reg.NewWriter()
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+
+	w0.Set("from writer zero")
+	w1.Set("from writer one") // outbids w0's tag
+	v, _ := rd.Get()
+	fmt.Println(v)
+	// Output: from writer one
+}
+
+// Capability discovery is first-class: Caps is resolved at
+// construction, so code branches on fields instead of type-asserting
+// handles.
+func ExampleReg_Caps() {
+	reg, _ := arcreg.New[int](arcreg.WithAlgorithm(arcreg.Peterson), arcreg.WithReaders(1))
+	caps := reg.Caps()
+	fmt.Println("zero-copy views:", caps.ZeroCopyView)
+	fmt.Println("freshness probe:", caps.FreshProbe)
+	fmt.Println("wait-free reads:", caps.WaitFreeRead)
+	// Output:
+	// zero-copy views: false
+	// freshness probe: false
+	// wait-free reads: true
+}
+
+// Freshness probing: skip work when nothing changed, for the cost of
+// one atomic load (no RMW instruction).
+func ExampleTypedReader_Fresh() {
+	reg, _ := arcreg.New[string](
+		arcreg.WithCodec(arcreg.String()),
+		arcreg.WithReaders(1), arcreg.WithMaxValueSize(32))
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+
+	reg.Set("v1")
+	rd.Get()
+	fmt.Println("after read:", rd.Fresh())
+
+	reg.Set("v2")
+	fmt.Println("after write:", rd.Fresh())
+	// Output:
+	// after read: true
+	// after write: false
+}
+
+// Values polls for changes: each idle poll is one freshness probe (on
+// ARC one atomic load, zero RMW, zero decoding); every observed change
+// is yielded exactly once.
+func ExampleTypedReader_Values() {
+	reg, _ := arcreg.New[int](arcreg.WithReaders(1))
+	rd, _ := reg.NewReader()
+	defer rd.Close()
+
+	go func() {
+		for i := 1; i <= 3; i++ {
+			reg.Set(i * 10)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var seen []int
+	for v, err := range rd.Values(100 * time.Microsecond) {
+		if err != nil {
+			panic(err)
+		}
+		seen = append(seen, v)
+		if v == 30 {
+			break
+		}
+	}
+	// Polling observes the freshest value, so intermediate publications
+	// may be skipped — but changes arrive in order and the last write
+	// is always seen.
+	fmt.Println("last:", seen[len(seen)-1], "ordered:", sort.IntsAreSorted(seen))
+	// Output: last: 30 ordered: true
+}
+
+// Byte-level access: the raw register constructors remain for code
+// that works in bytes (and for the benchmark harness).
 func ExampleNewARC() {
 	reg, err := arcreg.NewARC(arcreg.Config{MaxReaders: 2, MaxValueSize: 64})
 	if err != nil {
@@ -29,80 +153,17 @@ func ExampleNewARC() {
 	// Output: hello, wait-free world
 }
 
-// Zero-copy reads: the view aliases the register's internal slot, which
-// stays pinned until the handle's next operation.
-func ExampleView() {
-	reg, _ := arcreg.NewARC(arcreg.Config{MaxReaders: 1, MaxValueSize: 32})
-	reg.Writer().Write([]byte("no bytes were copied"))
+// The Raw codec is the typed facade's zero-copy path: Get returns a
+// direct view of the register slot (valid until the handle's next
+// operation, never to be modified).
+func ExampleRaw() {
+	reg, _ := arcreg.New[[]byte](
+		arcreg.WithCodec(arcreg.Raw()),
+		arcreg.WithReaders(1), arcreg.WithMaxValueSize(32))
+	reg.Set([]byte("no bytes were copied"))
 	rd, _ := reg.NewReader()
 	defer rd.Close()
-	if v, ok := arcreg.View(rd); ok {
-		fmt.Println(string(v))
-	}
-	// Output: no bytes were copied
-}
-
-// Freshness probing: skip work when nothing changed, for the cost of one
-// atomic load (no RMW instruction).
-func ExampleFresh() {
-	reg, _ := arcreg.NewARC(arcreg.Config{MaxReaders: 1, MaxValueSize: 32})
-	rd, _ := reg.NewReader()
-	defer rd.Close()
-
-	reg.Writer().Write([]byte("v1"))
-	rd.Read(make([]byte, 32))
-
-	fresh, _ := arcreg.Fresh(rd)
-	fmt.Println("after read:", fresh)
-
-	reg.Writer().Write([]byte("v2"))
-	fresh, _ = arcreg.Fresh(rd)
-	fmt.Println("after write:", fresh)
-	// Output:
-	// after read: true
-	// after write: false
-}
-
-// Typed access over JSON: share configuration structs instead of bytes.
-func ExampleNewJSON() {
-	type limits struct {
-		RPS   int `json:"rps"`
-		Burst int `json:"burst"`
-	}
-	reg, err := arcreg.NewJSON[limits](arcreg.Config{MaxReaders: 4, MaxValueSize: 256})
-	if err != nil {
-		panic(err)
-	}
-	if err := reg.Set(limits{RPS: 100, Burst: 250}); err != nil {
-		panic(err)
-	}
-	rd, err := reg.NewReader()
-	if err != nil {
-		panic(err)
-	}
-	defer rd.Close()
-	cfg, err := rd.Get()
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("rps=%d burst=%d\n", cfg.RPS, cfg.Burst)
-	// Output: rps=100 burst=250
-}
-
-// The (M,N) extension: several writers, totally ordered by tag.
-func ExampleNewMN() {
-	reg, err := arcreg.NewMN(arcreg.MNConfig{Writers: 2, Readers: 1, MaxValueSize: 32})
-	if err != nil {
-		panic(err)
-	}
-	w0, _ := reg.NewWriter()
-	w1, _ := reg.NewWriter()
-	rd, _ := reg.NewReader()
-	defer rd.Close()
-
-	w0.Write([]byte("from writer zero"))
-	w1.Write([]byte("from writer one")) // outbids w0's tag
-	v, _ := rd.View()
+	v, _ := rd.Get()
 	fmt.Println(string(v))
-	// Output: from writer one
+	// Output: no bytes were copied
 }

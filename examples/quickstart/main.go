@@ -1,6 +1,7 @@
-// Quickstart: the smallest complete use of the ARC register — one writer
-// goroutine publishing snapshots, several reader goroutines consuming them
-// wait-free, with both the copying and the zero-copy read paths.
+// Quickstart: the smallest complete use of the register facade — one
+// writer goroutine publishing typed snapshots through arcreg.New, several
+// reader goroutines consuming them wait-free, with the decoding and the
+// freshness-probe read paths.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,13 +16,22 @@ import (
 	"arcreg"
 )
 
+// Snapshot is what the writer shares: any JSON-encodable type works with
+// New's default codec (see arcreg.WithCodec for the alternatives).
+type Snapshot struct {
+	Seq  int    `json:"seq"`
+	At   string `json:"at"`
+	Note string `json:"note"`
+}
+
 func main() {
-	// A register for up to 4 concurrent readers and values up to 1KB.
-	reg, err := arcreg.NewARC(arcreg.Config{
-		MaxReaders:   4,
-		MaxValueSize: 1024,
-		Initial:      []byte("hello, registers"),
-	})
+	// An ARC register for up to 4 concurrent readers and encoded values
+	// up to 1KB, seeded so reads before the first Set decode cleanly.
+	reg, err := arcreg.New[Snapshot](
+		arcreg.WithReaders(4),
+		arcreg.WithMaxValueSize(1024),
+		arcreg.WithInitial(Snapshot{Note: "hello, registers"}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,34 +53,29 @@ func main() {
 		go func(id int) {
 			defer wg.Done()
 			defer rd.Close()
-			buf := make([]byte, 1024)
 			var ops uint64
-			var lastSeen string
+			var last Snapshot
 			for !stop.Load() {
-				// Copying read:
-				n, err := rd.Read(buf)
-				if err != nil {
-					log.Fatalf("reader %d: %v", id, err)
+				// Freshness probe: one atomic load, no RMW. Skip the
+				// decode entirely when nothing changed.
+				if !rd.Fresh() {
+					v, err := rd.Get() // decoded straight from the slot
+					if err != nil {
+						log.Fatalf("reader %d: %v", id, err)
+					}
+					last = v
 				}
-				lastSeen = string(buf[:n])
-
-				// Zero-copy view: valid until this handle's next
-				// operation; no bytes move.
-				if v, ok := arcreg.View(rd); ok {
-					_ = v[0]
-				}
-				ops += 2
+				ops++
 			}
 			totalOps.Add(ops)
-			fmt.Printf("reader %d: %8d ops, last value %q\n", id, ops, lastSeen)
+			fmt.Printf("reader %d: %8d ops, last value #%d %q\n", id, ops, last.Seq, last.Note)
 		}(i)
 	}
 
-	// The single writer: publish 1000 values, 1ms apart.
-	w := reg.Writer()
+	// The single writer: publish 1000 snapshots, 1ms apart.
 	for i := 1; i <= 1000; i++ {
-		msg := fmt.Sprintf("snapshot #%d at %s", i, time.Now().Format("15:04:05.000"))
-		if err := w.Write([]byte(msg)); err != nil {
+		s := Snapshot{Seq: i, At: time.Now().Format("15:04:05.000"), Note: "steady"}
+		if err := reg.Set(s); err != nil {
 			log.Fatal(err)
 		}
 		time.Sleep(time.Millisecond)

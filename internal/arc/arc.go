@@ -203,6 +203,22 @@ func New(cfg register.Config, opts Options) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "arc" }
 
+// Caps implements register.CapabilityReporter: ARC has the full set —
+// zero-copy views, the one-load freshness probe behind the R1–R2 fast
+// path, combined probe-and-fetch, stats on both sides, and wait-free
+// progress for every operation.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView:  true,
+		FreshProbe:    true,
+		FreshView:     true,
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

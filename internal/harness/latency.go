@@ -13,7 +13,10 @@ import (
 // write latency quantiles for an algorithm under the standard deployment.
 // The paper reports throughput only; tail latency is the supplementary
 // view that exposes seqlock's unbounded read retries and the lock/
-// Left-Right writer stalls that aggregate throughput hides.
+// Left-Right writer stalls that aggregate throughput hides. AlgMap rows
+// run the keyed store through its single-key adapter, so its
+// directory-probe-then-value-read path is held to the same tail-latency
+// scrutiny as the raw algorithms.
 type LatencyRow struct {
 	Algorithm Algorithm
 	Threads   int

@@ -92,6 +92,18 @@ func New(cfg register.Config) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "leftright" }
 
+// Caps implements register.CapabilityReporter: Left-Right reads are
+// wait-free with zero-copy views, but writes block until reader
+// versions drain.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView: true,
+		ReadStats:    true,
+		WriteStats:   true,
+		WaitFreeRead: true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

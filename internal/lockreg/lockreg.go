@@ -76,6 +76,17 @@ func New(cfg register.Config) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "lock" }
 
+// Caps implements register.CapabilityReporter: the lock register views
+// without copying (a live view holds the read lock) but is not
+// wait-free in either direction — the comparator's defining weakness.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView: true,
+		ReadStats:    true,
+		WriteStats:   true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

@@ -230,6 +230,20 @@ func New(cfg Config, opts Options) (*Register, error) {
 	return r, nil
 }
 
+// Caps implements register.CapabilityReporter for the composite: the
+// freshness probe and zero-copy views survive the (M,N) composition, and
+// every operation stays wait-free (O(M) component operations each).
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView:  true,
+		FreshProbe:    true,
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
+
 // Writers reports M.
 func (r *Register) Writers() int { return r.writers }
 
@@ -570,11 +584,12 @@ type Reader struct {
 // Compile-time interface conformance checks against the shared register
 // contract (the composite reader is plugged into the harness unchanged).
 var (
-	_ register.Reader     = (*Reader)(nil)
-	_ register.Viewer     = (*Reader)(nil)
-	_ register.StatReader = (*Reader)(nil)
-	_ register.StatWriter = (*Writer)(nil)
-	_ register.Writer     = (*Writer)(nil)
+	_ register.Reader          = (*Reader)(nil)
+	_ register.Viewer          = (*Reader)(nil)
+	_ register.FreshnessProber = (*Reader)(nil)
+	_ register.StatReader      = (*Reader)(nil)
+	_ register.StatWriter      = (*Writer)(nil)
+	_ register.Writer          = (*Writer)(nil)
 )
 
 // NewReader allocates a reader handle.
@@ -628,6 +643,35 @@ func (rd *Reader) Read(dst []byte) (int, error) {
 // LastTag reports the tag of the last value View/Read returned — the
 // composite's version, used by tests to assert monotonicity.
 func (rd *Reader) LastTag() Tag { return rd.lastTag }
+
+// Fresh implements register.FreshnessProber at the composite level: it
+// reports whether the last View/Read still returns the composite's
+// current value, without advancing the handle's cache. A validated
+// quiescent epoch answers in one atomic load; otherwise the probe costs
+// one load per component. The answer is conservative: a component
+// publish that loses the tag argmax still reports stale (the caller's
+// re-read then serves the unchanged winner from the cache).
+func (rd *Reader) Fresh() bool {
+	if rd.closed {
+		return false
+	}
+	s := rd.scan
+	if s.best == noBest {
+		return false // never collected
+	}
+	if s.epochGate && s.epochValid && s.reg.pubStarted.Load() == s.lastStarted {
+		return true
+	}
+	if s.nprimed != s.ncomps {
+		return false
+	}
+	for _, h := range s.handles {
+		if h != nil && !h.Fresh() {
+			return false
+		}
+	}
+	return true
+}
 
 // ReadStats implements register.StatReader at the composite level: Ops
 // counts composite reads, FastPath counts all-fresh collects (served

@@ -144,6 +144,17 @@ func New(cfg register.Config) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "peterson" }
 
+// Caps implements register.CapabilityReporter: Peterson reads inherently
+// copy (no views, no freshness probe) but every operation is wait-free.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

@@ -236,3 +236,45 @@ type FreshViewer interface {
 type StatWriter interface {
 	WriteStats() WriteStats
 }
+
+// Caps declares which optional capabilities a register's handles
+// implement, making capability discovery a first-class constant of each
+// algorithm instead of per-handle interface assertions. The facade
+// (package arcreg) reads it once at construction; the optional
+// interfaces above remain the operational contract the handles satisfy.
+type Caps struct {
+	// ZeroCopyView: readers implement Viewer.
+	ZeroCopyView bool
+	// FreshProbe: readers implement FreshnessProber.
+	FreshProbe bool
+	// FreshView: readers implement FreshViewer.
+	FreshView bool
+	// ReadStats: readers implement StatReader.
+	ReadStats bool
+	// WriteStats: the writer implements StatWriter.
+	WriteStats bool
+	// WaitFreeRead / WaitFreeWrite: the operation completes in a bounded
+	// number of its own steps regardless of other processes (false for
+	// the lock register on both sides, for seqlock reads, and for
+	// Left-Right writes).
+	WaitFreeRead  bool
+	WaitFreeWrite bool
+}
+
+// CapabilityReporter is implemented by registers that publish their
+// Caps. Every register in this repository implements it; CapsOf guards
+// the assertion for out-of-tree implementations.
+type CapabilityReporter interface {
+	Caps() Caps
+}
+
+// CapsOf reports r's capabilities, or the zero (most conservative) Caps
+// when r does not implement CapabilityReporter. Callers holding handles
+// may still discover capabilities by interface assertion; a false Caps
+// field is advisory, a true one is a promise.
+func CapsOf(r Register) Caps {
+	if cr, ok := r.(CapabilityReporter); ok {
+		return cr.Caps()
+	}
+	return Caps{}
+}

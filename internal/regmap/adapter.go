@@ -54,6 +54,19 @@ func (k *keyRegister) Name() string      { return "map" }
 func (k *keyRegister) MaxReaders() int   { return k.m.MaxReaders() }
 func (k *keyRegister) MaxValueSize() int { return k.m.MaxValueSize() }
 
+// Caps implements register.CapabilityReporter: the map's Get/Set path
+// inherits the per-key ARC registers' full capability set.
+func (k *keyRegister) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView:  true,
+		FreshProbe:    true,
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
+
 // Writer implements register.Register; the adapter itself is the writer
 // endpoint (single-writer, like the underlying shard).
 func (k *keyRegister) Writer() register.Writer { return k }

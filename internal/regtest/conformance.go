@@ -19,10 +19,14 @@ import (
 	"arcreg/internal/register"
 )
 
+// Constructor builds a register for one battery case. Implementations
+// fail the test on construction errors.
+type Constructor func(t *testing.T, readers, size int, initial []byte) register.Register
+
 // Conformance runs the full battery against the named algorithm.
 func Conformance(t *testing.T, alg harness.Algorithm) {
 	t.Helper()
-	mk := func(t *testing.T, readers, size int, initial []byte) register.Register {
+	ConformanceConstructor(t, func(t *testing.T, readers, size int, initial []byte) register.Register {
 		t.Helper()
 		r, err := harness.NewRegister(alg, register.Config{
 			MaxReaders:   readers,
@@ -33,7 +37,14 @@ func Conformance(t *testing.T, alg harness.Algorithm) {
 			t.Fatalf("construct %s: %v", alg, err)
 		}
 		return r
-	}
+	})
+}
+
+// ConformanceConstructor runs the full battery against registers built
+// by mk — the hook that holds adapters and facades (not just the raw
+// algorithms) to the shared contract.
+func ConformanceConstructor(t *testing.T, mk Constructor) {
+	t.Helper()
 
 	t.Run("identity", func(t *testing.T) {
 		r := mk(t, 2, 64, nil)

@@ -111,6 +111,20 @@ func New(cfg register.Config) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "rf" }
 
+// Caps implements register.CapabilityReporter: RF views without copying
+// and probes freshness (via its sync word), but has no combined
+// probe-and-fetch; all operations are wait-free.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ZeroCopyView:  true,
+		FreshProbe:    true,
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

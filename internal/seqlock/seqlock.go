@@ -86,6 +86,17 @@ func New(cfg register.Config) (*Register, error) {
 // Name implements register.Register.
 func (r *Register) Name() string { return "seqlock" }
 
+// Caps implements register.CapabilityReporter: seqlock writes are
+// wait-free over a single buffer, but reads retry unboundedly while a
+// write is in flight (lock-free only) and must copy out to validate.
+func (r *Register) Caps() register.Caps {
+	return register.Caps{
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeWrite: true,
+	}
+}
+
 // MaxReaders implements register.Register.
 func (r *Register) MaxReaders() int { return r.maxReaders }
 

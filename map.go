@@ -1,9 +1,9 @@
 package arcreg
 
 import (
-	"encoding/json"
 	"fmt"
 
+	"arcreg/internal/codec"
 	"arcreg/internal/regmap"
 )
 
@@ -139,16 +139,25 @@ func (r *MapReader) Close() error { return r.r.Close() }
 // may be arbitrarily expensive without affecting other threads'
 // progress.
 type MapOf[T any] struct {
-	m   *Map
-	enc func(T) ([]byte, error)
-	dec func([]byte) (T, error)
+	m *Map
+	c Codec[T]
+}
+
+// NewCodecMap builds a typed store over m with the given codec — the
+// keyed counterpart of New's WithCodec. Any Codec[T] plugs in: JSON,
+// Binary, String, Raw, or a custom implementation.
+func NewCodecMap[T any](m *Map, c Codec[T]) *MapOf[T] {
+	return &MapOf[T]{m: m, c: c}
 }
 
 // NewMapOf wraps m with the given encoding. enc must produce at most
 // MaxValueSize bytes; dec must not retain its argument (the slice may
 // alias a register slot recycled after the decode returns).
+//
+// Deprecated: implement Codec[T] (or use a built-in codec) and pass it
+// to NewCodecMap. NewMapOf delegates to the same codec layer.
 func NewMapOf[T any](m *Map, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *MapOf[T] {
-	return &MapOf[T]{m: m, enc: enc, dec: dec}
+	return NewCodecMap(m, codec.Funcs(enc, dec))
 }
 
 // NewJSONMap builds a Map-backed typed store using encoding/json — the
@@ -158,13 +167,7 @@ func NewJSONMap[T any](cfg MapConfig) (*MapOf[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewMapOf(m,
-		func(v T) ([]byte, error) { return json.Marshal(v) },
-		func(p []byte) (T, error) {
-			var v T
-			err := json.Unmarshal(p, &v)
-			return v, err
-		}), nil
+	return NewCodecMap(m, JSON[T]()), nil
 }
 
 // Map exposes the underlying byte map (stats, capacity, raw access).
@@ -173,12 +176,15 @@ func (t *MapOf[T]) Map() *Map { return t.m }
 // Set publishes a typed value under key (shard-single-writer, like
 // Map.Set).
 func (t *MapOf[T]) Set(key string, v T) error {
-	blob, err := t.enc(v)
+	blob, err := t.c.Encode(v)
 	if err != nil {
 		return fmt.Errorf("arcreg: encode %q: %w", key, err)
 	}
 	return t.m.Set(key, blob)
 }
+
+// Codec reports the encoding in use.
+func (t *MapOf[T]) Codec() Codec[T] { return t.c }
 
 // NewReader allocates a typed read endpoint (counted against the map's
 // MaxReaders).
@@ -187,13 +193,13 @@ func (t *MapOf[T]) NewReader() (*MapOfReader[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MapOfReader[T]{r: r, dec: t.dec}, nil
+	return &MapOfReader[T]{r: r, c: t.c}, nil
 }
 
 // MapOfReader is a per-goroutine typed read endpoint.
 type MapOfReader[T any] struct {
-	r   *MapReader
-	dec func([]byte) (T, error)
+	r *MapReader
+	c Codec[T]
 }
 
 // Get returns the freshest typed value under key (decoding straight from
@@ -204,7 +210,7 @@ func (r *MapOfReader[T]) Get(key string) (T, error) {
 		var zero T
 		return zero, err
 	}
-	return r.dec(v)
+	return r.c.Decode(v)
 }
 
 // Reader exposes the underlying byte reader (freshness probes, stats).

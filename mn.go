@@ -55,6 +55,13 @@ type MNReader interface {
 	Read(dst []byte) (int, error)
 	// LastTag reports the tag of the last value returned.
 	LastTag() MNTag
+	// Fresh reports whether the last View/Read still returns the
+	// composite's current value, without advancing the handle's cache —
+	// one atomic load under a validated quiescent epoch, one load per
+	// component otherwise. Conservative: a publish that loses the tag
+	// argmax still reports stale. A handle that never read reports
+	// false.
+	Fresh() bool
 	// ReadStats reports composite read counters: Ops counts composite
 	// reads, FastPath counts all-fresh scans, RMW sums component RMW.
 	ReadStats() ReadStats
@@ -93,6 +100,11 @@ func (r *MNRegister) NewWriter() (MNWriter, error) { return r.reg.NewWriter() }
 
 // NewReader allocates one of the N reader handles.
 func (r *MNRegister) NewReader() (MNReader, error) { return r.reg.NewReader() }
+
+// Caps reports the composite's capability set: the freshness probe and
+// zero-copy views survive the (M,N) composition, and every operation
+// stays wait-free.
+func (r *MNRegister) Caps() Caps { return r.reg.Caps() }
 
 // Writers reports M.
 func (r *MNRegister) Writers() int { return r.reg.Writers() }

@@ -1,23 +1,15 @@
 package arcreg
 
-import (
-	"encoding/json"
-	"fmt"
-)
+import "arcreg/internal/codec"
 
 // Typed wraps a Register with an encoding, turning the byte-oriented
-// multi-word register into a typed single-value store: one goroutine
-// Sets, many goroutines Get, all with the underlying register's progress
-// guarantees (wait-free end to end when built over ARC).
+// multi-word register into a typed single-value store.
 //
-// The encode/decode functions run outside the register's critical
-// operations — encoding happens before the wait-free write, decoding
-// after the wait-free read — so they may be arbitrarily expensive without
-// affecting other threads' progress.
+// Deprecated: Typed predates the unified facade and survives as a thin
+// wrapper; New returns the same capability surface (and more) as
+// *Reg[T] directly. It remains fully functional.
 type Typed[T any] struct {
-	reg Register
-	enc func(T) ([]byte, error)
-	dec func([]byte) (T, error)
+	*Reg[T]
 }
 
 // NewTyped wraps reg with the given encoding. enc must produce at most
@@ -25,22 +17,30 @@ type Typed[T any] struct {
 // may alias a register slot that is recycled after the decode returns
 // (encoding/json and encoding/gob satisfy this; a decoder that keeps
 // sub-slices must copy them).
+//
+// Deprecated: implement Codec[T] (or use a built-in codec) and pass it
+// to New with WithCodec. NewTyped delegates to the same codec layer.
 func NewTyped[T any](reg Register, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *Typed[T] {
-	return &Typed[T]{reg: reg, enc: enc, dec: dec}
+	return &Typed[T]{wrapRegister(reg, codec.Funcs(enc, dec))}
 }
 
-// NewJSON builds an ARC-backed typed register using encoding/json — the
-// zero-configuration path for sharing configuration structs, snapshots
-// and similar values.
+// NewJSON builds an ARC-backed typed register using encoding/json. When
+// cfg.Initial is nil the JSON encoding of T's zero value seeds the
+// register, so a Get before the first Set decodes cleanly.
+//
+// Deprecated: use New, whose defaults are exactly this (ARC + JSON +
+// zero-value seed):
+//
+//	reg, err := arcreg.New[T](
+//		arcreg.WithReaders(cfg.MaxReaders),
+//		arcreg.WithMaxValueSize(cfg.MaxValueSize),
+//	)
 func NewJSON[T any](cfg Config) (*Typed[T], error) {
+	cd := JSON[T]()
 	if cfg.Initial == nil {
-		var zero T
-		blob, err := json.Marshal(zero)
+		blob, err := codec.ZeroInitial(cd, cfg.MaxValueSize)
 		if err != nil {
-			return nil, fmt.Errorf("arcreg: encoding zero value: %w", err)
-		}
-		if cfg.MaxValueSize != 0 && len(blob) > cfg.MaxValueSize {
-			return nil, fmt.Errorf("arcreg: zero value needs %d bytes > MaxValueSize %d", len(blob), cfg.MaxValueSize)
+			return nil, err
 		}
 		cfg.Initial = blob
 	}
@@ -48,68 +48,5 @@ func NewJSON[T any](cfg Config) (*Typed[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTyped(reg,
-		func(v T) ([]byte, error) { return json.Marshal(v) },
-		func(p []byte) (T, error) {
-			var v T
-			err := json.Unmarshal(p, &v)
-			return v, err
-		}), nil
+	return &Typed[T]{wrapRegister(reg, cd)}, nil
 }
-
-// Register exposes the underlying byte register (for stats, capacity
-// queries, or mixing typed and raw access).
-func (t *Typed[T]) Register() Register { return t.reg }
-
-// Set publishes a new value. Single-goroutine, like Writer.Write.
-func (t *Typed[T]) Set(v T) error {
-	blob, err := t.enc(v)
-	if err != nil {
-		return fmt.Errorf("arcreg: encode: %w", err)
-	}
-	return t.reg.Writer().Write(blob)
-}
-
-// TypedReader is a per-goroutine typed read endpoint.
-type TypedReader[T any] struct {
-	rd     Reader
-	viewer Viewer
-	dec    func([]byte) (T, error)
-	buf    []byte
-}
-
-// NewReader allocates a typed reader handle (one per goroutine, counted
-// against the register's MaxReaders).
-func (t *Typed[T]) NewReader() (*TypedReader[T], error) {
-	rd, err := t.reg.NewReader()
-	if err != nil {
-		return nil, err
-	}
-	tr := &TypedReader[T]{rd: rd, dec: t.dec}
-	if v, ok := rd.(Viewer); ok {
-		tr.viewer = v // decode straight from the slot, no copy
-	} else {
-		tr.buf = make([]byte, t.reg.MaxValueSize())
-	}
-	return tr, nil
-}
-
-// Get returns the freshest value.
-func (r *TypedReader[T]) Get() (T, error) {
-	var zero T
-	if r.viewer != nil {
-		v, err := r.viewer.View()
-		if err != nil {
-			return zero, err
-		}
-		return r.dec(v)
-	}
-	n, err := r.rd.Read(r.buf)
-	if err != nil {
-		return zero, err
-	}
-	return r.dec(r.buf[:n])
-}
-
-// Close releases the handle.
-func (r *TypedReader[T]) Close() error { return r.rd.Close() }

@@ -1,9 +1,6 @@
 package arcreg
 
-import (
-	"encoding/json"
-	"fmt"
-)
+import "arcreg/internal/codec"
 
 // TypedMN wraps an (M,N) register with an encoding — the Typed
 // equivalent for the multi-writer composite: up to M goroutines Set
@@ -11,32 +8,48 @@ import (
 // underlying register's wait-free progress. Encoding and decoding run
 // outside the register's critical operations, so they may be arbitrarily
 // expensive without affecting other threads' progress.
+//
+// Deprecated: TypedMN predates the unified facade and survives as a
+// thin wrapper over the same Reg[T] handles; New with WithWriters(m)
+// returns the equivalent capability surface directly.
 type TypedMN[T any] struct {
-	reg *MNRegister
-	enc func(T) ([]byte, error)
-	dec func([]byte) (T, error)
+	r *Reg[T]
+}
+
+// wrapMN builds a Reg over an existing (M,N) byte register — the
+// delegation target of the deprecated TypedMN constructors.
+func wrapMN[T any](reg *MNRegister, cd Codec[T]) *Reg[T] {
+	return &Reg[T]{c: cd, mn: reg, caps: reg.Caps(), alg: ARC}
 }
 
 // NewTypedMN wraps reg with the given encoding. enc must produce at most
 // reg.MaxValueSize() bytes. dec must not retain its argument: the slice
 // may alias a register slot that is recycled after the decode returns.
+//
+// Deprecated: implement Codec[T] (or use a built-in codec) and pass it
+// to New with WithWriters and WithCodec.
 func NewTypedMN[T any](reg *MNRegister, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *TypedMN[T] {
-	return &TypedMN[T]{reg: reg, enc: enc, dec: dec}
+	return &TypedMN[T]{wrapMN(reg, codec.Funcs(enc, dec))}
 }
 
 // NewJSONMN builds an (M,N)-backed typed register using encoding/json —
 // the multi-writer counterpart of NewJSON. When cfg.Initial is nil the
 // JSON encoding of T's zero value seeds the register, so a Get before
 // the first Set decodes cleanly.
+//
+// Deprecated: use New with WithWriters, whose defaults are exactly this
+// (JSON + zero-value seed):
+//
+//	reg, err := arcreg.New[T](
+//		arcreg.WithWriters(cfg.Writers),
+//		arcreg.WithReaders(cfg.Readers),
+//	)
 func NewJSONMN[T any](cfg MNConfig) (*TypedMN[T], error) {
+	cd := JSON[T]()
 	if cfg.Initial == nil {
-		var zero T
-		blob, err := json.Marshal(zero)
+		blob, err := codec.ZeroInitial(cd, cfg.MaxValueSize)
 		if err != nil {
-			return nil, fmt.Errorf("arcreg: encoding zero value: %w", err)
-		}
-		if cfg.MaxValueSize != 0 && len(blob) > cfg.MaxValueSize {
-			return nil, fmt.Errorf("arcreg: zero value needs %d bytes > MaxValueSize %d", len(blob), cfg.MaxValueSize)
+			return nil, err
 		}
 		cfg.Initial = blob
 	}
@@ -44,85 +57,56 @@ func NewJSONMN[T any](cfg MNConfig) (*TypedMN[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTypedMN(reg,
-		func(v T) ([]byte, error) { return json.Marshal(v) },
-		func(p []byte) (T, error) {
-			var v T
-			err := json.Unmarshal(p, &v)
-			return v, err
-		}), nil
+	return &TypedMN[T]{wrapMN(reg, cd)}, nil
 }
 
 // Register exposes the underlying (M,N) byte register (stats, capacity,
 // raw access).
-func (t *TypedMN[T]) Register() *MNRegister { return t.reg }
+func (t *TypedMN[T]) Register() *MNRegister { return t.r.MN() }
 
 // NewWriter allocates one of the M typed writer endpoints (one
 // goroutine per handle).
 func (t *TypedMN[T]) NewWriter() (*TypedMNWriter[T], error) {
-	w, err := t.reg.NewWriter()
+	w, err := t.r.NewWriter()
 	if err != nil {
 		return nil, err
 	}
-	return &TypedMNWriter[T]{w: w, enc: t.enc}, nil
+	return &TypedMNWriter[T]{w}, nil
 }
 
 // NewReader allocates one of the N typed reader endpoints (one goroutine
 // per handle).
 func (t *TypedMN[T]) NewReader() (*TypedMNReader[T], error) {
-	rd, err := t.reg.NewReader()
+	rd, err := t.r.NewReader()
 	if err != nil {
 		return nil, err
 	}
-	return &TypedMNReader[T]{rd: rd, dec: t.dec}, nil
+	return &TypedMNReader[T]{rd}, nil
 }
 
 // TypedMNWriter is one of the M typed write endpoints.
+//
+// Deprecated: New with WithWriters returns *TypedWriter[T] handles with
+// the same surface; TypedMNWriter is that handle plus the legacy Writer
+// accessor.
 type TypedMNWriter[T any] struct {
-	w   MNWriter
-	enc func(T) ([]byte, error)
+	*TypedWriter[T]
 }
-
-// Set publishes a typed value, outbidding every write currently visible.
-func (w *TypedMNWriter[T]) Set(v T) error {
-	blob, err := w.enc(v)
-	if err != nil {
-		return fmt.Errorf("arcreg: encode: %w", err)
-	}
-	return w.w.Write(blob)
-}
-
-// ID reports the writer identity in [0, M).
-func (w *TypedMNWriter[T]) ID() int { return w.w.ID() }
 
 // Writer exposes the underlying byte endpoint (stats, raw writes).
-func (w *TypedMNWriter[T]) Writer() MNWriter { return w.w }
-
-// Close releases the writer identity for reuse.
-func (w *TypedMNWriter[T]) Close() error { return w.w.Close() }
+func (w *TypedMNWriter[T]) Writer() MNWriter { return w.MNWriter() }
 
 // TypedMNReader is one of the N typed read endpoints.
+//
+// Deprecated: New with WithWriters returns *TypedReader[T] handles with
+// the same surface; TypedMNReader is that handle plus the legacy
+// LastTag/Reader accessors.
 type TypedMNReader[T any] struct {
-	rd  MNReader
-	dec func([]byte) (T, error)
-}
-
-// Get returns the freshest typed value, decoding straight from the
-// winning component's slot (no intermediate copy).
-func (r *TypedMNReader[T]) Get() (T, error) {
-	var zero T
-	v, err := r.rd.View()
-	if err != nil {
-		return zero, err
-	}
-	return r.dec(v)
+	*TypedReader[T]
 }
 
 // LastTag reports the (M,N) version tag of the last value Get returned.
-func (r *TypedMNReader[T]) LastTag() MNTag { return r.rd.LastTag() }
+func (r *TypedMNReader[T]) LastTag() MNTag { return r.MNReader().LastTag() }
 
 // Reader exposes the underlying byte endpoint (stats, freshness).
-func (r *TypedMNReader[T]) Reader() MNReader { return r.rd }
-
-// Close releases the handle.
-func (r *TypedMNReader[T]) Close() error { return r.rd.Close() }
+func (r *TypedMNReader[T]) Reader() MNReader { return r.MNReader() }
