@@ -49,23 +49,25 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|all")
-		alg      = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|map|arc-nofastpath|arc-nohint")
-		threads  = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
-		sizes    = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
-		size     = fs.Int("size", 4096, "register size for single runs")
-		nthreads = fs.Int("nthreads", 4, "thread count for single runs (writers + readers)")
-		writers  = fs.String("writers", "", "writer thread count(s): one value for single runs, a comma list sweeps M on the mn figure (e.g. 1,2,4,8)")
-		mode     = fs.String("mode", "dummy", "workload: dummy|processing")
-		duration = fs.Duration("duration", time.Second, "measurement window per cell")
-		warmup   = fs.Duration("warmup", 200*time.Millisecond, "warmup before each window")
-		stealF   = fs.Float64("steal", -1, "CPU-steal fraction override (0..0.9; -1 keeps the figure default)")
-		quick    = fs.Bool("quick", false, "shrink sweeps and windows for a smoke run")
-		csvPath  = fs.String("csv", "", "also append CSV rows to this file")
-		latency  = fs.Int("latency-sample", 0, "record every Nth op latency in single runs (0=off)")
-		keys     = fs.String("keys", "", "comma-separated key counts for the map figure (overrides the sweep)")
-		zipf     = fs.Float64("zipf", -1, "map figure key-popularity Zipf exponent (≤1 uniform; -1 keeps the default)")
-		shards   = fs.Int("shards", 0, "map figure shard count (0 keeps the default)")
+		figure    = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|all")
+		alg       = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|map|arc-nofastpath|arc-nohint")
+		threads   = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
+		sizes     = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
+		size      = fs.Int("size", 4096, "register size for single runs")
+		nthreads  = fs.Int("nthreads", 4, "thread count for single runs (writers + readers)")
+		writers   = fs.String("writers", "", "writer thread count(s): one value for single runs, a comma list sweeps M on the mn figure (e.g. 1,2,4,8)")
+		mode      = fs.String("mode", "dummy", "workload: dummy|processing")
+		duration  = fs.Duration("duration", time.Second, "measurement window per cell")
+		warmup    = fs.Duration("warmup", 200*time.Millisecond, "warmup before each window")
+		stealF    = fs.Float64("steal", -1, "CPU-steal fraction override (0..0.9; -1 keeps the figure default)")
+		quick     = fs.Bool("quick", false, "shrink sweeps and windows for a smoke run")
+		csvPath   = fs.String("csv", "", "also append CSV rows to this file")
+		latency   = fs.Int("latency-sample", 0, "record every Nth op latency in single runs (0=off)")
+		keys      = fs.String("keys", "", "comma-separated key counts for the map figure (overrides the sweep)")
+		zipf      = fs.Float64("zipf", -1, "map figure key-popularity Zipf exponent (≤1 uniform; -1 keeps the default)")
+		shards    = fs.Int("shards", 0, "map figure shard count (0 keeps the default)")
+		delEvery  = fs.Int("delete-every", -1, "map figure delete-mix: every Nth writer op deletes/re-creates a lifecycle key (0 disables; -1 keeps the default)")
+		snapEvery = fs.Int("snapshot-every", -1, "map figure snapshot mix: every Nth reader op takes a multi-key Snapshot (0 disables; -1 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +112,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		if id == "map" {
-			if err := runMapFigure(out, csv, *threads, *keys, *sizes, *shards, *zipf, *stealF, *mode, *duration, *warmup, *quick); err != nil {
+			if err := runMapFigure(out, csv, *threads, *keys, *sizes, *shards, *delEvery, *snapEvery, *zipf, *stealF, *mode, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -242,10 +244,12 @@ func runRMW(out io.Writer, threads string, writers, size int, duration, warmup t
 }
 
 // runMapFigure regenerates the keyed-workload figure (the regmap sharded
-// snapshot map): thread sweep × key-count sweep, Zipf key popularity.
-// The shared -sizes and -steal overrides apply here too (the map figure
-// measures one value size per run; the first -sizes entry wins).
-func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shards int, zipf, stealF float64, mode string, duration, warmup time.Duration, quick bool) error {
+// snapshot map): thread sweep × key-count sweep, Zipf key popularity,
+// with optional delete-mix (-delete-every) and snapshot (-snapshot-every)
+// workloads. The shared -sizes and -steal overrides apply here too (the
+// map figure measures one value size per run; the first -sizes entry
+// wins).
+func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shards, delEvery, snapEvery int, zipf, stealF float64, mode string, duration, warmup time.Duration, quick bool) error {
 	fig := harness.FigMap()
 	m, err := workload.ParseMode(mode)
 	if err != nil {
@@ -254,6 +258,12 @@ func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shar
 	fig.Mode = m
 	if shards > 0 {
 		fig.Shards = shards
+	}
+	if delEvery >= 0 {
+		fig.DeleteEvery = delEvery
+	}
+	if snapEvery >= 0 {
+		fig.SnapshotEvery = snapEvery
 	}
 	if zipf >= 0 {
 		fig.Zipf = zipf

@@ -59,6 +59,47 @@
 //		         // atomic load, zero RMW, zero decoding on ARC
 //	}
 //
+// To share more than one value, NewMap is the keyed store with the same
+// option set — every key its own wait-free register, with the full
+// lifecycle:
+//
+//	m, err := arcreg.NewMap[Session](arcreg.WithShards(16))
+//	rd, err := m.NewReader()
+//	_ = m.Set("alice", Session{Node: "n1"})  // create or update
+//	s, err := rd.Get("alice")                // 2 atomic loads when unchanged
+//	_ = m.Delete("alice")                    // tombstone; no resurrection
+//	all, err := rd.Snapshot()                // atomic multi-key view
+//
+// # Capabilities
+//
+// register.Caps declares what each construction's handles support; New
+// and NewMap resolve it once at construction (Reg.Caps, Map.Caps), so
+// application code branches on fields instead of type-asserting. A true
+// field is a promise, a false one is advisory. Per algorithm:
+//
+//   - ARC: the full set — ZeroCopyView, FreshProbe, FreshView,
+//     ReadStats, WriteStats, WaitFreeRead, WaitFreeWrite.
+//   - RF: ZeroCopyView, FreshProbe, stats and wait-freedom on both
+//     sides — everything but the combined FreshView probe-and-fetch
+//     (and every read costs one RMW, which Caps does not model; see
+//     the rmw figure).
+//   - Peterson: WaitFreeRead/WaitFreeWrite and stats only — reads copy
+//     (up to three times) and cannot probe freshness.
+//   - Lock: ZeroCopyView (a view pins the read lock) and stats, but
+//     neither side is wait-free: WaitFreeRead/WaitFreeWrite are false.
+//   - Seqlock: WaitFreeWrite but not WaitFreeRead (reads retry while a
+//     write overlaps); no views (reads copy under the seqcount).
+//   - LeftRight: ZeroCopyView and WaitFreeRead, but writes block on
+//     readers (WaitFreeWrite false).
+//   - The (M,N) composite and the Map inherit ARC's full set; the
+//     map-level Fresh probe spans the directory and the key register.
+//
+// Handles degrade conservatively where a capability is absent: Fresh
+// reports false (forcing a re-read), stats report zero, ViewBytes
+// returns ErrNoView. The harness summary tables (cmd/arcbench -figure
+// rmw/latency) print the WaitFree capabilities per row, so measured
+// numbers and progress guarantees read side by side.
+//
 // # Codecs
 //
 // Codec[T] is the one encoding layer every typed surface shares: JSON
@@ -89,15 +130,15 @@
 // writer register with tag-based ordering, a freshness-gated collect
 // and an adaptive epoch gate (one-load all-fresh scans). NewMap scales
 // the primitive to a keyed store instead — use it when you share more
-// than one value (typed access via NewJSONMap/NewCodecMap).
+// than one value.
 //
 // # Byte-level access
 //
 // The untyped constructors remain for code that works in raw bytes:
 // NewARC, NewRF, NewPeterson, NewLocked, NewSeqlock, NewLeftRight
 // return Register (one Writer, per-goroutine Readers, optional Viewer/
-// FreshnessProber capabilities), NewMN the (M,N) composite, NewMap the
-// keyed store. All of them share or adapt to the Register/Reader/
+// FreshnessProber capabilities), NewMN the (M,N) composite, NewByteMap
+// the keyed store. All of them share or adapt to the Register/Reader/
 // Writer interfaces, so they are interchangeable in application code
 // and in the bundled benchmark harness (cmd/arcbench) that regenerates
 // the paper's figures. Reg.Register/Reg.MN expose the byte register
@@ -129,13 +170,26 @@
 //
 // Map scales the register to an addressable store: keys are partitioned
 // over shards, each key owns an ARC register, and each shard publishes
-// its growable key directory through a further ARC register — so key
-// lookup, enumeration, and value reads are all wait-free zero-copy
-// register reads. Per-reader handles cache the decoded directory behind
-// ARC's freshness probe: a Get of an unchanged hot key is two atomic
-// loads with zero RMW instructions regardless of map size, observable
-// through MapReader.ReadStats (BenchmarkMapGet; cmd/arcbench -figure
-// map sweeps key counts × threads under Zipf popularity). Typed access
-// mirrors the single-register API: MapOf[T] (NewJSONMap/NewCodecMap)
-// shares the same Codec[T] layer as New.
+// its key directory — an append-only log of add and tombstone entries —
+// through a further ARC register, so key lookup, enumeration, and value
+// reads are all wait-free zero-copy register reads. Per-reader handles
+// cache the decoded directory behind ARC's freshness probe: a Get of an
+// unchanged hot key is two atomic loads with zero RMW instructions
+// regardless of map size, observable through MapReader.ReadStats
+// (BenchmarkMapGet; cmd/arcbench -figure map sweeps key counts ×
+// threads under Zipf popularity, with -delete-every and -snapshot-every
+// mixing in the lifecycle operations).
+//
+// The lifecycle is complete: Delete publishes a tombstone through the
+// directory register (the hot-key read path is untouched — still two
+// loads, zero RMW), the key's slot is recycled, and a re-created key
+// gets a fresh value register so deleted values can never resurrect.
+// MapReader.Snapshot returns an atomic point-in-time copy of every live
+// key across all shards, built on per-shard validated publish counters
+// (the mnreg epoch-gate technique): no RMW instructions, one pass at
+// steady state, re-collecting only shards observed to move (DESIGN.md
+// §7 has the linearization argument). Typed access mirrors the
+// single-register API: NewMap[T] shares New's option set and returns
+// capability-complete handles (Get, Fresh, Keys, Snapshot, a per-key
+// Values poll iterator); the same Codec[T] layer plugs in throughout.
 package arcreg

@@ -129,6 +129,71 @@ func ExampleTypedReader_Values() {
 	// Output: last: 30 ordered: true
 }
 
+// NewMap is the keyed store with the same option set as New: every key
+// is its own wait-free ARC register, and the full lifecycle — create,
+// update, delete, re-create — runs without a single lock. This is the
+// examples/kvstore pattern in miniature.
+func ExampleNewMap() {
+	type session struct {
+		User  string
+		Epoch int
+	}
+	store, err := arcreg.NewMap[session](
+		arcreg.WithShards(4),
+		arcreg.WithReaders(2),
+		arcreg.WithMaxValueSize(256),
+	)
+	if err != nil {
+		panic(err)
+	}
+	rd, err := store.NewReader()
+	if err != nil {
+		panic(err)
+	}
+	defer rd.Close()
+
+	_ = store.Set("alice", session{User: "alice", Epoch: 1})
+	_ = store.Set("bob", session{User: "bob", Epoch: 1})
+	s, _ := rd.Get("alice")
+	fmt.Printf("alice@%d of %d sessions\n", s.Epoch, store.Len())
+
+	// Delete publishes a tombstone; the reader misses on its next probe.
+	_ = store.Delete("bob")
+	_, err = rd.Get("bob")
+	fmt.Println("bob deleted:", err == arcreg.ErrKeyNotFound, "len:", store.Len())
+
+	// A re-created key never resurrects its old value.
+	_ = store.Set("bob", session{User: "bob", Epoch: 2})
+	s, _ = rd.Get("bob")
+	fmt.Println("bob reborn at epoch", s.Epoch)
+	// Output:
+	// alice@1 of 2 sessions
+	// bob deleted: true len: 1
+	// bob reborn at epoch 2
+}
+
+// Snapshot returns an atomic point-in-time view of every live key —
+// across all shards, with zero RMW instructions at steady state.
+func ExampleMapOfReader_Snapshot() {
+	store, _ := arcreg.NewMap[int](arcreg.WithShards(4), arcreg.WithReaders(1))
+	for _, k := range []string{"a", "b", "c"} {
+		_ = store.Set(k, 1)
+	}
+	_ = store.Delete("b")
+
+	rd, _ := store.NewReader()
+	defer rd.Close()
+	snap, _ := rd.Snapshot()
+
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("live keys:", keys)
+	// Output: live keys: [a c]
+}
+
 // Byte-level access: the raw register constructors remain for code
 // that works in bytes (and for the benchmark harness).
 func ExampleNewARC() {

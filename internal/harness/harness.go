@@ -106,6 +106,43 @@ func (a Algorithm) MaxReaders() int {
 	}
 }
 
+// Caps reports the named algorithm's capability set (register.Caps).
+// Capabilities are constants per implementation, published through
+// CapabilityReporter; this constructs a minimal instance to read them,
+// so the summary tables surface Caps.WaitFree* without hand-maintained
+// duplicates.
+func (a Algorithm) Caps() register.Caps {
+	cfg := register.Config{MaxReaders: 1, MaxValueSize: 64}
+	if a.IsMN() {
+		r, err := mnreg.New(mnreg.Config{Writers: 2, Readers: 1, MaxValueSize: 64}, mnreg.Options{})
+		if err != nil {
+			return register.Caps{}
+		}
+		return r.Caps()
+	}
+	r, err := NewRegister(a, cfg)
+	if err != nil {
+		return register.Caps{}
+	}
+	return register.CapsOf(r)
+}
+
+// WaitFreeLabel renders the algorithm's wait-freedom capabilities for
+// the summary tables: "r+w" (both sides wait-free), "r" or "w" (one
+// side), "-" (neither).
+func (a Algorithm) WaitFreeLabel() string {
+	c := a.Caps()
+	switch {
+	case c.WaitFreeRead && c.WaitFreeWrite:
+		return "r+w"
+	case c.WaitFreeRead:
+		return "r"
+	case c.WaitFreeWrite:
+		return "w"
+	}
+	return "-"
+}
+
 // NewRegister constructs the named register.
 func NewRegister(alg Algorithm, cfg register.Config) (register.Register, error) {
 	switch alg {

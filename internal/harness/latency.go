@@ -68,11 +68,11 @@ func RunLatencyComparison(algs []Algorithm, threads, size int, stealFrac float64
 func (rep LatencyReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "== per-operation latency (size %s, steal %.0f%%, window %v) ==\n",
 		fmtSize(rep.Size), rep.Steal*100, rep.Duration)
-	fmt.Fprintf(w, "%12s %8s %12s %12s %12s %12s %12s %12s\n",
-		"algorithm", "threads", "read p50", "read p99", "read max", "write p50", "write p99", "write max")
+	fmt.Fprintf(w, "%12s %9s %8s %12s %12s %12s %12s %12s %12s\n",
+		"algorithm", "waitfree", "threads", "read p50", "read p99", "read max", "write p50", "write p99", "write max")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(w, "%12s %8d %12s %12s %12s %12s %12s %12s\n",
-			r.Algorithm, r.Threads,
+		fmt.Fprintf(w, "%12s %9s %8d %12s %12s %12s %12s %12s %12s\n",
+			r.Algorithm, r.Algorithm.WaitFreeLabel(), r.Threads,
 			metrics.Duration(r.ReadLat.Quantile(0.5)), metrics.Duration(r.ReadLat.Quantile(0.99)),
 			time.Duration(r.ReadLat.Max()),
 			metrics.Duration(r.WriteLat.Quantile(0.5)), metrics.Duration(r.WriteLat.Quantile(0.99)),

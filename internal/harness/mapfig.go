@@ -40,6 +40,13 @@ type MapRunConfig struct {
 	// ChurnEvery > 0 makes every Nth Set create a brand-new key,
 	// re-publishing that shard's directory under the readers.
 	ChurnEvery int
+	// DeleteEvery > 0 enables the delete-mix: every Nth writer operation
+	// deletes or re-creates a lifecycle-pool key, publishing tombstones
+	// under the readers.
+	DeleteEvery int
+	// SnapshotEvery > 0 makes every Nth reader operation a full
+	// multi-key Snapshot instead of a Get.
+	SnapshotEvery int
 	// Mode selects dummy or processing operation bodies.
 	Mode workload.Mode
 	// Duration is the measurement window; Warmup precedes it.
@@ -96,8 +103,12 @@ type MapResult struct {
 	ReadStat regmap.ReadStats
 	// WriteStat is the map's publish-side aggregate (value + directory).
 	WriteStat regmap.WriteStats
-	// KeysCreated counts churn keys added during the run.
+	// KeysCreated counts churn and lifecycle keys added during the run.
 	KeysCreated uint64
+	// KeysDeleted counts tombstones published during the run.
+	KeysDeleted uint64
+	// Snapshots counts multi-key Snapshots taken during the run.
+	Snapshots uint64
 	// Steal aggregates injected CPU-steal events (virtualized runs).
 	Steal steal.VCPUStats
 	// GetLat and SetLat hold sampled operation latencies when
@@ -190,12 +201,14 @@ func RunMap(cfg MapRunConfig) (MapResult, error) {
 
 	// Worker 0: the map's writer.
 	sw := workload.NewMapSetWork(m, keys,
-		workload.NewKeyChooser(cfg.Keys, cfg.Zipf, cfg.Seed), cfg.Mode, cfg.ValueSize, cfg.ChurnEvery)
+		workload.NewKeyChooser(cfg.Keys, cfg.Zipf, cfg.Seed), cfg.Mode, cfg.ValueSize, cfg.ChurnEvery).
+		WithDeletes(cfg.DeleteEvery, 0)
 	wg.Add(1)
 	go worker(0, sw.Do, nil, func(ops uint64, lat *metrics.Histogram) {
 		res.SetOps += ops
 		res.SetLat.Merge(lat)
 		res.KeysCreated += sw.Created()
+		res.KeysDeleted += sw.Deleted()
 	})
 
 	// Workers 1..Threads−1: readers, one map handle each.
@@ -207,7 +220,8 @@ func RunMap(cfg MapRunConfig) (MapResult, error) {
 			return MapResult{}, fmt.Errorf("harness: map reader %d: %w", i, err)
 		}
 		rw := workload.NewMapGetWork(rd, keys,
-			workload.NewKeyChooser(cfg.Keys, cfg.Zipf, cfg.Seed+uint64(i)+1), cfg.Mode, cfg.MissEvery)
+			workload.NewKeyChooser(cfg.Keys, cfg.Zipf, cfg.Seed+uint64(i)+1), cfg.Mode, cfg.MissEvery).
+			WithSnapshots(cfg.SnapshotEvery)
 		wg.Add(1)
 		go worker(1+i, rw.Do,
 			func() { rd.Close() },
@@ -219,6 +233,9 @@ func RunMap(cfg MapRunConfig) (MapResult, error) {
 				res.ReadStat.Add(st.ReadStats)
 				res.ReadStat.Misses += st.Misses
 				res.ReadStat.DirRefreshes += st.DirRefreshes
+				res.ReadStat.Snapshots += st.Snapshots
+				res.ReadStat.SnapshotRetries += st.SnapshotRetries
+				res.Snapshots += rw.Snapshots()
 			})
 	}
 
@@ -241,14 +258,16 @@ type MapFigure struct {
 	// Threads and Keys span the sweep.
 	Threads []int
 	Keys    []int
-	// ValueSize, Zipf, Shards, MissEvery, ChurnEvery, Mode apply to
-	// every cell.
-	ValueSize  int
-	Zipf       float64
-	Shards     int
-	MissEvery  int
-	ChurnEvery int
-	Mode       workload.Mode
+	// ValueSize, Zipf, Shards, MissEvery, ChurnEvery, DeleteEvery,
+	// SnapshotEvery, Mode apply to every cell.
+	ValueSize     int
+	Zipf          float64
+	Shards        int
+	MissEvery     int
+	ChurnEvery    int
+	DeleteEvery   int
+	SnapshotEvery int
+	Mode          workload.Mode
 	// StealFraction > 0 simulates the virtualized host in every cell.
 	StealFraction float64
 	// Pin requests CPU pinning in the physical regime.
@@ -264,7 +283,8 @@ type MapFigure struct {
 
 // FigMap is the keyed-workload figure: thread sweep × key-count sweep on
 // the sharded snapshot map, Zipf(1.2) key popularity, with light
-// directory churn so the sweep also covers key creation under readers.
+// directory churn and a light delete-mix so the sweep also covers key
+// creation and tombstone publication under readers.
 func FigMap() MapFigure {
 	return MapFigure{
 		ID:         "map",
@@ -275,10 +295,14 @@ func FigMap() MapFigure {
 		Zipf:       1.2,
 		Shards:     16,
 		ChurnEvery: 4096,
-		Mode:       workload.Dummy,
-		Duration:   time.Second,
-		Warmup:     200 * time.Millisecond,
-		Seed:       5,
+		// Prime, so it almost never collides with ChurnEvery ticks — on a
+		// collision the delete-mix branch wins and the churn key is
+		// skipped (see workload.MapSetWork.Do).
+		DeleteEvery: 2731,
+		Mode:        workload.Dummy,
+		Duration:    time.Second,
+		Warmup:      200 * time.Millisecond,
+		Seed:        5,
 	}
 }
 
@@ -343,6 +367,8 @@ func (f MapFigure) Run(progress MapProgress) (MapFigureData, error) {
 				Zipf:          f.Zipf,
 				MissEvery:     f.MissEvery,
 				ChurnEvery:    f.ChurnEvery,
+				DeleteEvery:   f.DeleteEvery,
+				SnapshotEvery: f.SnapshotEvery,
 				Mode:          f.Mode,
 				StealFraction: f.StealFraction,
 				Pin:           f.Pin,
@@ -370,8 +396,8 @@ func (f MapFigure) Run(progress MapProgress) (MapFigureData, error) {
 func (d *MapFigureData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Caption)
-	fmt.Fprintf(w, "mode=%s value=%s zipf=%.2f shards=%d churn=1/%d steal=%.0f%% duration=%v\n",
-		f.Mode, fmtSize(f.ValueSize), f.Zipf, f.Shards, f.ChurnEvery, f.StealFraction*100, f.Duration)
+	fmt.Fprintf(w, "mode=%s value=%s zipf=%.2f shards=%d churn=1/%d deletes=1/%d snapshots=1/%d steal=%.0f%% duration=%v\n",
+		f.Mode, fmtSize(f.ValueSize), f.Zipf, f.Shards, f.ChurnEvery, f.DeleteEvery, f.SnapshotEvery, f.StealFraction*100, f.Duration)
 	render := func(title string, metric func(MapResult) float64, format string) {
 		fmt.Fprintf(w, "\n-- %s --\n", title)
 		fmt.Fprintf(w, "%8s", "threads")
@@ -399,16 +425,17 @@ func (d *MapFigureData) RenderTable(w io.Writer) {
 
 // RenderCSV writes the figure in long form.
 func (d *MapFigureData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,keys,threads,mops,get_ops,set_ops,rmw,fastpath,misses,dir_refreshes,keys_created")
+	fmt.Fprintln(w, "figure,keys,threads,mops,get_ops,set_ops,rmw,fastpath,misses,dir_refreshes,keys_created,keys_deleted,snapshots,snapshot_retries")
 	for _, c := range d.Cells {
 		if c.Err != nil {
 			continue
 		}
 		r := c.Result
-		fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			d.Figure.ID, c.Keys, c.Threads, r.Mops(),
 			r.GetOps, r.SetOps, r.ReadStat.RMW, r.ReadStat.FastPath,
-			r.ReadStat.Misses, r.ReadStat.DirRefreshes, r.KeysCreated)
+			r.ReadStat.Misses, r.ReadStat.DirRefreshes, r.KeysCreated,
+			r.KeysDeleted, r.Snapshots, r.ReadStat.SnapshotRetries)
 	}
 }
 

@@ -127,14 +127,14 @@ func RunMNRMWComparison(threads []int, writers, size int, duration, warmup time.
 // Render writes the report as an ASCII table.
 func (rep RMWReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "== RMW accounting (register size %s, window %v) ==\n", fmtSize(rep.Size), rep.Duration)
-	fmt.Fprintf(w, "%8s %16s %14s %14s %12s %12s\n",
-		"threads", "algorithm", "reads", "rmw/read", "fastpath%", "rmw/write")
+	fmt.Fprintf(w, "%8s %16s %9s %14s %14s %12s %12s\n",
+		"threads", "algorithm", "waitfree", "reads", "rmw/read", "fastpath%", "rmw/write")
 	for _, r := range rep.Rows {
 		perWrite := 0.0
 		if r.WriteOps > 0 {
 			perWrite = float64(r.WriteRMW) / float64(r.WriteOps)
 		}
-		fmt.Fprintf(w, "%8d %16s %14d %14.4f %11.1f%% %12.2f\n",
-			r.Threads, r.Algorithm, r.ReadOps, r.RMWPerRead(), r.FastPathShare()*100, perWrite)
+		fmt.Fprintf(w, "%8d %16s %9s %14d %14.4f %11.1f%% %12.2f\n",
+			r.Threads, r.Algorithm, r.Algorithm.WaitFreeLabel(), r.ReadOps, r.RMWPerRead(), r.FastPathShare()*100, perWrite)
 	}
 }

@@ -11,18 +11,20 @@
 //     zero-copy views, zero RMW instructions when the value is unchanged.
 //
 //   - Keys are partitioned over S shards by an FNV-1a hash. Each shard
-//     owns a dynamically growable key directory — the ordered list of the
-//     shard's keys; a key's position in it is its slot index, stable for
-//     the key's lifetime (the directory is append-only: this is a
-//     snapshot map, keys are added, never removed).
+//     owns a dynamically growable key directory — an append-only log of
+//     add and tombstone entries; a key's position in the slot array is its
+//     slot index, stable for the key's lifetime. Delete publishes a
+//     tombstone and recycles the slot: a later creation may reuse it with
+//     a fresh value register (a new slot generation), so deleted keys
+//     never resurrect stale values.
 //
 //   - The directory itself is published through a directory ARC register
 //     (one per shard, §3.3 dynamic-buffer variant, so its value can grow
-//     without bound while unchanged publications cost nothing). Adding a
-//     key is therefore one register creation plus one directory
-//     re-publish by that shard's writer — and directory lookups, key
-//     enumeration and change detection on the reader side are all
-//     wait-free zero-copy register reads, never mutex acquisitions.
+//     without bound while unchanged publications cost nothing). Adding or
+//     deleting a key is one log append plus one directory re-publish by
+//     that shard's writer — and directory lookups, key enumeration and
+//     change detection on the reader side are all wait-free zero-copy
+//     register reads, never mutex acquisitions.
 //
 // # The fresh-gated Get
 //
@@ -30,60 +32,100 @@
 // (directory epoch, key→slot table, per-key ARC reader) tuple. A Get
 // probes the shard's directory register with arc.Reader.Fresh (one atomic
 // load, no RMW); only when the directory actually changed does it re-view
-// and re-decode — and the decode is incremental: the append-only encoding
-// is prefix-stable, so only the new tail entries are parsed. The key's
+// and re-decode — and the decode is incremental: the append-only log is
+// prefix-stable, so only the new tail entries are parsed. The key's
 // own register is then read through arc.Reader.ViewFresh, whose unchanged
 // case is ARC's R1–R2 fast path. A Get of an unchanged key on an
 // unchanged directory therefore costs two atomic loads total — zero RMW
 // instructions, zero decoding, zero copies — regardless of how many keys
-// the map holds. A miss on an unchanged directory costs one atomic load
-// plus a hash lookup.
+// the map holds, and regardless of deletions elsewhere. A miss on an
+// unchanged directory costs one atomic load plus a hash lookup.
+//
+// # The multi-key snapshot
+//
+// Reader.Snapshot returns a point-in-time copy of every live key. Each
+// shard carries a pair of publish counters (pubStarted, bumped by the
+// shard writer immediately before any publication — value write,
+// directory append — and pubDone, bumped immediately after). A snapshot
+// collects each shard under a validated counter window (started == done
+// before the collect, started unchanged after it), then runs a global
+// verification pass re-reading every shard's counter; shards that moved
+// are re-collected. When a verification pass observes no movement, every
+// shard's collected state was simultaneously current at the pass's start
+// — a single linearization point for the whole map (see DESIGN.md §7 for
+// the argument and for why an unvalidated counter gate is unsound).
+// Snapshot executes no RMW instructions and retries only on observed
+// publications.
 //
 // # Concurrency contract
 //
-// Each shard is single-writer: Set may be invoked concurrently only for
-// keys living on different shards (ShardOf reports the routing). The
-// common deployment is one writer goroutine for the whole map, mirroring
-// the paper's (1,N) shape; partition keys by ShardOf to scale writes.
-// Readers are one handle per goroutine, as everywhere in this module.
+// Each shard is single-writer: Set and Delete may be invoked concurrently
+// only for keys living on different shards (ShardOf reports the routing).
+// The common deployment is one writer goroutine for the whole map,
+// mirroring the paper's (1,N) shape; partition keys by ShardOf to scale
+// writes. Readers are one handle per goroutine, as everywhere in this
+// module.
 //
 // The writer-to-reader handoff of a new key needs no locks: the shard's
 // slot array is an immutable snapshot behind an atomic pointer, replaced
-// (copy-on-append) before the directory register publishes the new
-// count. A reader that observes the new directory through the register's
-// RMW chain therefore observes the longer slot array too, and slot
-// indices below the published count are always valid. The new key's
-// register is created with the first value as its initial content, so no
-// reader can ever see a key without a value.
+// (copy-on-write) before the directory register publishes the new entry.
+// A reader that observes the new directory through the register's RMW
+// chain therefore observes the updated slot array too. Slot reuse adds
+// one subtlety: the slot array can run ahead of the directory view a
+// reader decodes (the writer stores the array before publishing), so each
+// slot carries a generation — the number of add entries that targeted it
+// — and a reader that catches the array ahead of its view re-views the
+// directory. The retry is sound because a generation mismatch proves the
+// intervening tombstone was already fully published (never in flight), so
+// the re-view observes it; see DESIGN.md §7.
 package regmap
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"arcreg/internal/arc"
+	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
 
-// ErrKeyNotFound is returned by Get for a key no Set has created.
+// ErrKeyNotFound is returned by Get for a key no Set has created (or a
+// deleted one), and by Delete for a key that does not exist.
 var ErrKeyNotFound = errors.New("regmap: key not found")
 
 // DefaultShards is the shard count when Config.Shards is zero.
 const DefaultShards = 8
 
-// dirMaxBytes bounds a shard directory encoding (1 GiB of key material
-// per shard — an administrative ceiling, not a pre-allocation: the
-// directory register uses dynamic buffers).
+// dirMaxBytes bounds a shard directory log (1 GiB of entry material per
+// shard — an administrative ceiling, not a pre-allocation: the directory
+// register uses dynamic buffers). The log is append-only, so delete/
+// recreate churn consumes directory capacity; the ceiling is what makes
+// every directory refresh loop terminate absolutely.
 const dirMaxBytes = 1 << 30
+
+// dirCapacity is the enforced log ceiling — a variable only so tests can
+// exercise the full-directory paths without allocating a gibibyte.
+var dirCapacity = dirMaxBytes
 
 // dirHeaderSize is the fixed directory prefix: 8-byte epoch + 4-byte
 // entry count. Fixed-width (not varint) so the entry region's byte
-// offsets never shift as the directory grows — that is what makes the
-// reader's incremental tail decode sound.
+// offsets never shift as the log grows — that is what makes the reader's
+// incremental tail decode sound.
 const dirHeaderSize = 12
+
+// Directory log entries are tagged with their target slot:
+//
+//	add:       uvarint(slot<<1)   | uvarint(len(key)) | key bytes
+//	tombstone: uvarint(slot<<1|1)
+//
+// An add either appends a brand-new slot (slot == current slot count) or
+// reuses a tombstoned one; each add bumps the slot's generation on both
+// sides of the protocol.
+const tombstoneFlag = 1
 
 // Config parametrizes a Map.
 type Config struct {
@@ -125,24 +167,46 @@ func Hash(key string) uint64 {
 	return h
 }
 
-// slots is an immutable snapshot of a shard's per-key registers, in slot
-// (directory) order. Grown copy-on-append by the shard writer; readers
-// load it atomically after observing the directory.
+// slots is an immutable snapshot of a shard's per-key registers and their
+// generations, in slot order. Replaced copy-on-write by the shard writer
+// whenever a slot is added or reused; readers load it atomically after
+// viewing the directory and verify the generations against their decoded
+// state.
 type slots struct {
 	regs []*arc.Register
+	gens []uint32
 }
 
-// shard owns one key partition: the directory register and the
-// writer-side key table. All non-atomic fields are owned by the shard's
-// single writer.
+// shard owns one key partition: the directory register, the snapshot
+// publish counters, and the writer-side key table. All non-atomic fields
+// are owned by the shard's single writer.
 type shard struct {
 	dir     *arc.Register         // directory publications (dynamic buffers)
 	entries atomic.Pointer[slots] // reader-visible slot array snapshot
-	index   map[string]int        // writer-side key → slot
-	wregs   []*arc.Register       // writer-side slot array (uncopied)
-	epoch   uint64                // directory publish count (== key count while add-only)
-	dirBuf  []byte                // directory encoding (prefix-stable, appended to)
+	// pubStarted / pubDone bracket every publication on this shard
+	// (value write, directory append): the writer bumps pubStarted
+	// immediately before and pubDone immediately after. Snapshot's
+	// validated collect is built on them (see DESIGN.md §7).
+	pubStarted pad.PaddedUint64
+	pubDone    pad.PaddedUint64
+	// liveKeys is the shard's live key count, maintained by the writer,
+	// read by Map.Len.
+	liveKeys atomic.Int64
+
+	index     map[string]int  // writer-side key → slot (live keys only)
+	wregs     []*arc.Register // writer-side slot array (uncopied)
+	wgens     []uint32        // writer-side slot generations
+	freeSlots []int           // tombstoned slots available for reuse
+	epoch     uint64          // directory publish count
+	nentries  int             // log entries appended (adds + tombstones)
+	dirBuf    []byte          // directory encoding (prefix-stable, appended to)
+	deletes   uint64          // tombstones published
+	creates   uint64          // keys created (including re-creations)
 }
+
+// beginPub / endPub bracket one publication for the snapshot gate.
+func (sh *shard) beginPub() { sh.pubStarted.Add(1) }
+func (sh *shard) endPub()   { sh.pubDone.Add(1) }
 
 // Map is a sharded wait-free snapshot map of ARC registers.
 type Map struct {
@@ -184,7 +248,7 @@ func New(cfg Config) (*Map, error) {
 		maxValueSize: cfg.MaxValueSize,
 		dynamic:      cfg.DynamicValues,
 	}
-	genesis := make([]byte, dirHeaderSize) // epoch 0, count 0
+	genesis := make([]byte, dirHeaderSize) // epoch 0, no entries
 	for i := range m.shards {
 		dir, err := arc.New(register.Config{
 			MaxReaders:   cfg.MaxReaders,
@@ -219,36 +283,79 @@ func (m *Map) MaxValueSize() int { return m.maxValueSize }
 // want parallel Sets partition their keys by this.
 func (m *Map) ShardOf(key string) int { return int(Hash(key) & m.mask) }
 
-// Len reports the number of keys in the map. Safe to call concurrently
-// with Sets (it sums the shards' atomic slot snapshots).
+// Len reports the number of live keys in the map. Safe to call
+// concurrently with Sets and Deletes (it sums the shards' atomic live
+// counters; no cross-shard atomicity is implied — use Snapshot for
+// that).
 func (m *Map) Len() int {
 	n := 0
 	for _, sh := range m.shards {
-		n += len(sh.entries.Load().regs)
+		n += int(sh.liveKeys.Load())
 	}
 	return n
 }
 
-// Set publishes val under key, creating the key if needed. Single
-// goroutine per shard (see the package concurrency contract). The value
-// is copied into a register slot; the caller keeps ownership of val.
+// Set publishes val under key, creating (or re-creating) the key if
+// needed. Single goroutine per shard (see the package concurrency
+// contract). The value is copied into a register slot; the caller keeps
+// ownership of val.
 func (m *Map) Set(key string, val []byte) error {
 	if len(val) > m.maxValueSize {
 		return fmt.Errorf("%w: %d > %d", register.ErrValueTooLarge, len(val), m.maxValueSize)
 	}
 	sh := m.shards[m.ShardOf(key)]
 	if i, ok := sh.index[key]; ok {
-		return sh.wregs[i].Write(val)
+		sh.beginPub()
+		err := sh.wregs[i].Write(val)
+		sh.endPub()
+		return err
 	}
 	return m.addKey(sh, key, val)
 }
 
-// addKey creates the key's register (seeded with the first value, so the
-// key is never visible without one), grows the reader-visible slot
-// snapshot, and re-publishes the shard directory. The order — register
-// ready, slots stored, directory published — is what readers rely on:
-// observing the new directory count through the register's RMW chain
-// happens-after the slot store.
+// Delete removes key from the map by publishing a tombstone through the
+// shard's directory register; the slot is recycled for a later creation.
+// Returns ErrKeyNotFound when the key does not exist. Same single-writer-
+// per-shard contract as Set. Readers holding views of the deleted key's
+// value keep them (the retired register is never written again); readers
+// observe the deletion on their next directory probe, so a concurrent Get
+// linearizes before the delete and returns the last value, or after it
+// and misses.
+func (m *Map) Delete(key string) error {
+	sh := m.shards[m.ShardOf(key)]
+	slot, ok := sh.index[key]
+	if !ok {
+		return ErrKeyNotFound
+	}
+	var tagBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tagBuf[:], uint64(slot)<<1|tombstoneFlag)
+	if len(sh.dirBuf)+n > dirCapacity {
+		return fmt.Errorf("regmap: shard directory full (%d bytes)", len(sh.dirBuf))
+	}
+	delete(sh.index, key)
+	sh.freeSlots = append(sh.freeSlots, slot)
+	sh.deletes++
+	sh.liveKeys.Add(-1)
+
+	sh.epoch++
+	sh.nentries++
+	sh.dirBuf = append(sh.dirBuf, tagBuf[:n]...)
+	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
+	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
+	sh.beginPub()
+	err := sh.dir.Write(sh.dirBuf)
+	sh.endPub()
+	return err
+}
+
+// addKey creates a fresh register for the key (seeded with the first
+// value, so the key is never visible without one — and so a re-created
+// key can never resurrect its predecessor's value), installs it into a
+// free slot (or appends one), publishes the new slot snapshot, and
+// appends an add entry to the directory log. The order — register ready,
+// slots stored, directory published — is what readers rely on: observing
+// the new entry through the register's RMW chain happens-after the slot
+// store.
 func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	initial := val
 	if initial == nil {
@@ -262,36 +369,67 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("regmap: key %q register: %w", key, err)
 	}
-	if len(sh.dirBuf)+binary.MaxVarintLen64+len(key) > dirMaxBytes {
+	if len(sh.dirBuf)+2*binary.MaxVarintLen64+len(key) > dirCapacity {
 		return fmt.Errorf("regmap: shard directory full (%d bytes)", len(sh.dirBuf))
 	}
 
-	sh.wregs = append(sh.wregs, reg)
-	next := &slots{regs: append(make([]*arc.Register, 0, len(sh.wregs)), sh.wregs...)}
-	sh.entries.Store(next)
-	sh.index[key] = len(sh.wregs) - 1
+	var slot int
+	if n := len(sh.freeSlots); n > 0 {
+		slot = sh.freeSlots[n-1]
+		sh.freeSlots = sh.freeSlots[:n-1]
+		sh.wregs[slot] = reg
+		sh.wgens[slot]++
+	} else {
+		slot = len(sh.wregs)
+		sh.wregs = append(sh.wregs, reg)
+		sh.wgens = append(sh.wgens, 1)
+	}
+	next := &slots{
+		regs: append(make([]*arc.Register, 0, len(sh.wregs)), sh.wregs...),
+		gens: append(make([]uint32, 0, len(sh.wgens)), sh.wgens...),
+	}
+	sh.index[key] = slot
+	sh.creates++
+	sh.liveKeys.Add(1)
 
-	// Append the entry to the prefix-stable encoding and re-publish.
+	// Append the add entry to the prefix-stable log and re-publish.
 	sh.epoch++
+	sh.nentries++
 	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+	n := binary.PutUvarint(lenBuf[:], uint64(slot)<<1)
+	sh.dirBuf = append(sh.dirBuf, lenBuf[:n]...)
+	n = binary.PutUvarint(lenBuf[:], uint64(len(key)))
 	sh.dirBuf = append(sh.dirBuf, lenBuf[:n]...)
 	sh.dirBuf = append(sh.dirBuf, key...)
 	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
-	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(len(sh.wregs)))
-	return sh.dir.Write(sh.dirBuf)
+	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
+	sh.beginPub()
+	sh.entries.Store(next)
+	err = sh.dir.Write(sh.dirBuf)
+	sh.endPub()
+	return err
 }
 
 // WriteStats aggregates the map's publish-side counters. Collect only at
-// quiescence (no Set in flight), like every stats accessor in this
-// module.
+// quiescence (no Set or Delete in flight), like every stats accessor in
+// this module.
 func (m *Map) WriteStats() WriteStats {
 	var ws WriteStats
 	for _, sh := range m.shards {
 		ws.Directory.Add(sh.dir.WriteStats())
-		ws.Keys += uint64(len(sh.wregs))
-		for _, reg := range sh.entries.Load().regs {
-			ws.Value.Add(reg.WriteStats())
+		ws.Keys += sh.creates
+		ws.Deletes += sh.deletes
+		// Aggregate live incarnations only: a tombstoned slot keeps its
+		// retired register parked until reuse, but its counters leave
+		// the aggregate at the Delete (deterministically, as documented).
+		dead := make(map[int]bool, len(sh.freeSlots))
+		for _, slot := range sh.freeSlots {
+			dead[slot] = true
+		}
+		for slot, reg := range sh.wregs {
+			if !dead[slot] {
+				ws.Value.Add(reg.WriteStats())
+			}
 		}
 	}
 	return ws
@@ -299,13 +437,17 @@ func (m *Map) WriteStats() WriteStats {
 
 // WriteStats counts the work the map's writer side performed.
 type WriteStats struct {
-	// Value aggregates the per-key value registers' write counters.
+	// Value aggregates the per-key value registers' write counters
+	// (live incarnations only; registers retired by Delete drop out).
 	Value register.WriteStats
 	// Directory aggregates the shard directory registers' write
 	// counters; Directory.Ops is the number of directory publications.
 	Directory register.WriteStats
-	// Keys is the number of keys created.
+	// Keys is the number of keys created, including re-creations of
+	// deleted keys.
 	Keys uint64
+	// Deletes is the number of tombstones published.
+	Deletes uint64
 }
 
 // ReadStats counts the work a Reader handle performed.
@@ -321,28 +463,47 @@ type ReadStats struct {
 	// DirRefreshes counts directory re-decodes (a changed directory
 	// observed); the incremental decode parses only the tail entries.
 	DirRefreshes uint64
+	// Snapshots counts completed Snapshot calls; SnapshotRetries counts
+	// shard re-collects forced by concurrently observed publications
+	// (zero at steady state).
+	Snapshots       uint64
+	SnapshotRetries uint64
 }
 
 // readerShard is a Reader's per-shard cache: the directory reader handle
-// plus the decoded (epoch, key→slot, per-key handle) table.
+// plus the decoded (epoch, key→slot table, per-key handle) state.
 type readerShard struct {
 	dirRd *arc.Reader
-	// table, keys, regs, handles are the decoded directory: key → slot,
-	// keys in slot order, the slot snapshot the decode observed, and the
-	// lazily created per-key reader handles.
+	// table maps live keys to slots; keys, gens, live mirror the decoded
+	// log per slot (key bound to the slot, its generation — the count of
+	// add entries that targeted it — and whether the binding is live).
+	// regs is the slot snapshot the decode verified; handles are the
+	// lazily created per-key reader handles, nil until first Get.
 	table   map[string]int
 	keys    []string
+	gens    []uint32
+	live    []bool
 	regs    []*arc.Register
 	handles []*arc.Reader
+	// retired holds handles displaced by tombstones. They are closed at
+	// Reader.Close, not eagerly: the owner may still hold views obtained
+	// through them, and the registers they pin are never written again.
+	retired []*arc.Reader
 	// epoch is the decoded directory epoch — consumed as a monotonicity
 	// guard: a publication carries a strictly larger epoch, so a decode
 	// observing a smaller one means the protocol broke. decoded/tailOff
 	// track the incremental decode frontier (entries parsed, byte offset
-	// of the next one — valid across publications because the encoding
-	// is prefix-stable).
+	// of the next one — valid across publications because the log is
+	// prefix-stable).
 	epoch   uint64
 	decoded int
 	tailOff int
+	// corrupt latches a failed decode: the directory handle already
+	// holds the broken publication (so freshness probes would pass), and
+	// the decode may have half-applied the tail — serving that state
+	// silently would be worse than failing, so every later operation on
+	// the shard returns the original error.
+	corrupt error
 }
 
 // Reader is a per-goroutine read endpoint over the whole map. One handle
@@ -352,10 +513,12 @@ type Reader struct {
 	shards []readerShard
 	closed bool
 
-	ops       uint64
-	fastPath  uint64
-	misses    uint64
-	refreshes uint64
+	ops         uint64
+	fastPath    uint64
+	misses      uint64
+	refreshes   uint64
+	snapshots   uint64
+	snapRetries uint64
 }
 
 // NewReader allocates a reader handle (one directory handle per shard;
@@ -381,71 +544,157 @@ func (m *Map) NewReader() (*Reader, error) {
 	return r, nil
 }
 
-// refresh re-views and incrementally decodes shard si's directory. Called
-// only when the directory register reports a change (or on first touch).
+// refresh re-views and incrementally decodes shard si's directory log.
+// Called only when the directory register reports a change (or on first
+// touch). The apply loop may run more than once: if the slot snapshot is
+// observed ahead of the viewed directory (a slot reuse raced in), the
+// directory is re-viewed — sound because the snapshot can only run ahead
+// of fully published tombstones, and monotone because the log is
+// append-only, so partially applied entries never need rollback.
 func (r *Reader) refresh(si int) error {
 	rs := &r.shards[si]
-	v, err := rs.dirRd.View()
-	if err != nil {
+	if rs.corrupt != nil {
+		return rs.corrupt
+	}
+	// fail latches a protocol/decode error (see readerShard.corrupt).
+	fail := func(err error) error {
+		rs.corrupt = err
 		return err
 	}
-	if len(v) < dirHeaderSize {
-		return fmt.Errorf("regmap: shard %d directory shorter than header (%d bytes)", si, len(v))
-	}
-	epoch := binary.LittleEndian.Uint64(v[0:8])
-	count := int(binary.LittleEndian.Uint32(v[8:12]))
-	if epoch < rs.epoch || count < rs.decoded {
-		// ARC never serves an older publication to the same handle; a
-		// regressed epoch or count means the directory protocol broke.
-		return fmt.Errorf("regmap: shard %d directory regressed (epoch %d→%d, count %d→%d)",
-			si, rs.epoch, epoch, rs.decoded, count)
-	}
-	// Load the slot snapshot after viewing the directory: the writer
-	// stored it before publishing, so it covers every published slot.
-	el := r.m.shards[si].entries.Load()
-	if count > len(el.regs) {
-		return fmt.Errorf("regmap: shard %d directory count %d exceeds %d slots", si, count, len(el.regs))
-	}
-	off := rs.tailOff
-	if rs.decoded == 0 {
-		off = dirHeaderSize
-	}
-	for i := rs.decoded; i < count; i++ {
-		klen, n := binary.Uvarint(v[off:])
-		if n <= 0 || off+n+int(klen) > len(v) {
-			return fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off)
+	for {
+		v, err := rs.dirRd.View()
+		if err != nil {
+			return err
 		}
-		off += n
-		key := string(v[off : off+int(klen)])
-		off += int(klen)
-		rs.table[key] = i
-		rs.keys = append(rs.keys, key)
-		rs.handles = append(rs.handles, nil)
+		if len(v) < dirHeaderSize {
+			return fail(fmt.Errorf("regmap: shard %d directory shorter than header (%d bytes)", si, len(v)))
+		}
+		epoch := binary.LittleEndian.Uint64(v[0:8])
+		count := int(binary.LittleEndian.Uint32(v[8:12]))
+		if epoch < rs.epoch || count < rs.decoded {
+			// ARC never serves an older publication to the same handle; a
+			// regressed epoch or count means the directory protocol broke.
+			return fail(fmt.Errorf("regmap: shard %d directory regressed (epoch %d→%d, entries %d→%d)",
+				si, rs.epoch, epoch, rs.decoded, count))
+		}
+		// Load the slot snapshot after viewing the directory: the writer
+		// stored it before publishing, so it covers every published add.
+		el := r.m.shards[si].entries.Load()
+		off := rs.tailOff
+		if rs.decoded == 0 {
+			off = dirHeaderSize
+		}
+		for i := rs.decoded; i < count; i++ {
+			tag, n := binary.Uvarint(v[off:])
+			// A slot index can never exceed the entry count, which can
+			// never exceed the log length — anything larger (including
+			// values that would overflow int) is corruption.
+			if n <= 0 || tag>>1 > uint64(len(v)) {
+				return fail(fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off))
+			}
+			off += n
+			slot := int(tag >> 1)
+			if tag&tombstoneFlag != 0 {
+				if slot >= len(rs.keys) || !rs.live[slot] {
+					return fail(fmt.Errorf("regmap: shard %d entry %d tombstones dead slot %d", si, i, slot))
+				}
+				delete(rs.table, rs.keys[slot])
+				rs.live[slot] = false
+				if h := rs.handles[slot]; h != nil {
+					rs.retired = append(rs.retired, h)
+					rs.handles[slot] = nil
+				}
+				continue
+			}
+			klen, n := binary.Uvarint(v[off:])
+			// Compare in uint64 space: a klen that would overflow int must
+			// not slip past the bound check.
+			if n <= 0 || klen > uint64(len(v)-(off+n)) {
+				return fail(fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off))
+			}
+			off += n
+			key := string(v[off : off+int(klen)])
+			off += int(klen)
+			switch {
+			case slot == len(rs.keys):
+				rs.keys = append(rs.keys, key)
+				rs.gens = append(rs.gens, 1)
+				rs.live = append(rs.live, true)
+				rs.handles = append(rs.handles, nil)
+			case slot < len(rs.keys) && !rs.live[slot]:
+				rs.keys[slot] = key
+				rs.gens[slot]++
+				rs.live[slot] = true
+			default:
+				return fail(fmt.Errorf("regmap: shard %d entry %d adds occupied slot %d", si, i, slot))
+			}
+			if _, dup := rs.table[key]; dup {
+				return fail(fmt.Errorf("regmap: shard %d entry %d re-adds live key %q", si, i, key))
+			}
+			rs.table[key] = slot
+		}
+		rs.decoded = count
+		rs.tailOff = off
+		rs.epoch = epoch
+		// Verify the snapshot matches the decoded state generation by
+		// generation. The snapshot is stored before its add publishes, so
+		// it can be ahead of the view (never behind it); ahead means a
+		// reuse raced in and el.regs would hand a live binding the wrong
+		// incarnation's register — re-view, which must observe the reuse's
+		// already-published tombstone.
+		ok := true
+		for slot, g := range rs.gens {
+			if !rs.live[slot] {
+				continue
+			}
+			if slot >= len(el.gens) || el.gens[slot] < g {
+				return fail(fmt.Errorf("regmap: shard %d slot snapshot behind directory (slot %d gen %d)", si, slot, g))
+			}
+			if el.gens[slot] != g {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rs.regs = el.regs
+			r.refreshes++
+			return nil
+		}
 	}
-	rs.decoded = count
-	rs.tailOff = off
-	rs.epoch = epoch
-	rs.regs = el.regs
-	r.refreshes++
-	return nil
 }
 
 // Get returns a zero-copy view of key's freshest value, or ErrKeyNotFound.
-// The view is valid until this handle's next Get/GetCopy of the same key
-// or Close; Gets of other keys do not invalidate it. When neither the
-// shard directory nor the key changed since the handle's last Get of it,
-// the cost is two atomic loads — zero RMW instructions, zero decoding.
+// The view is valid until this handle's next Get/GetCopy/Snapshot of the
+// same key or Close; Gets of other keys do not invalidate it, and neither
+// does the key's deletion (the retired register is never written again).
+// When neither the shard directory nor the key changed since the handle's
+// last Get of it, the cost is two atomic loads — zero RMW instructions,
+// zero decoding.
 func (r *Reader) Get(key string) ([]byte, error) {
+	v, _, err := r.GetFresh(key)
+	return v, err
+}
+
+// GetFresh is Get plus a change report, the map-level counterpart of
+// register.FreshViewer: changed is false exactly when the returned view
+// is the same publication of the same key incarnation the handle's
+// previous Get/GetFresh of key returned — so pollers skip decoding on
+// directory churn that did not touch their key. The first read of a key
+// (and of every re-created incarnation) reports changed == true.
+func (r *Reader) GetFresh(key string) (v []byte, changed bool, err error) {
 	if r.closed {
-		return nil, register.ErrReaderClosed
+		return nil, false, register.ErrReaderClosed
 	}
 	si := r.m.ShardOf(key)
 	rs := &r.shards[si]
+	if rs.corrupt != nil {
+		return nil, false, rs.corrupt
+	}
 	r.ops++
 	dirFresh := rs.dirRd.Fresh()
 	if !dirFresh {
 		if err := r.refresh(si); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	i, ok := rs.table[key]
@@ -454,25 +703,27 @@ func (r *Reader) Get(key string) ([]byte, error) {
 		if dirFresh {
 			r.fastPath++ // one load, no RMW: the directory probe
 		}
-		return nil, ErrKeyNotFound
+		return nil, false, ErrKeyNotFound
 	}
 	h := rs.handles[i]
 	if h == nil {
-		var err error
+		// First read of this incarnation through this handle: a change
+		// by definition (tombstone processing nils replaced handles).
 		h, err = rs.regs[i].NewReaderHandle()
 		if err != nil {
-			return nil, fmt.Errorf("regmap: key %q handle: %w", key, err)
+			return nil, false, fmt.Errorf("regmap: key %q handle: %w", key, err)
 		}
 		rs.handles[i] = h
+		changed = true
 	}
-	v, changed, err := h.ViewFresh()
+	v, vchanged, err := h.ViewFresh()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if dirFresh && !changed {
+	if dirFresh && !vchanged {
 		r.fastPath++ // two loads, no RMW: the fully gated hot path
 	}
-	return v, nil
+	return v, changed || vchanged, nil
 }
 
 // GetCopy copies key's freshest value into dst and returns its length
@@ -499,7 +750,7 @@ func (r *Reader) Fresh(key string) bool {
 		return false
 	}
 	rs := &r.shards[r.m.ShardOf(key)]
-	if !rs.dirRd.Fresh() {
+	if rs.corrupt != nil || !rs.dirRd.Fresh() {
 		return false
 	}
 	i, ok := rs.table[key]
@@ -510,9 +761,10 @@ func (r *Reader) Fresh(key string) bool {
 	return h != nil && h.Fresh()
 }
 
-// Keys returns the map's keys (shard by shard, slot order within a
+// Keys returns the map's live keys (shard by shard, slot order within a
 // shard; no cross-shard snapshot is implied — each shard's listing is
-// individually atomic). The slice is the caller's.
+// individually atomic; use Snapshot for a map-wide cut). The slice is
+// the caller's.
 func (r *Reader) Keys() ([]string, error) {
 	if r.closed {
 		return nil, register.ErrReaderClosed
@@ -520,22 +772,30 @@ func (r *Reader) Keys() ([]string, error) {
 	n := 0
 	for si := range r.shards {
 		rs := &r.shards[si]
+		if rs.corrupt != nil {
+			return nil, rs.corrupt
+		}
 		if !rs.dirRd.Fresh() {
 			if err := r.refresh(si); err != nil {
 				return nil, err
 			}
 		}
-		n += len(rs.keys)
+		n += len(rs.table)
 	}
 	out := make([]string, 0, n)
 	for si := range r.shards {
-		out = append(out, r.shards[si].keys...)
+		rs := &r.shards[si]
+		for slot, key := range rs.keys {
+			if rs.live[slot] {
+				out = append(out, key)
+			}
+		}
 	}
 	return out, nil
 }
 
-// Len reports the number of keys visible to this handle (refreshing each
-// shard's directory view first).
+// Len reports the number of live keys visible to this handle (refreshing
+// each shard's directory view first).
 func (r *Reader) Len() (int, error) {
 	if r.closed {
 		return 0, register.ErrReaderClosed
@@ -543,23 +803,134 @@ func (r *Reader) Len() (int, error) {
 	n := 0
 	for si := range r.shards {
 		rs := &r.shards[si]
+		if rs.corrupt != nil {
+			return 0, rs.corrupt
+		}
 		if !rs.dirRd.Fresh() {
 			if err := r.refresh(si); err != nil {
 				return 0, err
 			}
 		}
-		n += len(rs.keys)
+		n += len(rs.table)
 	}
 	return n, nil
+}
+
+// Snapshot returns a point-in-time copy of every live key and its value
+// — atomic across all keys and shards: there is an instant during the
+// call at which the map's state was exactly the returned one (the
+// linearization argument is in DESIGN.md §7). Values are copies, owned
+// by the caller; the map they live in is freshly allocated.
+//
+// Snapshot reads through the handle's cached per-key registers, so it
+// counts as a Get of every live key: views previously returned by Get
+// may be invalidated. It executes no RMW instructions; at steady state
+// (no concurrent publications) every per-key read is ARC's one-load
+// fast path and the collect completes in one pass. A shard is
+// re-collected only when its publish counter is observed to move, so
+// retries are bounded by the publications that actually race the call.
+func (r *Reader) Snapshot() (map[string][]byte, error) {
+	if r.closed {
+		return nil, register.ErrReaderClosed
+	}
+	nsh := len(r.m.shards)
+	parts := make([]map[string][]byte, nsh)
+	epochs := make([]uint64, nsh)
+	pending := make([]int, nsh)
+	for i := range pending {
+		pending[i] = i
+	}
+	total := 0
+	for len(pending) > 0 {
+		for _, si := range pending {
+			part, ep, err := r.collectShard(si)
+			if err != nil {
+				return nil, err
+			}
+			parts[si], epochs[si] = part, ep
+		}
+		// Global verification pass: every shard whose publish counter
+		// still matches its collect was unchanged from its collect
+		// through this pass — so a pass with no movement certifies all
+		// shards simultaneously.
+		pending = pending[:0]
+		for si, sh := range r.m.shards {
+			if sh.pubStarted.Load() != epochs[si] {
+				pending = append(pending, si)
+				r.snapRetries++
+			}
+		}
+	}
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(map[string][]byte, total)
+	for _, p := range parts {
+		for k, v := range p {
+			out[k] = v
+		}
+	}
+	r.snapshots++
+	return out, nil
+}
+
+// collectShard performs one validated collect of shard si: a counter
+// window (started == done before, started unchanged after) brackets a
+// full read of the shard's live keys, certifying the part as the shard's
+// exact state at the window's opening. Retries consume observed
+// publications; like a seqlock reader, the collect waits out a publish
+// caught in flight on this shard (the read path proper never does).
+func (r *Reader) collectShard(si int) (map[string][]byte, uint64, error) {
+	sh := r.m.shards[si]
+	rs := &r.shards[si]
+	for {
+		if rs.corrupt != nil {
+			return nil, 0, rs.corrupt
+		}
+		started := sh.pubStarted.Load()
+		if started != sh.pubDone.Load() {
+			r.snapRetries++
+			runtime.Gosched()
+			continue
+		}
+		if !rs.dirRd.Fresh() {
+			if err := r.refresh(si); err != nil {
+				return nil, 0, err
+			}
+		}
+		part := make(map[string][]byte, len(rs.table))
+		for key, slot := range rs.table {
+			h := rs.handles[slot]
+			if h == nil {
+				var err error
+				h, err = rs.regs[slot].NewReaderHandle()
+				if err != nil {
+					return nil, 0, fmt.Errorf("regmap: key %q handle: %w", key, err)
+				}
+				rs.handles[slot] = h
+			}
+			v, _, err := h.ViewFresh()
+			if err != nil {
+				return nil, 0, err
+			}
+			part[key] = append([]byte(nil), v...)
+		}
+		if sh.pubStarted.Load() == started {
+			return part, started, nil
+		}
+		r.snapRetries++
+	}
 }
 
 // Stats reports the handle's read counters. Collect after the owning
 // goroutine has quiesced.
 func (r *Reader) Stats() ReadStats {
 	st := ReadStats{
-		ReadStats:    register.ReadStats{Ops: r.ops, FastPath: r.fastPath},
-		Misses:       r.misses,
-		DirRefreshes: r.refreshes,
+		ReadStats:       register.ReadStats{Ops: r.ops, FastPath: r.fastPath},
+		Misses:          r.misses,
+		DirRefreshes:    r.refreshes,
+		Snapshots:       r.snapshots,
+		SnapshotRetries: r.snapRetries,
 	}
 	for si := range r.shards {
 		rs := &r.shards[si]
@@ -571,12 +942,16 @@ func (r *Reader) Stats() ReadStats {
 				st.RMW += h.ReadStats().RMW
 			}
 		}
+		for _, h := range rs.retired {
+			st.RMW += h.ReadStats().RMW
+		}
 	}
 	return st
 }
 
-// Close releases the handle: every per-key handle and directory handle
-// is returned to its register, and the map-level capacity is freed.
+// Close releases the handle: every per-key handle (live and retired) and
+// directory handle is returned to its register, and the map-level
+// capacity is freed.
 func (r *Reader) Close() error {
 	if r.closed {
 		return register.ErrReaderClosed
@@ -591,6 +966,9 @@ func (r *Reader) Close() error {
 			if h != nil {
 				h.Close()
 			}
+		}
+		for _, h := range rs.retired {
+			h.Close()
 		}
 	}
 	r.m.mu.Lock()

@@ -59,9 +59,13 @@ type MapGetWork struct {
 	// missEvery > 0 makes every missEvery-th Get target an absent key,
 	// exercising the directory-probe miss path.
 	missEvery uint64
-	ops       uint64
-	misses    uint64
-	sink      uint64
+	// snapshotEvery > 0 makes every snapshotEvery-th operation a full
+	// multi-key Snapshot instead of a Get — the snapshot workload.
+	snapshotEvery uint64
+	ops           uint64
+	misses        uint64
+	snapshots     uint64
+	sink          uint64
 }
 
 // NewMapGetWork prepares the keyed read body: Gets over keys, chosen by
@@ -74,9 +78,26 @@ func NewMapGetWork(rd *regmap.Reader, keys []string, choose *KeyChooser, mode Mo
 	return w
 }
 
+// WithSnapshots makes every nth operation a Snapshot (0 disables).
+func (w *MapGetWork) WithSnapshots(n int) *MapGetWork {
+	if n > 0 {
+		w.snapshotEvery = uint64(n)
+	}
+	return w
+}
+
 // Do performs one Get operation.
 func (w *MapGetWork) Do() error {
 	w.ops++
+	if w.snapshotEvery > 0 && w.ops%w.snapshotEvery == 0 {
+		snap, err := w.rd.Snapshot()
+		if err != nil {
+			return err
+		}
+		w.snapshots++
+		w.sink += uint64(len(snap))
+		return nil
+	}
 	if w.missEvery > 0 && w.ops%w.missEvery == 0 {
 		if _, err := w.rd.Get("\x00absent"); !errors.Is(err, regmap.ErrKeyNotFound) {
 			if err == nil {
@@ -112,9 +133,14 @@ func (w *MapGetWork) Sink() uint64 { return w.sink }
 // Misses reports the deliberate absent-key Gets performed.
 func (w *MapGetWork) Misses() uint64 { return w.misses }
 
+// Snapshots reports the multi-key Snapshots performed.
+func (w *MapGetWork) Snapshots() uint64 { return w.snapshots }
+
 // MapSetWork drives the map's writer side: updates over the key space,
-// optionally interleaved with key creation (directory churn). One
-// instance, one goroutine — the map's single-writer shape.
+// optionally interleaved with key creation (directory churn) and a
+// delete-mix (keys from a dedicated lifecycle pool deleted and
+// re-created, publishing tombstones under the readers). One instance,
+// one goroutine — the map's single-writer shape.
 type MapSetWork struct {
 	m      *regmap.Map
 	keys   []string
@@ -124,8 +150,19 @@ type MapSetWork struct {
 	// churnEvery > 0 makes every churnEvery-th Set create a brand-new
 	// key, re-publishing that shard's directory.
 	churnEvery uint64
-	version    uint64
-	created    uint64
+	// deleteEvery > 0 makes every deleteEvery-th operation flap a
+	// lifecycle key: delete it if present, re-create it otherwise. The
+	// pool is disjoint from keys, so reader Gets never race a deletion
+	// of their own targets. The delete-mix branch runs before the churn
+	// one, so on a tick divisible by both, deletion wins — pick coprime
+	// periods to keep both mixes flowing.
+	deleteEvery uint64
+	flap        []string
+	flapLive    []bool
+	flapNext    int
+	version     uint64
+	created     uint64
+	deleted     uint64
 }
 
 // NewMapSetWork prepares the keyed write body. size is the value size for
@@ -143,12 +180,42 @@ func NewMapSetWork(m *regmap.Map, keys []string, choose *KeyChooser, mode Mode, 
 	return w
 }
 
+// WithDeletes enables the delete-mix: every nth operation flaps one of
+// poolSize lifecycle keys (0 disables). Call before the run starts.
+func (w *MapSetWork) WithDeletes(n, poolSize int) *MapSetWork {
+	if n <= 0 {
+		return w
+	}
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	w.deleteEvery = uint64(n)
+	w.flap = make([]string, poolSize)
+	w.flapLive = make([]bool, poolSize)
+	for i := range w.flap {
+		w.flap[i] = fmt.Sprintf("lifecycle-%04d", i)
+	}
+	return w
+}
+
 // Do performs one Set operation.
 func (w *MapSetWork) Do() error {
 	w.version++
 	if w.mode == Processing {
 		// "a write actually generates some data": refill the payload.
 		membuf.Encode(w.buf, w.version)
+	}
+	if w.deleteEvery > 0 && w.version%w.deleteEvery == 0 {
+		i := w.flapNext
+		w.flapNext = (w.flapNext + 1) % len(w.flap)
+		if w.flapLive[i] {
+			w.flapLive[i] = false
+			w.deleted++
+			return w.m.Delete(w.flap[i])
+		}
+		w.flapLive[i] = true
+		w.created++
+		return w.m.Set(w.flap[i], w.buf)
 	}
 	if w.churnEvery > 0 && w.version%w.churnEvery == 0 {
 		w.created++
@@ -157,5 +224,9 @@ func (w *MapSetWork) Do() error {
 	return w.m.Set(w.keys[w.choose.Next()], w.buf)
 }
 
-// Created reports the number of churn keys this work body added.
+// Created reports the number of churn and lifecycle keys this work body
+// added.
 func (w *MapSetWork) Created() uint64 { return w.created }
+
+// Deleted reports the number of tombstones this work body published.
+func (w *MapSetWork) Deleted() uint64 { return w.deleted }

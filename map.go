@@ -2,15 +2,21 @@ package arcreg
 
 import (
 	"fmt"
+	"iter"
+	"runtime"
+	"time"
 
 	"arcreg/internal/codec"
 	"arcreg/internal/regmap"
 )
 
-// ErrKeyNotFound is returned by MapReader.Get for a key no Set created.
+// ErrKeyNotFound is returned by MapReader.Get for a key no Set created
+// (or a deleted one), and by Map.Delete for an absent key.
 var ErrKeyNotFound = regmap.ErrKeyNotFound
 
-// MapConfig parametrizes a Map.
+// MapConfig parametrizes a byte-level Map (see NewByteMap). The typed
+// entry point NewMap takes the same parameters as functional options
+// (WithShards, WithReaders, WithMaxValueSize, WithDynamicValues).
 type MapConfig struct {
 	// Shards is the number of key partitions, rounded up to a power of
 	// two (default 8). Writes to different shards may run concurrently;
@@ -30,26 +36,30 @@ type MapConfig struct {
 
 // MapReadStats counts a MapReader's work: Ops (Gets), FastPath (Gets
 // served with zero RMW instructions), RMW (summed over the directory and
-// per-key handles), plus Misses and DirRefreshes.
+// per-key handles), plus Misses, DirRefreshes, Snapshots and
+// SnapshotRetries.
 type MapReadStats = regmap.ReadStats
 
 // MapWriteStats counts the map writer side's work: value publishes,
-// directory publications and keys created.
+// directory publications, keys created and tombstones published.
 type MapWriteStats = regmap.WriteStats
 
 // Map is a sharded, keyed store where every key is its own wait-free ARC
 // (1,N) register and every shard publishes its key directory through a
 // directory ARC register. Key lookup, key enumeration and value reads
-// are wait-free zero-copy register reads; adding a key is one directory
-// re-publish by that shard's writer. A Get of an unchanged hot key costs
-// two atomic loads — zero RMW instructions — regardless of map size (see
-// internal/regmap for the protocol).
+// are wait-free zero-copy register reads; adding or deleting a key is
+// one directory re-publish by that shard's writer. A Get of an unchanged
+// hot key costs two atomic loads — zero RMW instructions — regardless of
+// map size, and Snapshot yields an atomic point-in-time view of all live
+// keys (see internal/regmap for the protocol).
 type Map struct {
 	m *regmap.Map
 }
 
-// NewMap constructs a Map.
-func NewMap(cfg MapConfig) (*Map, error) {
+// NewByteMap constructs a byte-level Map. Most callers want the typed
+// NewMap instead; NewByteMap is the raw-bytes path, parallel to NewARC
+// and NewMN.
+func NewByteMap(cfg MapConfig) (*Map, error) {
 	m, err := regmap.New(regmap.Config{
 		Shards:        cfg.Shards,
 		MaxReaders:    cfg.MaxReaders,
@@ -62,11 +72,19 @@ func NewMap(cfg MapConfig) (*Map, error) {
 	return &Map{m: m}, nil
 }
 
-// Set publishes val under key, creating the key if needed (keys are
-// never removed — this is a snapshot map). Each shard is single-writer:
-// call Set from one goroutine, or partition keys by ShardOf to write
-// shards in parallel.
+// Set publishes val under key, creating (or re-creating) the key if
+// needed. Each shard is single-writer: call Set and Delete from one
+// goroutine, or partition keys by ShardOf to write shards in parallel.
 func (m *Map) Set(key string, val []byte) error { return m.m.Set(key, val) }
+
+// Delete removes key by publishing a tombstone through its shard's
+// directory register, recycling the key's slot for a later creation; a
+// re-created key gets a fresh value register, so deleted values never
+// resurrect. Returns ErrKeyNotFound for an absent key. Same
+// single-writer-per-shard contract as Set. Concurrent Gets linearize
+// before the delete (returning the last value) or after it (missing);
+// views readers already hold stay valid.
+func (m *Map) Delete(key string) error { return m.m.Delete(key) }
 
 // ShardOf reports which shard key routes to (deterministic FNV-1a
 // routing, stable across Map instances with equal shard counts).
@@ -75,7 +93,8 @@ func (m *Map) ShardOf(key string) int { return m.m.ShardOf(key) }
 // Shards reports the shard count.
 func (m *Map) Shards() int { return m.m.Shards() }
 
-// Len reports the number of keys; safe concurrently with Sets.
+// Len reports the number of live keys; safe concurrently with Sets and
+// Deletes (no cross-shard atomicity implied — use Snapshot for that).
 func (m *Map) Len() int { return m.m.Len() }
 
 // MaxReaders reports the MapReader capacity N.
@@ -83,6 +102,22 @@ func (m *Map) MaxReaders() int { return m.m.MaxReaders() }
 
 // MaxValueSize reports the per-value byte bound.
 func (m *Map) MaxValueSize() int { return m.m.MaxValueSize() }
+
+// Caps reports the map's capability set — the per-key ARC registers'
+// full surface: zero-copy views, freshness probing, stats on both
+// sides, wait-free reads and writes. Snapshot is the one operation with
+// a weaker progress property (retries on observed concurrent
+// publications; see MapReader.Snapshot).
+func (m *Map) Caps() Caps {
+	return Caps{
+		ZeroCopyView:  true,
+		FreshProbe:    true,
+		ReadStats:     true,
+		WriteStats:    true,
+		WaitFreeRead:  true,
+		WaitFreeWrite: true,
+	}
+}
 
 // WriteStats reports aggregate publish-side counters. Collect at
 // quiescence.
@@ -106,25 +141,48 @@ type MapReader struct {
 }
 
 // Get returns a zero-copy view of key's freshest value, or
-// ErrKeyNotFound. The view is valid until this handle's next Get/GetCopy
-// of the same key or Close; Gets of other keys do not invalidate it.
-// Callers must not modify the returned slice.
+// ErrKeyNotFound. The view is valid until this handle's next
+// Get/GetCopy/Snapshot of the same key or Close; Gets of other keys do
+// not invalidate it, and neither does the key's deletion. Callers must
+// not modify the returned slice.
 func (r *MapReader) Get(key string) ([]byte, error) { return r.r.Get(key) }
+
+// GetFresh is Get plus a change report: changed is false exactly when
+// the view is the same publication of the same key incarnation the
+// handle's previous Get/GetFresh of key returned. Pollers use it to
+// skip decoding when directory churn did not touch their key.
+func (r *MapReader) GetFresh(key string) (v []byte, changed bool, err error) {
+	return r.r.GetFresh(key)
+}
 
 // GetCopy copies key's freshest value into dst and returns its length
 // (ErrBufferTooSmall with the required length if dst cannot hold it).
 func (r *MapReader) GetCopy(key string, dst []byte) (int, error) { return r.r.GetCopy(key, dst) }
 
 // Fresh reports whether the handle's last Get of key is still current —
-// one to two atomic loads, no RMW; false for keys this handle never Get.
+// one to two atomic loads, no RMW; false for keys this handle never Get
+// and for deleted keys.
 func (r *MapReader) Fresh(key string) bool { return r.r.Fresh(key) }
 
-// Keys lists the map's keys (each shard's listing individually atomic;
-// no cross-shard snapshot implied).
+// Keys lists the map's live keys (each shard's listing individually
+// atomic; no cross-shard snapshot implied — use Snapshot for that).
 func (r *MapReader) Keys() ([]string, error) { return r.r.Keys() }
 
-// Len reports the number of keys visible to this handle.
+// Len reports the number of live keys visible to this handle.
 func (r *MapReader) Len() (int, error) { return r.r.Len() }
+
+// Snapshot returns an atomic point-in-time copy of every live key and
+// its value: there is an instant during the call at which the map's
+// state was exactly the returned one, across all shards (DESIGN.md §7
+// gives the linearization argument). Values are copies owned by the
+// caller.
+//
+// Snapshot executes no RMW instructions and, at steady state, reads
+// every key through ARC's one-load fast path in a single pass; a shard
+// is re-collected only when a concurrent publication is observed.
+// Snapshot counts as a Get of every live key, so views previously
+// returned by Get may be invalidated.
+func (r *MapReader) Snapshot() (map[string][]byte, error) { return r.r.Snapshot() }
 
 // ReadStats reports the handle's counters; collect after the owning
 // goroutine has quiesced.
@@ -134,7 +192,7 @@ func (r *MapReader) ReadStats() MapReadStats { return r.r.Stats() }
 func (r *MapReader) Close() error { return r.r.Close() }
 
 // MapOf wraps a Map with an encoding, turning the byte-oriented keyed
-// store into a typed one — the Typed equivalent at map scale. Encoding
+// store into a typed one — the keyed counterpart of Reg[T]. Encoding
 // and decoding run outside the registers' critical operations, so they
 // may be arbitrarily expensive without affecting other threads'
 // progress.
@@ -143,9 +201,63 @@ type MapOf[T any] struct {
 	c Codec[T]
 }
 
-// NewCodecMap builds a typed store over m with the given codec — the
-// keyed counterpart of New's WithCodec. Any Codec[T] plugs in: JSON,
-// Binary, String, Raw, or a custom implementation.
+// NewMap constructs a typed keyed store — the map-scale counterpart of
+// New, sharing its option set. The defaults are 8 shards, the JSON
+// codec, N = GOMAXPROCS readers and 4KB values:
+//
+//	m, err := arcreg.NewMap[Endpoint](
+//		arcreg.WithShards(16),
+//		arcreg.WithReaders(64),
+//		arcreg.WithMaxValueSize(1<<10),
+//		arcreg.WithCodec(arcreg.Binary[Endpoint]()),
+//	)
+//
+// Register-only options (WithAlgorithm, WithWriters, WithInitial,
+// WithARC, …) are rejected: the map is built from ARC registers and is
+// single-writer per shard by construction.
+func NewMap[T any](opts ...Option) (*MapOf[T], error) {
+	cfg := config{alg: ARC, writers: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	switch {
+	case cfg.alg != ARC:
+		return nil, fmt.Errorf("arcreg: NewMap is built from ARC registers; WithAlgorithm(%s) does not apply", cfg.alg)
+	case cfg.writers > 1:
+		return nil, fmt.Errorf("arcreg: NewMap(WithWriters(%d)): the map is single-writer per shard; use WithShards and partition keys by ShardOf", cfg.writers)
+	case cfg.hasInitial || cfg.initialRaw != nil:
+		return nil, fmt.Errorf("arcreg: WithInitial/WithInitialBytes do not apply to NewMap (a key's first Set is its initial value)")
+	case len(cfg.arcOpts) > 0:
+		return nil, fmt.Errorf("arcreg: WithARC does not apply to NewMap")
+	case cfg.noFreshGate || cfg.noEpochGate:
+		return nil, fmt.Errorf("arcreg: WithoutFreshGate/WithoutEpochGate apply to the (M,N) composition, not NewMap")
+	}
+	cd := JSON[T]()
+	if cfg.codec != nil {
+		var ok bool
+		if cd, ok = cfg.codec.(Codec[T]); !ok {
+			return nil, fmt.Errorf("arcreg: WithCodec value is a %T, not a Codec[%T]", cfg.codec, *new(T))
+		}
+	}
+	if cfg.readers == 0 {
+		cfg.readers = runtime.GOMAXPROCS(0)
+	}
+	m, err := NewByteMap(MapConfig{
+		Shards:        cfg.shards,
+		MaxReaders:    cfg.readers,
+		MaxValueSize:  cfg.maxValueSize,
+		DynamicValues: cfg.dynamicValues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewCodecMap(m, cd), nil
+}
+
+// NewCodecMap builds a typed store over an existing byte map with the
+// given codec. Most callers want NewMap, which constructs the map and
+// the codec binding in one call; NewCodecMap remains for wrapping a
+// NewByteMap the caller already holds.
 func NewCodecMap[T any](m *Map, c Codec[T]) *MapOf[T] {
 	return &MapOf[T]{m: m, c: c}
 }
@@ -155,15 +267,19 @@ func NewCodecMap[T any](m *Map, c Codec[T]) *MapOf[T] {
 // alias a register slot recycled after the decode returns).
 //
 // Deprecated: implement Codec[T] (or use a built-in codec) and pass it
-// to NewCodecMap. NewMapOf delegates to the same codec layer.
+// to NewMap(WithCodec(c)) or NewCodecMap. NewMapOf delegates to the
+// same codec layer.
 func NewMapOf[T any](m *Map, enc func(T) ([]byte, error), dec func([]byte) (T, error)) *MapOf[T] {
 	return NewCodecMap(m, codec.Funcs(enc, dec))
 }
 
-// NewJSONMap builds a Map-backed typed store using encoding/json — the
-// zero-configuration path for keyed configuration and snapshot sharing.
+// NewJSONMap builds a Map-backed typed store using encoding/json.
+//
+// Deprecated: use NewMap, whose default codec is JSON:
+// NewMap[T](WithShards(cfg.Shards), WithReaders(cfg.MaxReaders),
+// WithMaxValueSize(cfg.MaxValueSize)).
 func NewJSONMap[T any](cfg MapConfig) (*MapOf[T], error) {
-	m, err := NewMap(cfg)
+	m, err := NewByteMap(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +299,25 @@ func (t *MapOf[T]) Set(key string, v T) error {
 	return t.m.Set(key, blob)
 }
 
+// Delete removes key (see Map.Delete).
+func (t *MapOf[T]) Delete(key string) error { return t.m.Delete(key) }
+
+// Len reports the number of live keys (see Map.Len).
+func (t *MapOf[T]) Len() int { return t.m.Len() }
+
+// Shards reports the shard count.
+func (t *MapOf[T]) Shards() int { return t.m.Shards() }
+
+// ShardOf reports which shard key routes to (see Map.ShardOf).
+func (t *MapOf[T]) ShardOf(key string) int { return t.m.ShardOf(key) }
+
+// Caps reports the map's capability set (see Map.Caps).
+func (t *MapOf[T]) Caps() Caps { return t.m.Caps() }
+
+// WriteStats reports aggregate publish-side counters; collect at
+// quiescence.
+func (t *MapOf[T]) WriteStats() MapWriteStats { return t.m.WriteStats() }
+
 // Codec reports the encoding in use.
 func (t *MapOf[T]) Codec() Codec[T] { return t.c }
 
@@ -196,7 +331,9 @@ func (t *MapOf[T]) NewReader() (*MapOfReader[T], error) {
 	return &MapOfReader[T]{r: r, c: t.c}, nil
 }
 
-// MapOfReader is a per-goroutine typed read endpoint.
+// MapOfReader is a per-goroutine typed read endpoint with the full
+// capability surface of the byte reader: decoding reads, freshness
+// probes, enumeration, the atomic snapshot, and a Values poll iterator.
 type MapOfReader[T any] struct {
 	r *MapReader
 	c Codec[T]
@@ -213,8 +350,92 @@ func (r *MapOfReader[T]) Get(key string) (T, error) {
 	return r.c.Decode(v)
 }
 
-// Reader exposes the underlying byte reader (freshness probes, stats).
+// Fresh reports whether the handle's last Get of key is still current
+// (see MapReader.Fresh).
+func (r *MapOfReader[T]) Fresh(key string) bool { return r.r.Fresh(key) }
+
+// Keys lists the map's live keys (see MapReader.Keys).
+func (r *MapOfReader[T]) Keys() ([]string, error) { return r.r.Keys() }
+
+// Len reports the number of live keys visible to this handle.
+func (r *MapOfReader[T]) Len() (int, error) { return r.r.Len() }
+
+// Snapshot returns an atomic point-in-time view of every live key,
+// decoded — the typed counterpart of MapReader.Snapshot (same
+// linearization guarantee and cost model).
+func (r *MapOfReader[T]) Snapshot() (map[string]T, error) {
+	return SnapshotOf[T](r.r, r.c)
+}
+
+// ReadStats reports the handle's counters (see MapReader.ReadStats).
+func (r *MapOfReader[T]) ReadStats() MapReadStats { return r.r.ReadStats() }
+
+// Values returns a poll iterator over one key's publications: it yields
+// the value current when iteration starts, then every change it
+// observes, sleeping `every` between polls (0 yields the scheduler
+// instead). Between changes a poll is the map's freshness probe — one
+// to two atomic loads, no RMW, no decoding. Like all reads, polling
+// observes the freshest value: rapid successive Sets may be observed as
+// one change. If the key is deleted (or never existed), the iterator
+// yields (zero, ErrKeyNotFound) and stops; resume by ranging again
+// after the key reappears.
+//
+// Values owns the handle while it runs: do not touch the MapOfReader
+// from other goroutines (handles are single-goroutine, like every
+// reader in this package).
+func (r *MapOfReader[T]) Values(key string, every time.Duration) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		first := true
+		for {
+			// The Fresh probe gates the re-read; GetFresh's change report
+			// gates the decode and the yield, so directory churn on other
+			// keys of the shard cannot fabricate duplicate observations.
+			if first || !r.r.Fresh(key) {
+				raw, changed, err := r.r.GetFresh(key)
+				if err != nil {
+					var zero T
+					yield(zero, err)
+					return
+				}
+				if first || changed {
+					v, err := r.c.Decode(raw)
+					if !yield(v, err) || err != nil {
+						return
+					}
+					first = false
+				}
+			}
+			if every > 0 {
+				time.Sleep(every)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Reader exposes the underlying byte reader (raw views, stats).
 func (r *MapOfReader[T]) Reader() *MapReader { return r.r }
 
 // Close releases the handle.
 func (r *MapOfReader[T]) Close() error { return r.r.Close() }
+
+// SnapshotOf decodes an atomic Snapshot through c — the generic escape
+// hatch for reading one byte map under several typed views. Most
+// callers use MapOfReader.Snapshot, which supplies the store's own
+// codec.
+func SnapshotOf[T any](r *MapReader, c Codec[T]) (map[string]T, error) {
+	raw, err := r.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]T, len(raw))
+	for k, v := range raw {
+		t, err := c.Decode(v)
+		if err != nil {
+			return nil, fmt.Errorf("arcreg: decode %q: %w", k, err)
+		}
+		out[k] = t
+	}
+	return out, nil
+}

@@ -20,7 +20,7 @@ import (
 
 func benchMap(b *testing.B, keys int) (*arcreg.Map, []string) {
 	b.Helper()
-	m, err := arcreg.NewMap(arcreg.MapConfig{Shards: 16, MaxReaders: 2, MaxValueSize: 1024})
+	m, err := arcreg.NewByteMap(arcreg.MapConfig{Shards: 16, MaxReaders: 2, MaxValueSize: 1024})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func BenchmarkMapSet(b *testing.B) {
 // the shard directory re-publish — under dynamic value buffers, the
 // configuration meant for large key counts.
 func BenchmarkMapAddKey(b *testing.B) {
-	m, err := arcreg.NewMap(arcreg.MapConfig{
+	m, err := arcreg.NewByteMap(arcreg.MapConfig{
 		Shards: 16, MaxReaders: 1, MaxValueSize: 1 << 20, DynamicValues: true,
 	})
 	if err != nil {
@@ -133,6 +133,62 @@ func BenchmarkMapAddKey(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Set(fmt.Sprintf("grow-%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapSnapshot is the snapshot acceptance benchmark: a
+// steady-state snapshot of an unchanged map must report ~0 rmw/get and
+// zero retries — every per-key read is ARC's one-load fast path, and
+// one validated pass certifies the whole map.
+func BenchmarkMapSnapshot(b *testing.B) {
+	for _, keys := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			m, names := benchMap(b, keys)
+			_ = names
+			rd, err := m.NewReader()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rd.Close()
+			if _, err := rd.Snapshot(); err != nil { // pay the first-pass acquisitions
+				b.Fatal(err)
+			}
+			base := rd.ReadStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := rd.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(snap) != keys {
+					b.Fatalf("snapshot has %d keys", len(snap))
+				}
+			}
+			b.StopTimer()
+			st := rd.ReadStats()
+			b.ReportMetric(float64(st.RMW-base.RMW)/float64(b.N), "rmw/snapshot")
+			b.ReportMetric(float64(st.SnapshotRetries-base.SnapshotRetries)/float64(b.N), "retries/snapshot")
+			if st.RMW != base.RMW {
+				b.Fatalf("steady-state snapshots executed %d RMW instructions", st.RMW-base.RMW)
+			}
+		})
+	}
+}
+
+// BenchmarkMapDelete prices a delete/recreate cycle: two directory log
+// appends and publications plus one register construction.
+func BenchmarkMapDelete(b *testing.B) {
+	m, names := benchMap(b, 64)
+	val := make2(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := names[i&63]
+		if err := m.Delete(k); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Set(k, val); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -96,19 +96,21 @@ type Caps = register.Caps
 // see Caps.ZeroCopyView).
 var ErrNoView = errors.New("arcreg: register does not support zero-copy views")
 
-// config collects the functional options of New.
+// config collects the functional options of New and NewMap.
 type config struct {
-	alg          AlgorithmID
-	writers      int
-	readers      int
-	maxValueSize int
-	initial      any // T, from WithInitial
-	hasInitial   bool
-	initialRaw   []byte // from WithInitialBytes
-	codec        any    // Codec[T], from WithCodec
-	arcOpts      []ARCOption
-	noFreshGate  bool
-	noEpochGate  bool
+	alg           AlgorithmID
+	writers       int
+	readers       int
+	maxValueSize  int
+	initial       any // T, from WithInitial
+	hasInitial    bool
+	initialRaw    []byte // from WithInitialBytes
+	codec         any    // Codec[T], from WithCodec
+	arcOpts       []ARCOption
+	noFreshGate   bool
+	noEpochGate   bool
+	shards        int  // NewMap only
+	dynamicValues bool // NewMap only
 }
 
 // Option configures New. Options that carry a typed payload
@@ -160,6 +162,22 @@ func WithInitialBytes(p []byte) Option {
 // is inferred from cd and must match New's T.
 func WithCodec[T any](cd Codec[T]) Option {
 	return func(c *config) { c.codec = cd }
+}
+
+// WithShards sets the keyed store's shard count, rounded up to a power
+// of two (default 8). More shards mean more write-parallelism headroom
+// and smaller directories. Valid only for NewMap.
+func WithShards(s int) Option {
+	return func(c *config) { c.shards = s }
+}
+
+// WithDynamicValues selects the §3.3 dynamic-buffer variant for the
+// keyed store's per-key registers: every Set allocates an exact-size
+// buffer instead of pre-allocating MaxReaders+2 MaxValueSize buffers
+// per key — the right choice for maps holding many keys with small
+// values. Valid only for NewMap.
+func WithDynamicValues() Option {
+	return func(c *config) { c.dynamicValues = true }
 }
 
 // WithARC applies ARC tuning/ablation options (WithoutFastPath,
@@ -279,6 +297,9 @@ func New[T any](opts ...Option) (*Reg[T], error) {
 	}
 	if len(cfg.arcOpts) > 0 && (cfg.alg != ARC || cfg.writers > 1) {
 		return nil, errors.New("arcreg: WithARC applies to the (1,N) ARC algorithm only")
+	}
+	if cfg.shards != 0 || cfg.dynamicValues {
+		return nil, errors.New("arcreg: WithShards/WithDynamicValues apply to NewMap, not New")
 	}
 
 	r := &Reg[T]{c: cd, alg: cfg.alg}
