@@ -49,7 +49,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
 	var (
-		figure    = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|all")
+		figure    = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|watch|all")
 		alg       = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|map|arc-nofastpath|arc-nohint")
 		threads   = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
 		sizes     = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
@@ -68,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "map figure shard count (0 keeps the default)")
 		delEvery  = fs.Int("delete-every", -1, "map figure delete-mix: every Nth writer op deletes/re-creates a lifecycle key (0 disables; -1 keeps the default)")
 		snapEvery = fs.Int("snapshot-every", -1, "map figure snapshot mix: every Nth reader op takes a multi-key Snapshot (0 disables; -1 keeps the default)")
+		watchers  = fs.String("watchers", "", "comma-separated watcher counts for the watch figure (overrides the sweep)")
+		pubEvery  = fs.Duration("publish-every", 0, "watch figure writer cadence (0 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +89,7 @@ func run(args []string, out io.Writer) error {
 
 	ids := []string{*figure}
 	if *figure == "all" {
-		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "map", "rmw", "latency"}
+		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "map", "rmw", "latency", "watch"}
 	}
 	var csv *os.File
 	if *csvPath != "" {
@@ -113,6 +115,12 @@ func run(args []string, out io.Writer) error {
 		}
 		if id == "map" {
 			if err := runMapFigure(out, csv, *threads, *keys, *sizes, *shards, *delEvery, *snapEvery, *zipf, *stealF, *mode, *duration, *warmup, *quick); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "watch" {
+			if err := runWatchFigure(out, csv, *watchers, *sizes, *pubEvery, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -293,6 +301,46 @@ func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shar
 	progress := func(done, total int, c harness.MapCell) {
 		fmt.Fprintf(os.Stderr, "[%s %d/%d] keys=%d threads=%d: %.2f Mops/s (%.4f rmw/get)\n",
 			fig.ID, done, total, c.Keys, c.Threads, c.Result.Mops(), c.Result.RMWPerGet())
+	}
+	data, err := fig.Run(progress)
+	if err != nil {
+		return err
+	}
+	data.RenderTable(out)
+	if csv != nil {
+		data.RenderCSV(csv)
+	}
+	return nil
+}
+
+// runWatchFigure regenerates the wakeup-latency figure: publish→observe
+// latency of parked watchers vs fixed-interval pollers, swept over
+// watcher counts (the notify subsystem's measurement; see DESIGN.md §8).
+func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEvery, duration, warmup time.Duration, quick bool) error {
+	fig := harness.FigWatch()
+	if pubEvery > 0 {
+		fig.PublishEvery = pubEvery
+	}
+	if sizes != "" {
+		sz := mustInts(sizes)
+		fig.ValueSize = sz[0]
+		if len(sz) > 1 {
+			fmt.Fprintf(os.Stderr, "arcbench: watch figure measures one value size per run; using %d\n", sz[0])
+		}
+	}
+	if quick {
+		fig = fig.Scale(4, min(duration, 200*time.Millisecond), min(warmup, 50*time.Millisecond))
+	} else {
+		fig.Duration = duration
+		fig.Warmup = warmup
+	}
+	if watchers != "" {
+		fig.Watchers = mustInts(watchers)
+	}
+	progress := func(done, total int, c harness.WatchCell) {
+		fmt.Fprintf(os.Stderr, "[%s %d/%d] %s watchers=%d: %d observed, p99 %v\n",
+			fig.ID, done, total, c.Mode, c.Watchers, c.Result.Observed,
+			time.Duration(c.Result.Latency.Quantile(0.99)))
 	}
 	data, err := fig.Run(progress)
 	if err != nil {

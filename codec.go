@@ -23,6 +23,15 @@ type Codec[T any] = codec.Codec[T]
 // the default codec of New.
 func JSON[T any]() Codec[T] { return codec.JSON[T]() }
 
+// Gob returns the encoding/gob codec — the binary stdlib choice for Go
+// value graphs (maps, slices, nested structs) without hand-written
+// marshalers: denser and faster than JSON for most struct payloads, at
+// the cost of a per-blob type preamble and Go-only wire compatibility.
+// Every blob is self-contained (fresh encoder per call), and
+// encoding/gob copies everything it decodes, satisfying the register
+// aliasing contract.
+func Gob[T any]() Codec[T] { return codec.Gob[T]() }
+
 // Raw returns the zero-copy []byte passthrough codec: Encode and Decode
 // are the identity, so Get returns a direct view of the register slot.
 // Values obtained through it follow zero-copy view semantics — valid

@@ -44,7 +44,7 @@ func (p *pair) UnmarshalBinary(data []byte) error {
 }
 
 // FuzzCodecRoundTrip drives Encode→Decode over all built-in codecs:
-// JSON, String, Raw and Binary. Whatever goes in must come out.
+// JSON, String, Raw, Binary and Gob. Whatever goes in must come out.
 func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add([]byte("raw bytes"), "a string", int64(7), uint32(1), uint32(2))
 	f.Add([]byte{}, "", int64(0), uint32(0), uint32(0))
@@ -109,6 +109,31 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 		if gp, err := bc.Decode(bblob); err != nil || gp != pv {
 			t.Errorf("binary round trip: %+v, %v", gp, err)
+		}
+
+		// Gob is 8-bit clean: unlike JSON, arbitrary strings and bytes
+		// must round-trip exactly, zero values included (gob omits zero
+		// struct fields on the wire; they must still decode to equal
+		// values).
+		gc := arcreg.Gob[fuzzVal]()
+		gv := fuzzVal{S: s, I: i, B: raw}
+		gblob, err := gc.Encode(gv)
+		if err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		gotG, err := gc.Decode(gblob)
+		if err != nil {
+			t.Fatalf("gob decode of own encoding: %v", err)
+		}
+		if gotG.S != s || gotG.I != i || !bytes.Equal(gotG.B, raw) {
+			t.Errorf("gob round trip: got %+v, want S=%q I=%d B=%q", gotG, s, i, raw)
+		}
+		// Every gob blob must be self-contained: decoding through a
+		// second, fresh codec value (fresh gob decoder) must work too —
+		// the property registers rely on when any reader decodes any
+		// publication in isolation.
+		if got2, err := arcreg.Gob[fuzzVal]().Decode(gblob); err != nil || got2.S != s {
+			t.Errorf("gob blob not self-contained: %+v, %v", got2, err)
 		}
 	})
 }
@@ -211,6 +236,34 @@ func TestCodecDecodeDoesNotAlias(t *testing.T) {
 		clobberReads(t, reg, rd, func(i int) pair { return pair{A: uint32(i), B: uint32(i)} })
 		if got != want {
 			t.Errorf("decoded pair mutated by slot recycling: %+v", got)
+		}
+	})
+
+	t.Run("gob", func(t *testing.T) {
+		reg, err := arcreg.New[fuzzVal](
+			arcreg.WithCodec(arcreg.Gob[fuzzVal]()),
+			arcreg.WithReaders(1), arcreg.WithMaxValueSize(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := reg.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		want := fuzzVal{S: "retained-string-aaaaaaaaaaaaaaaa", I: 42, B: []byte("retained-bytes-bbbbbbbbbbbbbbbb")}
+		if err := reg.Set(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rd.Get() // decoded straight from the slot view
+		if err != nil {
+			t.Fatal(err)
+		}
+		clobberReads(t, reg, rd, func(i int) fuzzVal {
+			return fuzzVal{S: "clobber-XXXXXXXXXXXXXXXXXXXXXXXX", I: int64(i), B: bytes.Repeat([]byte{byte('0' + i)}, 32)}
+		})
+		if got.S != want.S || got.I != want.I || !bytes.Equal(got.B, want.B) {
+			t.Errorf("decoded value mutated by slot recycling: %+v", got)
 		}
 	})
 

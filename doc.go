@@ -49,14 +49,14 @@
 //	)
 //
 // The handles are capability-complete — Get, ViewBytes, Fresh,
-// ReadStats/WriteStats, and the Values poll iterator are methods, with
-// Reg.Caps reporting at construction time what the chosen algorithm
-// supports (no type assertions):
+// ReadStats/WriteStats, and the Watch/Values change iterators are
+// methods, with Reg.Caps reporting at construction time what the
+// chosen algorithm supports (no type assertions):
 //
-//	for v, err := range rd.Values(time.Millisecond) {
-//		if err != nil { break }
-//		apply(v) // runs once per observed change; idle polls are one
-//		         // atomic load, zero RMW, zero decoding on ARC
+//	for v, err := range rd.Watch(ctx) {
+//		if err != nil { break } // ctx.Err() or a read/decode error
+//		apply(v) // runs once per observed change; the watcher parks
+//		         // between changes and wakes in ~µs on publication
 //	}
 //
 // To share more than one value, NewMap is the keyed store with the same
@@ -70,6 +70,41 @@
 //	_ = m.Delete("alice")                    // tombstone; no resurrection
 //	all, err := rd.Snapshot()                // atomic multi-key view
 //
+// # Watching for changes
+//
+// Watch is the event-driven subscription surface: instead of polling,
+// a watcher parks on the register's publication sequencer
+// (internal/notify) and is woken by the next publication — wakeup
+// latency is microseconds, an idle watcher consumes nothing, and the
+// writer's publish path stays zero-RMW and allocation-free while no
+// watcher is parked (BenchmarkSetWithWatcherIdle vs BenchmarkSet).
+// Delivery is at-least-once per publication with latest-value
+// conflation: the register holds one value, so a slow consumer simply
+// observes fewer, newer values and can never build a backlog or block
+// the writer.
+//
+//	rd, _ := reg.NewReader()
+//	for v, err := range rd.Watch(ctx) { ... }   // every change, parked
+//
+//	select {                                    // one-shot, select-friendly
+//	case <-reg.Changed(ctx): ...
+//	case <-timeout: ...
+//	}
+//
+//	mrd, _ := m.NewReader()
+//	for v, err := range mrd.Watch(ctx, "alice") { ... } // one key: woken by
+//	    // its changes and lifecycle only; a delete yields ErrKeyNotFound
+//	    // once and the watch survives re-creation (fresh incarnation,
+//	    // never resurrected bytes)
+//	for d, err := range mrd.WatchAll(ctx) { ... }       // whole map: a
+//	    // snapshot-delta stream; every event derives from one atomic
+//	    // Snapshot
+//
+// Caps.Watchable reports whether the construction carries a sequencer
+// (ARC, the (M,N) composition, the map); the other algorithms serve
+// Watch and Changed through a millisecond poll fallback. Values(every)
+// remains as the explicit polling shim over the same engine.
+//
 // # Capabilities
 //
 // register.Caps declares what each construction's handles support; New
@@ -78,7 +113,7 @@
 // field is a promise, a false one is advisory. Per algorithm:
 //
 //   - ARC: the full set — ZeroCopyView, FreshProbe, FreshView,
-//     ReadStats, WriteStats, WaitFreeRead, WaitFreeWrite.
+//     ReadStats, WriteStats, WaitFreeRead, WaitFreeWrite, Watchable.
 //   - RF: ZeroCopyView, FreshProbe, stats and wait-freedom on both
 //     sides — everything but the combined FreshView probe-and-fetch
 //     (and every read costs one RMW, which Caps does not model; see
@@ -91,22 +126,23 @@
 //     write overlaps); no views (reads copy under the seqcount).
 //   - LeftRight: ZeroCopyView and WaitFreeRead, but writes block on
 //     readers (WaitFreeWrite false).
-//   - The (M,N) composite and the Map inherit ARC's full set; the
-//     map-level Fresh probe spans the directory and the key register.
+//   - The (M,N) composite and the Map inherit ARC's full set
+//     (including Watchable); the map-level Fresh probe spans the
+//     directory and the key register.
 //
 // Handles degrade conservatively where a capability is absent: Fresh
 // reports false (forcing a re-read), stats report zero, ViewBytes
-// returns ErrNoView. The harness summary tables (cmd/arcbench -figure
+// returns ErrNoView, Watch and Changed fall back to polling. The harness summary tables (cmd/arcbench -figure
 // rmw/latency) print the WaitFree capabilities per row, so measured
 // numbers and progress guarantees read side by side.
 //
 // # Codecs
 //
 // Codec[T] is the one encoding layer every typed surface shares: JSON
-// (the default), Raw (zero-copy []byte passthrough with view
-// semantics), String, and Binary (encoding.BinaryMarshaler/
-// Unmarshaler) are built in; implement the interface to plug in any
-// wire format. Decoders must not retain the slice they are handed — it
+// (the default), Gob (binary stdlib encoding for Go value graphs), Raw
+// (zero-copy []byte passthrough with view semantics), String, and
+// Binary (encoding.BinaryMarshaler/Unmarshaler) are built in;
+// implement the interface to plug in any wire format. Decoders must not retain the slice they are handed — it
 // may alias a register slot that is recycled after the decode returns
 // (Raw is the documented exception).
 //

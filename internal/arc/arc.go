@@ -53,6 +53,7 @@ import (
 	"sync"
 
 	"arcreg/internal/membuf"
+	"arcreg/internal/notify"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 	"arcreg/internal/word"
@@ -127,6 +128,11 @@ type Register struct {
 	// freeHint is the §3.4 shared proposal word: the index of a slot a
 	// reader observed becoming free, or noHint.
 	freeHint pad.PaddedInt64
+	// seq is the publication sequencer watchers park on: Publish after
+	// every W2 costs the writer one atomic store plus one gate load —
+	// zero RMW and zero allocation while nobody is parked (see
+	// internal/notify and TestWatchZeroRMWIdle).
+	seq notify.Sequencer
 
 	slots        []slot
 	maxReaders   int
@@ -216,6 +222,7 @@ func (r *Register) Caps() register.Caps {
 		WriteStats:    true,
 		WaitFreeRead:  true,
 		WaitFreeWrite: true,
+		Watchable:     true,
 	}
 }
 
@@ -268,8 +275,18 @@ func (r *Register) Write(p []byte) error {
 	r.slots[oldSlot].rStart.Store(uint64(word.CurrentCounter(old)))
 	r.lastSlot = idx
 	r.wstats.Ops++
+	// Announce the publication after the W2 swap made it visible:
+	// watchers woken here (or skipping their park on the epoch recheck)
+	// observe the new current word.
+	r.seq.Publish()
 	return nil
 }
+
+// Notifier returns the register's publication sequencer: its epoch
+// advances on every Write, and waiters park on its gate. Compositions
+// chain the gate to an aggregate (mnreg's composite gate, regmap's
+// shard gates) at wiring time.
+func (r *Register) Notifier() *notify.Sequencer { return &r.seq }
 
 // findFreeSlot returns a slot with r_start == r_end that is not the
 // freshest slot (W1), consulting the §3.4 reader hint first.

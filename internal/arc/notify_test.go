@@ -1,0 +1,95 @@
+package arc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arcreg/internal/register"
+)
+
+// TestWatchZeroRMWIdle pins the tentpole cost claim at the register
+// level: with no waiter parked, the publication sequencer adds zero RMW
+// instructions and zero allocations to Write. WriteStats.RMW counts
+// every RMW the write path executes — exactly one per write (the W2
+// swap) means the notify hook added none — and the gate must stay
+// unarmed, proving the wakeup branch never ran.
+func TestWatchZeroRMWIdle(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 4, MaxValueSize: 64}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("payload")
+	const writes = 1000
+	base := r.WriteStats()
+	for i := 0; i < writes; i++ {
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.WriteStats()
+	if got := st.RMW - base.RMW; got != writes {
+		t.Errorf("no-waiter Write executed %d RMW over %d writes, want exactly %d (the W2 swap only)",
+			got, writes, writes)
+	}
+	if r.Notifier().Gate().Armed() {
+		t.Error("no-waiter writes armed the gate")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := r.Write(val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("no-waiter Write allocates %.1f objects/op, want 0", allocs)
+	}
+	if e := r.Notifier().Epoch(); e == 0 {
+		t.Error("sequencer epoch did not advance with the writes")
+	}
+}
+
+// TestNotifierWaitObservesWrite: a waiter parked on the register's
+// sequencer wakes on Write and then reads the new value.
+func TestNotifierWaitObservesWrite(t *testing.T) {
+	r, err := New(register.Config{MaxReaders: 1, MaxValueSize: 64}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.NewReaderHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if _, err := rd.View(); err != nil { // prime the handle
+		t.Fatal(err)
+	}
+	seq := r.Notifier()
+	seen := seq.Epoch()
+	got := make(chan string, 1)
+	go func() {
+		if _, err := seq.Wait(context.Background(), seen); err != nil {
+			t.Errorf("Wait: %v", err)
+			return
+		}
+		v, err := rd.View()
+		if err != nil {
+			t.Errorf("View after wake: %v", err)
+			return
+		}
+		got <- string(v)
+	}()
+	for i := 0; i < 1000 && !seq.Gate().Armed(); i++ {
+		time.Sleep(10 * time.Microsecond)
+	}
+	if err := r.Write([]byte("woken")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "woken" {
+			t.Fatalf("woken reader saw %q, want %q", v, "woken")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke on Write")
+	}
+}

@@ -14,7 +14,9 @@
 package codec
 
 import (
+	"bytes"
 	"encoding"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 )
@@ -52,6 +54,36 @@ func (jsonCodec[T]) Name() string { return "json" }
 // JSON returns the encoding/json codec — the zero-configuration choice
 // for sharing configuration structs, snapshots and similar values.
 func JSON[T any]() Codec[T] { return jsonCodec[T]{} }
+
+// gobCodec implements Codec via encoding/gob. Each call uses a fresh
+// encoder/decoder so every blob is self-contained (a long-lived gob
+// stream elides type information after the first value, which would
+// make register blobs undecodable in isolation).
+type gobCodec[T any] struct{}
+
+func (gobCodec[T]) Encode(v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobCodec[T]) Decode(p []byte) (T, error) {
+	var v T
+	err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v)
+	return v, err
+}
+
+func (gobCodec[T]) Name() string { return "gob" }
+
+// Gob returns the encoding/gob codec — the binary stdlib choice for Go
+// value graphs (maps, slices, nested structs) without hand-written
+// marshalers. Denser and faster than JSON for most struct payloads, at
+// the cost of a per-blob type preamble and Go-only wire compatibility.
+// encoding/gob copies everything it decodes, satisfying the register
+// aliasing contract.
+func Gob[T any]() Codec[T] { return gobCodec[T]{} }
 
 // rawCodec is the zero-copy []byte passthrough.
 type rawCodec struct{}

@@ -1,0 +1,329 @@
+package harness
+
+// The wakeup-latency experiment behind `arcbench -figure watch`: one
+// writer publishes timestamped values at a fixed cadence; W subscribers
+// observe them either event-driven (parked on the publication
+// sequencer, the notify subsystem under the Watch API) or by polling
+// the freshness probe at a fixed interval. The measured
+// publish→observe latency quantifies what the subsystem buys: a parked
+// watcher wakes in scheduler time regardless of how rarely values
+// change, while a poller's latency floor is half its poll interval —
+// and its idle cost is a CPU-resident loop. This is the figure the
+// paper's evaluation never shows (its readers spin), and the one that
+// matters for the "millions of mostly-idle readers" deployment the
+// north star names.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg/internal/arc"
+	"arcreg/internal/metrics"
+	"arcreg/internal/register"
+)
+
+// WatchMode selects how a subscriber observes publications.
+type WatchMode string
+
+const (
+	// ModeWatch parks on the publication sequencer between changes —
+	// the notify/Watch path.
+	ModeWatch WatchMode = "watch"
+	// ModePoll probes freshness in a sleep loop (PollEvery per round) —
+	// the pre-notify Values discipline.
+	ModePoll WatchMode = "poll"
+)
+
+// WatchRunConfig describes one cell of the watch figure.
+type WatchRunConfig struct {
+	// Mode is the subscriber discipline; PollEvery is the poll-mode
+	// sleep per probe round (ignored in watch mode).
+	Mode      WatchMode
+	PollEvery time.Duration
+	// Watchers is the subscriber count.
+	Watchers int
+	// PublishEvery is the writer cadence (0 = back-to-back).
+	PublishEvery time.Duration
+	// ValueSize is the published value size (≥ 8; the first 8 bytes
+	// carry the publish timestamp).
+	ValueSize int
+	// Duration is the measurement window; Warmup precedes it.
+	Duration time.Duration
+	Warmup   time.Duration
+}
+
+// WatchResult is one cell's outcome.
+type WatchResult struct {
+	// Published counts writer publications in the measured window;
+	// Observed counts change observations summed over watchers.
+	Published uint64
+	Observed  uint64
+	// Latency is the publish→observe distribution (ns), merged over
+	// watchers.
+	Latency metrics.Histogram
+	Elapsed time.Duration
+}
+
+// RunWatch measures one watch-latency cell.
+func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
+	if cfg.Watchers <= 0 {
+		return WatchResult{}, fmt.Errorf("harness: watch figure needs at least one watcher, got %d", cfg.Watchers)
+	}
+	if cfg.ValueSize < 8 {
+		cfg.ValueSize = 8
+	}
+	reg, err := arc.New(register.Config{
+		MaxReaders:   cfg.Watchers,
+		MaxValueSize: cfg.ValueSize,
+	}, arc.Options{})
+	if err != nil {
+		return WatchResult{}, err
+	}
+
+	// Timestamps are nanoseconds since base on Go's monotonic clock,
+	// encoded into the value's first 8 bytes.
+	base := time.Now()
+	now := func() uint64 { return uint64(time.Since(base)) }
+
+	const (
+		phaseWarmup = iota
+		phaseMeasure
+		phaseStop
+	)
+	var phase atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var published uint64
+	var wg sync.WaitGroup
+
+	// Writer: publish a timestamped value every PublishEvery.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, cfg.ValueSize)
+		for phase.Load() != phaseStop {
+			binary.LittleEndian.PutUint64(buf, now())
+			if err := reg.Write(buf); err != nil {
+				return
+			}
+			if phase.Load() == phaseMeasure {
+				published++
+			}
+			if cfg.PublishEvery > 0 {
+				time.Sleep(cfg.PublishEvery)
+			}
+		}
+	}()
+
+	// Watchers: observe every change, record publish→observe latency.
+	type watchStats struct {
+		hist     metrics.Histogram
+		observed uint64
+	}
+	stats := make([]watchStats, cfg.Watchers)
+	for w := 0; w < cfg.Watchers; w++ {
+		rd, err := reg.NewReaderHandle()
+		if err != nil {
+			phase.Store(phaseStop)
+			cancel()
+			wg.Wait()
+			return WatchResult{}, err
+		}
+		wg.Add(1)
+		go func(st *watchStats) {
+			defer wg.Done()
+			defer rd.Close()
+			seq := reg.Notifier()
+			for {
+				// Snapshot before read: the at-least-once discipline of
+				// the Watch engine, reproduced at the register level.
+				seen := seq.Epoch()
+				v, changed, err := rd.ViewFresh()
+				if err != nil {
+					return
+				}
+				if changed && len(v) >= 8 {
+					lat := now() - binary.LittleEndian.Uint64(v)
+					if phase.Load() == phaseMeasure {
+						st.hist.Record(lat)
+						st.observed++
+					}
+				}
+				if phase.Load() == phaseStop {
+					return
+				}
+				switch cfg.Mode {
+				case ModeWatch:
+					if _, err := seq.Wait(ctx, seen); err != nil {
+						return
+					}
+				default: // ModePoll: probe-and-sleep
+					if cfg.PollEvery > 0 {
+						time.Sleep(cfg.PollEvery)
+					}
+				}
+			}
+		}(&stats[w])
+	}
+
+	time.Sleep(cfg.Warmup)
+	phase.Store(phaseMeasure)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	phase.Store(phaseStop)
+	elapsed := time.Since(start)
+	cancel() // release parked watchers
+	wg.Wait()
+
+	res := WatchResult{Published: published, Elapsed: elapsed}
+	for i := range stats {
+		res.Observed += stats[i].observed
+		res.Latency.Merge(&stats[i].hist)
+	}
+	return res, nil
+}
+
+// WatchFigure sweeps subscriber disciplines × watcher counts.
+type WatchFigure struct {
+	ID           string
+	Watchers     []int
+	PollEvery    []time.Duration // one poll-mode series per interval
+	PublishEvery time.Duration
+	ValueSize    int
+	Duration     time.Duration
+	Warmup       time.Duration
+}
+
+// FigWatch returns the standard watch-latency figure: parked watchers
+// versus 100µs and 1ms pollers, swept over watcher counts.
+func FigWatch() WatchFigure {
+	return WatchFigure{
+		ID:           "watch",
+		Watchers:     []int{1, 4, 16},
+		PollEvery:    []time.Duration{100 * time.Microsecond, time.Millisecond},
+		PublishEvery: 200 * time.Microsecond,
+		ValueSize:    64,
+		Duration:     time.Second,
+		Warmup:       100 * time.Millisecond,
+	}
+}
+
+// Scale clamps the figure for smoke runs.
+func (f WatchFigure) Scale(maxWatchers int, duration, warmup time.Duration) WatchFigure {
+	var ws []int
+	for _, w := range f.Watchers {
+		if w <= maxWatchers {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		ws = []int{1}
+	}
+	f.Watchers = ws
+	if duration > 0 && duration < f.Duration {
+		f.Duration = duration
+	}
+	if warmup > 0 && warmup < f.Warmup {
+		f.Warmup = warmup
+	}
+	return f
+}
+
+// WatchCell is one measured figure cell.
+type WatchCell struct {
+	Mode      WatchMode
+	PollEvery time.Duration
+	Watchers  int
+	Result    WatchResult
+	Err       error
+}
+
+// series names the cell's subscriber discipline for tables and CSV.
+func (c WatchCell) series() string {
+	if c.Mode == ModeWatch {
+		return "watch"
+	}
+	return fmt.Sprintf("poll-%s", c.PollEvery)
+}
+
+// WatchData is the figure outcome.
+type WatchData struct {
+	Figure WatchFigure
+	Cells  []WatchCell
+}
+
+// Run executes the sweep: the watch series plus one poll series per
+// configured interval, each across the watcher counts.
+func (f WatchFigure) Run(progress func(done, total int, c WatchCell)) (WatchData, error) {
+	type series struct {
+		mode WatchMode
+		poll time.Duration
+	}
+	sweeps := []series{{ModeWatch, 0}}
+	for _, p := range f.PollEvery {
+		sweeps = append(sweeps, series{ModePoll, p})
+	}
+	data := WatchData{Figure: f}
+	total := len(sweeps) * len(f.Watchers)
+	done := 0
+	for _, s := range sweeps {
+		for _, w := range f.Watchers {
+			res, err := RunWatch(WatchRunConfig{
+				Mode:         s.mode,
+				PollEvery:    s.poll,
+				Watchers:     w,
+				PublishEvery: f.PublishEvery,
+				ValueSize:    f.ValueSize,
+				Duration:     f.Duration,
+				Warmup:       f.Warmup,
+			})
+			cell := WatchCell{Mode: s.mode, PollEvery: s.poll, Watchers: w, Result: res, Err: err}
+			if err != nil {
+				return data, err
+			}
+			data.Cells = append(data.Cells, cell)
+			done++
+			if progress != nil {
+				progress(done, total, cell)
+			}
+		}
+	}
+	return data, nil
+}
+
+// RenderTable writes the figure as an ASCII table.
+func (d WatchData) RenderTable(w io.Writer) {
+	f := d.Figure
+	fmt.Fprintf(w, "== publish→observe wakeup latency (publish every %v, value %dB, window %v) ==\n",
+		f.PublishEvery, f.ValueSize, f.Duration)
+	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s\n",
+		"series", "watchers", "published", "observed", "lat p50", "lat p99", "lat max")
+	for _, c := range d.Cells {
+		r := c.Result
+		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s\n",
+			c.series(), c.Watchers, r.Published, r.Observed,
+			metrics.Duration(r.Latency.Quantile(0.5)),
+			metrics.Duration(r.Latency.Quantile(0.99)),
+			time.Duration(r.Latency.Max()))
+	}
+}
+
+// RenderCSV appends machine-readable rows.
+func (d WatchData) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns")
+	for _, c := range d.Cells {
+		r := c.Result
+		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d\n",
+			d.Figure.ID, c.series(), c.Watchers,
+			float64(d.Figure.PublishEvery)/float64(time.Microsecond),
+			float64(c.PollEvery)/float64(time.Microsecond),
+			r.Published, r.Observed,
+			r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max())
+	}
+}

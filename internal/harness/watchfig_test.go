@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunWatchModes smoke-runs both subscriber disciplines and checks
+// the cells are internally consistent: publications flow, every change
+// observation carries a latency sample, and the watch series observes
+// at least as many changes as... (on a 1-CPU host schedules vary, so
+// the assertions stay structural, not quantitative).
+func TestRunWatchModes(t *testing.T) {
+	for _, cfg := range []WatchRunConfig{
+		{Mode: ModeWatch, Watchers: 2, PublishEvery: 200 * time.Microsecond,
+			ValueSize: 32, Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond},
+		{Mode: ModePoll, PollEvery: 100 * time.Microsecond, Watchers: 2,
+			PublishEvery: 200 * time.Microsecond, ValueSize: 32,
+			Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond},
+	} {
+		res, err := RunWatch(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Mode, err)
+		}
+		if res.Published == 0 {
+			t.Errorf("%s: no publications in the measured window", cfg.Mode)
+		}
+		if res.Observed == 0 {
+			t.Errorf("%s: watchers observed nothing", cfg.Mode)
+		}
+		if res.Latency.Count() != res.Observed {
+			t.Errorf("%s: %d latency samples for %d observations", cfg.Mode, res.Latency.Count(), res.Observed)
+		}
+	}
+}
+
+// TestWatchFigureRender runs the scaled figure end to end and checks
+// the table carries every series.
+func TestWatchFigureRender(t *testing.T) {
+	fig := FigWatch().Scale(2, 50*time.Millisecond, 10*time.Millisecond)
+	data, err := fig.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csv strings.Builder
+	data.RenderTable(&tbl)
+	data.RenderCSV(&csv)
+	for _, want := range []string{"watch", "poll-100µs", "poll-1ms", "lat p99"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	if got := strings.Count(csv.String(), "\n"); got != len(data.Cells)+1 {
+		t.Errorf("CSV has %d lines, want %d cells + header", got, len(data.Cells))
+	}
+}

@@ -95,11 +95,13 @@
 package mnreg
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
 
 	"arcreg/internal/arc"
+	"arcreg/internal/notify"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
@@ -181,6 +183,15 @@ type Register struct {
 	maxValueSize int
 	opts         Options
 
+	// watchGate is the composite parking point: every component
+	// sequencer is chained to it, so any writer's publish wakes
+	// watchers parked here. The composite epoch is not a separate word
+	// — it is the sum of the M component epochs (NotifyEpoch), read
+	// with M atomic loads, exactly the package's probe discipline. The
+	// chain costs each component publish one extra atomic load (the
+	// parent-gate nil check), never an RMW.
+	watchGate notify.Gate
+
 	mu          sync.Mutex
 	writerIDs   []uint32 // free writer identities
 	liveReaders int
@@ -222,6 +233,7 @@ func New(cfg Config, opts Options) (*Register, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mnreg: component %d: %w", i, err)
 		}
+		comp.Notifier().Chain(&r.watchGate)
 		r.comps[i] = comp
 	}
 	for id := cfg.Writers - 1; id >= 0; id-- {
@@ -241,7 +253,43 @@ func (r *Register) Caps() register.Caps {
 		WriteStats:    true,
 		WaitFreeRead:  true,
 		WaitFreeWrite: true,
+		Watchable:     true,
 	}
+}
+
+// NotifyEpoch returns the composite publication epoch: the sum of the M
+// component sequencer epochs (M atomic loads, no RMW). The sum is
+// monotone — components only advance — so two equal values bracket a
+// publication-free interval, and any publish in between is visible as a
+// difference. A torn read across the M loads can only under-count (each
+// load returns a value at most the component's current epoch), which the
+// armed-gate recheck in WaitPublish turns into a wakeup, never a loss.
+func (r *Register) NotifyEpoch() uint64 {
+	var sum uint64
+	for _, comp := range r.comps {
+		sum += comp.Notifier().Epoch()
+	}
+	return sum
+}
+
+// NotifyGate returns the composite parking gate (every component
+// publish wakes it), for callers composing their own waits.
+func (r *Register) NotifyGate() *notify.Gate { return &r.watchGate }
+
+// WaitPublish blocks until NotifyEpoch differs from seen or ctx is
+// done, returning the epoch observed. Snapshot NotifyEpoch before
+// reading and wait on that snapshot for at-least-once change delivery
+// with latest-value conflation (same contract as notify.Sequencer.Wait).
+func (r *Register) WaitPublish(ctx context.Context, seen uint64) (uint64, error) {
+	var epoch uint64
+	err := notify.Await(ctx, func() bool {
+		epoch = r.NotifyEpoch()
+		return epoch != seen
+	}, &r.watchGate)
+	if err != nil {
+		return seen, err
+	}
+	return epoch, nil
 }
 
 // Writers reports M.

@@ -1,0 +1,102 @@
+package mnreg
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWaitPublishWakesOnAnyWriter: a waiter parked on the composite
+// gate wakes when any of the M writers publishes, and the epoch-sum
+// snapshot taken before a read guarantees the racing publish is never
+// lost.
+func TestWaitPublishWakesOnAnyWriter(t *testing.T) {
+	r, err := New(Config{Writers: 3, Readers: 2, MaxValueSize: 64}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := make([]*Writer, 3)
+	for i := range writers {
+		if writers[i], err = r.NewWriter(); err != nil {
+			t.Fatal(err)
+		}
+		defer writers[i].Close()
+	}
+	rd, err := r.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	for i, w := range writers {
+		seen := r.NotifyEpoch()
+		if _, err := rd.View(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan uint64, 1)
+		go func() {
+			e, err := r.WaitPublish(context.Background(), seen)
+			if err != nil {
+				t.Errorf("WaitPublish: %v", err)
+			}
+			done <- e
+		}()
+		for j := 0; j < 1000 && !r.NotifyGate().Armed(); j++ {
+			time.Sleep(10 * time.Microsecond)
+		}
+		if err := w.Write([]byte(fmt.Sprintf("writer-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case e := <-done:
+			if e == seen {
+				t.Fatalf("writer %d: woke with unchanged epoch %d", i, e)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("writer %d: composite waiter never woke", i)
+		}
+		v, err := rd.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("writer-%d", i); string(v) != want {
+			t.Errorf("after wake View = %q, want %q", v, want)
+		}
+	}
+}
+
+// TestNotifyEpochCountsAllWriters: the composite epoch is the sum of
+// component publication counts.
+func TestNotifyEpochCountsAllWriters(t *testing.T) {
+	r, err := New(Config{Writers: 2, Readers: 1, MaxValueSize: 64}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w1, err := r.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	if e := r.NotifyEpoch(); e != 0 {
+		t.Fatalf("genesis NotifyEpoch = %d, want 0", e)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w0.Write([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := w1.Write([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := r.NotifyEpoch(); e != 5 {
+		t.Fatalf("NotifyEpoch = %d after 5 writes, want 5", e)
+	}
+}

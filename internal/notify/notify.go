@@ -1,0 +1,243 @@
+// Package notify is the publication-notification layer under the Watch
+// API: a per-register publication sequencer (a monotonic epoch plus a
+// swap-on-publish broadcast gate) that lets idle readers park on "has
+// anything been published?" instead of busy-polling, without taxing the
+// writer.
+//
+// # Why not per-waiter channel registration
+//
+// The obvious design — waiters register a channel in a list, the writer
+// walks the list on publish — is unsound for a wait-free writer: the
+// list needs a lock or an unbounded-retry lock-free structure on the
+// *publish* path, the walk is O(waiters), and a slow waiter's full
+// channel either blocks the writer or forces a per-waiter drop policy.
+// Every one of those breaks the register's writer-side guarantees (the
+// paper's writer is bounded straight-line code; see DESIGN.md §8 for
+// the full analysis).
+//
+// This package inverts the responsibility, following the same
+// validated-gate discipline as the mnreg epoch gate and the regmap
+// snapshot counters:
+//
+//   - The epoch is a single padded word the publisher advances with a
+//     plain atomic store (the publisher is the register's single
+//     writer, so no RMW is needed — it owns the counter).
+//
+//   - The gate is one atomic pointer holding the broadcast channel the
+//     currently parked waiters share, or nil when nobody is parked.
+//     The publisher's wakeup check is one atomic load; only when a
+//     waiter is actually parked does it swap the pointer out and close
+//     the channel — a broadcast to every parked waiter at once, off
+//     the no-waiter fast path.
+//
+//   - Waiters do the expensive part: allocate the channel, install it
+//     with a CAS, and — crucially — re-check the epoch *after* arming
+//     the gate. Both the waiter (gate CAS, then epoch load) and the
+//     publisher (epoch store, then gate load) cross the two words in
+//     opposite orders with sequentially consistent atomics, so at
+//     least one side observes the other: either the waiter sees the
+//     new epoch and never sleeps, or the publisher sees the armed gate
+//     and closes it. A lost wakeup would require both loads to miss
+//     both stores, which sequential consistency forbids (the
+//     linearization argument is spelled out in DESIGN.md §8).
+//
+// The publisher's cost with no waiter parked is therefore one atomic
+// store plus one atomic load per chained gate — zero RMW instructions,
+// zero allocations, zero branches on shared mutable state beyond the
+// nil check. Waiters pay one allocation and one CAS per park, which is
+// the right side of the ledger: parked waiters are idle by definition.
+//
+// # Gate chaining
+//
+// A Gate may be chained to a parent Gate at wiring time: waking a gate
+// also wakes its ancestors. Compositions use this to aggregate many
+// publishers into one parking point — the (M,N) register chains its M
+// component sequencers to one composite gate, and the sharded map
+// chains its per-shard sequencers to one map-level gate — while each
+// waiter still rechecks its own epoch predicate after arming, so the
+// chain adds only atomic loads to the publish path, never RMW.
+package notify
+
+import (
+	"context"
+	"sync/atomic"
+
+	"arcreg/internal/pad"
+)
+
+// Gate is the parking point: an atomic pointer to the broadcast channel
+// shared by the currently parked waiters, nil when nobody is parked.
+// The zero value is ready to use. Publishers call Wake; waiters call
+// Arm, re-check their change predicate, and then block on the returned
+// channel (see Await for the packaged protocol).
+type Gate struct {
+	// armed is padded like every shared synchronization word in this
+	// repository: it is CAS target of parking waiters and must not
+	// false-share with the epoch word or neighbouring gates.
+	_      [pad.CacheLineSize - 8]byte
+	armed  atomic.Pointer[chan struct{}]
+	_      [pad.CacheLineSize - 8]byte
+	parent *Gate
+	_      pad.CacheLinePad
+}
+
+// Chain links g to parent: every Wake of g also wakes parent (and its
+// ancestors). Wiring-time only — call before the gate is shared with
+// concurrent publishers or waiters.
+func (g *Gate) Chain(parent *Gate) { g.parent = parent }
+
+// Arm installs (or joins) the broadcast channel waiters park on and
+// returns it. The caller MUST re-check its change predicate after Arm
+// and before blocking on the channel: the arm-then-recheck order is
+// what closes the lost-wakeup window against a concurrent publish.
+// The returned channel may already be closed (a publish raced the arm);
+// blocking on it then returns immediately, which is safe — spurious
+// wakeups are absorbed by the caller's predicate loop.
+func (g *Gate) Arm() <-chan struct{} {
+	for {
+		if p := g.armed.Load(); p != nil {
+			return *p // join the parked cohort: one load
+		}
+		ch := make(chan struct{})
+		p := &ch
+		if g.armed.CompareAndSwap(nil, p) {
+			return ch
+		}
+		// CAS lost: either another waiter armed first (next load joins
+		// it) or a publisher cleared a just-closed channel (next load
+		// is nil and the CAS retries). Each retry implies another
+		// party made progress, and the caller's predicate recheck
+		// bounds the loop in practice: this is the waiter slow path.
+	}
+}
+
+// Wake wakes every parked waiter on g and its ancestors. With no waiter
+// parked the cost is one atomic load per gate in the chain — zero RMW
+// instructions and zero allocations, preserving the publisher's
+// wait-free zero-RMW publish path. With waiters parked it swaps the
+// channel out and closes it: one RMW plus one close, amortized over
+// every waiter in the cohort.
+//
+// Wake must be ordered after the publication it announces (an atomic
+// store or RMW on the published state), so that a waiter woken by the
+// close — or one that never slept because its post-Arm recheck saw the
+// publication — observes the new state.
+func (g *Gate) Wake() {
+	for gg := g; gg != nil; gg = gg.parent {
+		if gg.armed.Load() == nil {
+			continue // fast path: nobody parked on this gate
+		}
+		// Swap-then-close: the channel leaves the gate before it
+		// closes, so no waiter can be handed an already-closed channel
+		// *through the gate* (one obtained just before the swap wakes
+		// immediately, which the predicate loop absorbs). Swap rather
+		// than store-nil keeps this correct even when several
+		// publishers share a parent gate.
+		if p := gg.armed.Swap(nil); p != nil {
+			close(*p)
+		}
+	}
+}
+
+// Armed reports whether a waiter is currently parked (or arming) on g.
+// Test and diagnostics hook; the answer is immediately stale.
+func (g *Gate) Armed() bool { return g.armed.Load() != nil }
+
+// Await parks on one or two gates until changed reports true or ctx is
+// done, packaging the arm → recheck → block protocol. changed must be
+// monotone over the caller's wait (once true it stays true until the
+// caller acts) and is evaluated under no lock; its loads of published
+// state are what the arm-then-recheck ordering protects.
+//
+// Two gates cover every composition in this repository (a keyed watch
+// parks on the key's value gate and the shard's directory gate at
+// once); Await panics on other counts rather than silently degrading.
+func Await(ctx context.Context, changed func() bool, gates ...*Gate) error {
+	if len(gates) == 0 || len(gates) > 2 {
+		panic("notify: Await supports exactly 1 or 2 gates")
+	}
+	for {
+		if changed() {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c0 := gates[0].Arm()
+		var c1 <-chan struct{}
+		if len(gates) == 2 {
+			c1 = gates[1].Arm()
+		}
+		// The decisive recheck: armed before, loaded after. A publish
+		// missed here must observe the armed gate and close it.
+		if changed() {
+			return nil
+		}
+		select {
+		case <-c0:
+		case <-c1: // nil when one gate: never ready
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Sequencer is the per-register publication sequencer: a monotonic
+// epoch advanced by the register's single publisher on every
+// publication, plus the broadcast Gate waiters park on. The zero value
+// is ready to use (epoch 0 = "nothing published yet").
+//
+// Concurrency contract: exactly one goroutine calls Publish at a time —
+// the same single-writer contract as the (1,N) register it instruments,
+// which is what lets the epoch advance with a plain store instead of an
+// RMW. Any number of goroutines may call Epoch, Wait and Gate().Arm.
+type Sequencer struct {
+	epoch pad.PaddedUint64
+	gate  Gate
+	// local mirrors epoch on the publisher's side so Publish needs no
+	// atomic read-modify-write — the publisher owns the counter.
+	local uint64
+}
+
+// Publish records one publication: it advances the epoch (one atomic
+// store) and wakes parked waiters (one atomic load per chained gate;
+// a swap and a channel close only when someone is parked). Call it
+// after the publication itself is visible (after the register's
+// publish store/RMW), from the single publisher goroutine.
+func (s *Sequencer) Publish() {
+	s.local++
+	s.epoch.Store(s.local)
+	s.gate.Wake()
+}
+
+// Epoch returns the current publication count: one atomic load. Two
+// different values mean a publication happened in between; equal values
+// mean none did (the epoch is monotone and only the publisher advances
+// it).
+func (s *Sequencer) Epoch() uint64 { return s.epoch.Load() }
+
+// Gate returns the sequencer's parking gate, for callers composing
+// multi-gate waits (see Await).
+func (s *Sequencer) Gate() *Gate { return &s.gate }
+
+// Chain links the sequencer's gate to parent (see Gate.Chain).
+// Wiring-time only.
+func (s *Sequencer) Chain(parent *Gate) { s.gate.Chain(parent) }
+
+// Wait blocks until the epoch differs from seen or ctx is done,
+// returning the epoch it observed. A caller that snapshots Epoch
+// *before* reading the register and Waits on that snapshot is
+// guaranteed at-least-once delivery: any publication after the
+// snapshot makes Wait return, and the caller's re-read then observes
+// it (or something newer — latest-value conflation).
+func (s *Sequencer) Wait(ctx context.Context, seen uint64) (uint64, error) {
+	var epoch uint64
+	err := Await(ctx, func() bool {
+		epoch = s.epoch.Load()
+		return epoch != seen
+	}, &s.gate)
+	if err != nil {
+		return seen, err
+	}
+	return epoch, nil
+}

@@ -89,6 +89,7 @@ import (
 	"sync/atomic"
 
 	"arcreg/internal/arc"
+	"arcreg/internal/notify"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
@@ -192,6 +193,16 @@ type shard struct {
 	// liveKeys is the shard's live key count, maintained by the writer,
 	// read by Map.Len.
 	liveKeys atomic.Int64
+	// notify is the per-shard publication sequencer: the shard writer
+	// publishes it after every publication on the shard (value write,
+	// key creation, tombstone), and its gate is chained to the map-level
+	// watch gate, so whole-map watchers park in one place. Per-key value
+	// changes additionally wake the key register's own sequencer (inside
+	// arc.Write), which single-key watchers park on — sibling-key
+	// traffic does not wake them. All of it is store+load only: the
+	// publish paths stay RMW- and allocation-free while nobody is
+	// parked.
+	notify notify.Sequencer
 
 	index     map[string]int  // writer-side key → slot (live keys only)
 	wregs     []*arc.Register // writer-side slot array (uncopied)
@@ -215,6 +226,10 @@ type Map struct {
 	maxReaders   int
 	maxValueSize int
 	dynamic      bool
+
+	// watchGate aggregates every shard sequencer: any publication
+	// anywhere in the map wakes watchers parked here (Reader.WatchAll).
+	watchGate notify.Gate
 
 	mu          sync.Mutex
 	liveReaders int
@@ -264,6 +279,7 @@ func New(cfg Config) (*Map, error) {
 			dirBuf: append([]byte(nil), genesis...),
 		}
 		sh.entries.Store(&slots{})
+		sh.notify.Chain(&m.watchGate)
 		m.shards[i] = sh
 	}
 	return m, nil
@@ -308,6 +324,9 @@ func (m *Map) Set(key string, val []byte) error {
 		sh.beginPub()
 		err := sh.wregs[i].Write(val)
 		sh.endPub()
+		if err == nil {
+			sh.notify.Publish()
+		}
 		return err
 	}
 	return m.addKey(sh, key, val)
@@ -345,6 +364,9 @@ func (m *Map) Delete(key string) error {
 	sh.beginPub()
 	err := sh.dir.Write(sh.dirBuf)
 	sh.endPub()
+	if err == nil {
+		sh.notify.Publish()
+	}
 	return err
 }
 
@@ -407,6 +429,9 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	sh.entries.Store(next)
 	err = sh.dir.Write(sh.dirBuf)
 	sh.endPub()
+	if err == nil {
+		sh.notify.Publish()
+	}
 	return err
 }
 

@@ -1,0 +1,207 @@
+package regmap
+
+// The map's watch layer: parked, context-aware change subscriptions
+// over single keys (Watch) and over the whole map (WatchAll), built on
+// the internal/notify publication sequencers the shard writers drive.
+//
+// Wakeup routing is two-level, mirroring the map's read path:
+//
+//   - A single-key watcher parks on the key's value-register gate (its
+//     own publications only — sibling keys on the shard do not wake
+//     it) AND the shard's directory-register gate (key creation and
+//     deletion — the lifecycle events that re-route the key). The
+//     change predicate is Reader.Fresh(key), which is exact, so a
+//     wakeup either yields a change or re-parks.
+//
+//   - A whole-map watcher parks on the map-level gate every shard
+//     sequencer chains to; its predicate compares the per-shard
+//     sequencer epochs snapshotted before the last collect.
+//
+// Both follow the snapshot-epoch-before-read discipline, giving
+// at-least-once delivery of every publication with latest-value
+// conflation: a burst of Sets may be observed as one change carrying
+// the newest value. Deletion and re-creation are generation-aware by
+// construction — a re-created key is a fresh register seeded with its
+// first value, so a watcher can never be woken into a stale
+// incarnation's bytes (no resurrection wakeups).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"iter"
+	"sort"
+
+	"arcreg/internal/notify"
+)
+
+// Watch returns an iterator over key's publications: it yields the
+// value current when iteration starts (or ErrKeyNotFound if the key is
+// absent), then every change it observes, parking between changes
+// instead of polling. Yielded views follow Get's aliasing rules (valid
+// until the handle's next operation on the key).
+//
+// Lifecycle events are part of the stream: a deletion yields
+// (nil, ErrKeyNotFound) once and the watch continues — a later
+// re-creation yields the new incarnation's value. The iterator ends
+// when the consumer breaks, when ctx is done (yielding ctx's error), or
+// on a terminal register error.
+//
+// Watch owns the Reader while it runs (handles are single-goroutine,
+// like every reader in this package); run concurrent watches on
+// separate Reader handles.
+func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error] {
+	return func(yield func([]byte, error) bool) {
+		si := r.m.ShardOf(key)
+		sh := r.m.shards[si]
+		rs := &r.shards[si]
+		first := true
+		lastMiss := false
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			v, changed, err := r.GetFresh(key)
+			switch {
+			case errors.Is(err, ErrKeyNotFound):
+				// Deletion (or initial absence) is an observation too —
+				// delivered once per transition, then the watch parks on
+				// the directory gate alone: only a directory publication
+				// (a re-creation) can make the key exist again.
+				if first || !lastMiss {
+					if !yield(nil, ErrKeyNotFound) {
+						return
+					}
+				}
+				first, lastMiss = false, true
+				err := notify.Await(ctx, func() bool {
+					return !rs.dirRd.Fresh()
+				}, sh.dir.Notifier().Gate())
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+			case err != nil:
+				yield(nil, err) // terminal: corrupt shard or closed handle
+				return
+			default:
+				if first || changed {
+					if !yield(v, nil) {
+						return
+					}
+				}
+				first, lastMiss = false, false
+				// Park on the key's own value gate plus the shard's
+				// directory gate. The Fresh predicate is loaded after
+				// arming (inside Await), closing the publish race; it
+				// spans both the value register and the directory, so
+				// either gate's publication makes it report stale.
+				slot, ok := rs.table[key]
+				if !ok {
+					continue // deleted between GetFresh and here: re-read
+				}
+				err := notify.Await(ctx, func() bool {
+					return !r.Fresh(key)
+				}, rs.regs[slot].Notifier().Gate(), sh.dir.Notifier().Gate())
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// Delta is one WatchAll event: the keys whose values changed since the
+// previous event and the keys that disappeared. Values are copies owned
+// by the caller (Snapshot's ownership rules).
+type Delta struct {
+	// Values holds created keys and keys whose bytes changed, with
+	// their new values. On the first event it is the complete snapshot.
+	Values map[string][]byte
+	// Deleted lists keys present in the previous event and absent now,
+	// sorted for deterministic consumption.
+	Deleted []string
+	// Full marks the first event (Values is the whole map).
+	Full bool
+}
+
+// WatchAll returns an iterator over whole-map changes as a
+// snapshot-delta stream: the first event is a full linearizable
+// Snapshot, every later event the difference between consecutive
+// Snapshots — created/changed keys with their new values, and deleted
+// keys. Between events the watcher parks on the map-level gate; every
+// shard publication wakes it, and collects that observe no byte-level
+// difference are conflated away (no empty events are yielded).
+//
+// Each event is atomic across the whole map (it derives from one
+// linearizable Snapshot), so a consumer applying the deltas in order
+// reconstructs exactly the sequence of map states the snapshots
+// certified. Delivery is at-least-once per publication with
+// latest-value conflation, and WatchAll owns the Reader while it runs.
+func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
+	return func(yield func(Delta, error) bool) {
+		nsh := len(r.m.shards)
+		epochs := make([]uint64, nsh)
+		var prev map[string][]byte
+		first := true
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(Delta{}, err)
+				return
+			}
+			// Epoch snapshot strictly before the collect: a publication
+			// racing the Snapshot either lands in it or advances an
+			// epoch past this snapshot and forces another round.
+			for i, sh := range r.m.shards {
+				epochs[i] = sh.notify.Epoch()
+			}
+			snap, err := r.Snapshot()
+			if err != nil {
+				yield(Delta{}, err)
+				return
+			}
+			delta := diffSnapshots(prev, snap)
+			if first || len(delta.Values) > 0 || len(delta.Deleted) > 0 {
+				delta.Full = first
+				if !yield(delta, nil) {
+					return
+				}
+				first = false
+			}
+			prev = snap
+			err = notify.Await(ctx, func() bool {
+				for i, sh := range r.m.shards {
+					if sh.notify.Epoch() != epochs[i] {
+						return true
+					}
+				}
+				return false
+			}, &r.m.watchGate)
+			if err != nil {
+				yield(Delta{}, err)
+				return
+			}
+		}
+	}
+}
+
+// diffSnapshots computes the delta from prev to cur. Both maps are
+// Snapshot results (values caller-owned), so entries move into the
+// delta without copying.
+func diffSnapshots(prev, cur map[string][]byte) Delta {
+	d := Delta{Values: make(map[string][]byte)}
+	for k, v := range cur {
+		if pv, ok := prev[k]; !ok || !bytes.Equal(pv, v) {
+			d.Values[k] = v
+		}
+	}
+	for k := range prev {
+		if _, ok := cur[k]; !ok {
+			d.Deleted = append(d.Deleted, k)
+		}
+	}
+	sort.Strings(d.Deleted)
+	return d
+}

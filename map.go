@@ -1,6 +1,8 @@
 package arcreg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"runtime"
@@ -116,6 +118,7 @@ func (m *Map) Caps() Caps {
 		WriteStats:    true,
 		WaitFreeRead:  true,
 		WaitFreeWrite: true,
+		Watchable:     true,
 	}
 }
 
@@ -187,6 +190,40 @@ func (r *MapReader) Snapshot() (map[string][]byte, error) { return r.r.Snapshot(
 // ReadStats reports the handle's counters; collect after the owning
 // goroutine has quiesced.
 func (r *MapReader) ReadStats() MapReadStats { return r.r.Stats() }
+
+// MapDelta is one WatchAll event at the byte level: the keys whose
+// values changed since the previous event (the full snapshot on the
+// first one, marked Full) and the keys deleted since then. Values are
+// copies owned by the caller.
+type MapDelta = regmap.Delta
+
+// Watch returns an iterator over one key's publications: the value
+// current when iteration starts (or ErrKeyNotFound if absent), then
+// every change, parking between changes — an idle watcher costs
+// nothing, and sibling-key traffic on the shard does not wake it.
+// Deletions are part of the stream: a delete yields
+// (nil, ErrKeyNotFound) once and the watch continues, so a later
+// re-creation yields the fresh incarnation's value (never the deleted
+// bytes). Delivery is at-least-once per publication with latest-value
+// conflation; the iterator ends on consumer break, ctx done (yielding
+// ctx's error) or a terminal register error. Watch owns the handle
+// while it runs.
+func (r *MapReader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error] {
+	return r.r.Watch(ctx, key)
+}
+
+// WatchAll returns an iterator over whole-map changes as a
+// snapshot-delta stream: the first event is a full linearizable
+// Snapshot (MapDelta.Full), every later event the keys that changed
+// and the keys that disappeared between consecutive snapshots. Each
+// event derives from one atomic Snapshot, so applying the deltas in
+// order reconstructs exactly the certified sequence of map states.
+// Between events the watcher parks on the map-level gate. WatchAll
+// owns the handle while it runs; like Snapshot, each collect counts as
+// a Get of every live key.
+func (r *MapReader) WatchAll(ctx context.Context) iter.Seq2[MapDelta, error] {
+	return r.r.WatchAll(ctx)
+}
 
 // Close releases the handle and every register handle it cached.
 func (r *MapReader) Close() error { return r.r.Close() }
@@ -409,6 +446,85 @@ func (r *MapOfReader[T]) Values(key string, every time.Duration) iter.Seq2[T, er
 				time.Sleep(every)
 			} else {
 				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Watch returns an iterator over one key's publications, decoded: the
+// typed counterpart of MapReader.Watch. It yields the value current
+// when iteration starts, then every change, parking between changes.
+// A deletion yields (zero, ErrKeyNotFound) once and the watch
+// continues — a later re-creation yields the new incarnation's value;
+// break on the miss if deletion should end the subscription. Delivery
+// is at-least-once with latest-value conflation (a slow consumer sees
+// fewer, newer values and never blocks the writer). The iterator ends
+// on consumer break, ctx done (yielding ctx's error), a decode error,
+// or a terminal register error. Watch owns the handle while it runs.
+func (r *MapOfReader[T]) Watch(ctx context.Context, key string) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		var zero T
+		for raw, err := range r.r.Watch(ctx, key) {
+			if err != nil {
+				if errors.Is(err, ErrKeyNotFound) {
+					if !yield(zero, err) {
+						return
+					}
+					continue
+				}
+				yield(zero, err)
+				return
+			}
+			v, derr := r.c.Decode(raw)
+			if !yield(v, derr) || derr != nil {
+				return
+			}
+		}
+	}
+}
+
+// MapDeltaOf is one typed WatchAll event: created/changed keys decoded
+// to T, deleted keys by name, Full marking the initial whole-map
+// snapshot.
+type MapDeltaOf[T any] struct {
+	// Values holds created keys and keys whose value changed, decoded.
+	// On the first event it is the complete snapshot.
+	Values map[string]T
+	// Deleted lists keys present in the previous event and absent now,
+	// sorted.
+	Deleted []string
+	// Full marks the first event (Values is the whole map).
+	Full bool
+}
+
+// WatchAll returns an iterator over whole-map changes as a decoded
+// snapshot-delta stream — the typed counterpart of MapReader.WatchAll
+// (same atomicity: every event derives from one linearizable
+// Snapshot). The iterator ends on consumer break, ctx done (yielding
+// ctx's error), a decode error, or a terminal register error. WatchAll
+// owns the handle while it runs.
+func (r *MapOfReader[T]) WatchAll(ctx context.Context) iter.Seq2[MapDeltaOf[T], error] {
+	return func(yield func(MapDeltaOf[T], error) bool) {
+		for d, err := range r.r.WatchAll(ctx) {
+			if err != nil {
+				yield(MapDeltaOf[T]{}, err)
+				return
+			}
+			out := MapDeltaOf[T]{
+				Values:  make(map[string]T, len(d.Values)),
+				Deleted: d.Deleted,
+				Full:    d.Full,
+			}
+			for k, raw := range d.Values {
+				v, derr := r.c.Decode(raw)
+				if derr != nil {
+					yield(MapDeltaOf[T]{}, fmt.Errorf("arcreg: decode %q: %w", k, derr))
+					return
+				}
+				out.Values[k] = v
+			}
+			if !yield(out, nil) {
+				return
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package arcreg
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"iter"
@@ -13,6 +14,7 @@ import (
 	"arcreg/internal/codec"
 	"arcreg/internal/leftright"
 	"arcreg/internal/lockreg"
+	"arcreg/internal/notify"
 	"arcreg/internal/peterson"
 	"arcreg/internal/register"
 	"arcreg/internal/rf"
@@ -219,6 +221,12 @@ type Reg[T any] struct {
 
 	caps Caps
 
+	// seq is the (1,N) register's publication sequencer when it has one
+	// (Caps.Watchable); nil shapes fall back to polling in Watch and
+	// Changed. The (M,N) shape parks through mn's composite gate
+	// instead.
+	seq *notify.Sequencer
+
 	// Lazily allocated default writer for Set. Failed allocations are
 	// not cached: an (M,N) Set that lost the race for an identity
 	// succeeds once one is released.
@@ -346,7 +354,25 @@ func New[T any](opts ...Option) (*Reg[T], error) {
 	}
 	r.reg = reg
 	r.caps = register.CapsOf(reg)
+	r.resolveSequencer()
 	return r, nil
+}
+
+// sequencerProvider is how watchable (1,N) registers expose their
+// publication sequencer (internal/arc implements it).
+type sequencerProvider interface {
+	Notifier() *notify.Sequencer
+}
+
+// resolveSequencer caches the register's publication sequencer and
+// keeps Caps.Watchable honest: a register that reports Watchable but
+// exposes no sequencer is demoted to the poll fallback.
+func (r *Reg[T]) resolveSequencer() {
+	if sp, ok := r.reg.(sequencerProvider); ok {
+		r.seq = sp.Notifier()
+	} else {
+		r.caps.Watchable = false
+	}
 }
 
 // defaultReaders is the WithReaders default: GOMAXPROCS (one handle per
@@ -379,7 +405,9 @@ func defaultReaders(alg AlgorithmID) int {
 // wrapRegister builds a Reg over an existing byte register — the
 // delegation target of the deprecated NewTyped constructor.
 func wrapRegister[T any](reg Register, cd Codec[T]) *Reg[T] {
-	return &Reg[T]{c: cd, reg: reg, caps: register.CapsOf(reg), alg: algorithmOf(reg.Name())}
+	r := &Reg[T]{c: cd, reg: reg, caps: register.CapsOf(reg), alg: algorithmOf(reg.Name())}
+	r.resolveSequencer()
+	return r
 }
 
 // Algorithm reports which construction backs the register.
@@ -476,7 +504,16 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 		if err != nil {
 			return nil, err
 		}
-		return &TypedReader[T]{c: r.c, mnrd: rd}, nil
+		mnr := r.mn.reg
+		return &TypedReader[T]{
+			c:          r.c,
+			mnrd:       rd,
+			watchEpoch: mnr.NotifyEpoch,
+			watchWait: func(ctx context.Context, seen uint64) error {
+				_, err := mnr.WaitPublish(ctx, seen)
+				return err
+			},
+		}, nil
 	}
 	rd, err := r.reg.NewReader()
 	if err != nil {
@@ -497,7 +534,101 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 	if sr, ok := rd.(StatReader); ok {
 		tr.statr = sr
 	}
+	if seq := r.seq; seq != nil {
+		tr.watchEpoch = seq.Epoch
+		tr.watchWait = func(ctx context.Context, seen uint64) error {
+			_, err := seq.Wait(ctx, seen)
+			return err
+		}
+	}
 	return tr, nil
+}
+
+// Changed returns a channel that is closed when the register publishes
+// a value after the call — the select-friendly change signal — or when
+// ctx is done (re-check ctx to tell the cases apart). Each call arms a
+// fresh one-shot signal that holds a waiting goroutine (and, on
+// non-watchable registers, a reader handle) until it fires or ctx is
+// cancelled — so re-arm only after the channel fires, keeping at most
+// one signal live per subscriber:
+//
+//	ch := reg.Changed(ctx)
+//	for {
+//		select {
+//		case <-ch:
+//			if ctx.Err() != nil { return }
+//			v, _ := rd.Get()       // something new (latest value)
+//			ch = reg.Changed(ctx)  // re-arm AFTER the signal fired
+//		case <-other:
+//			...
+//		}
+//	}
+//
+// On watchable registers (Caps.Watchable: ARC and the (M,N)
+// composition) the signal is event-driven — the waiting goroutine
+// parks on the publication sequencer and costs the writer nothing
+// while parked. Other algorithms fall back to a polling goroutine with
+// its own reader handle; if that handle cannot be allocated (reader
+// capacity exhausted) the channel closes immediately, which a caller
+// experiences as a spurious change.
+func (r *Reg[T]) Changed(ctx context.Context) <-chan struct{} {
+	out := make(chan struct{})
+	switch {
+	case r.mn != nil:
+		mnr := r.mn.reg
+		seen := mnr.NotifyEpoch()
+		go func() {
+			defer close(out)
+			_, _ = mnr.WaitPublish(ctx, seen)
+		}()
+	case r.seq != nil:
+		seen := r.seq.Epoch()
+		go func() {
+			defer close(out)
+			_, _ = r.seq.Wait(ctx, seen)
+		}()
+	default:
+		rd, err := r.NewReader()
+		if err != nil {
+			// Degrade to a throttled spurious change: the caller
+			// re-reads, and the delay keeps a capacity-exhausted caller
+			// from hot-spinning on immediately-closed channels.
+			go func() {
+				defer close(out)
+				select {
+				case <-ctx.Done():
+				case <-time.After(watchPollInterval):
+				}
+			}()
+			return out
+		}
+		// Establish the baseline synchronously: a Set landing right
+		// after Changed returns must flip the first poll, matching the
+		// watchable paths' epoch-snapshot-before-return ordering.
+		if _, _, err := rd.poll(true); err != nil {
+			rd.Close()
+			close(out)
+			return out
+		}
+		go func() {
+			defer close(out)
+			defer rd.Close()
+			timer := time.NewTimer(watchPollInterval)
+			defer timer.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
+				if _, changed, err := rd.poll(false); changed || err != nil {
+					return
+				}
+				timer.Reset(watchPollInterval)
+			}
+		}()
+	}
+	return out
 }
 
 // Get is a convenience for one-shot reads: it allocates a reader
@@ -609,6 +740,13 @@ type TypedReader[T any] struct {
 	// registers.
 	pollLast []byte
 	pollBuf  []byte
+
+	// Parking hooks for Watch (nil on registers without a publication
+	// sequencer, which fall back to polling): watchEpoch snapshots the
+	// publication epoch, watchWait parks until it moves past the
+	// snapshot or ctx is done.
+	watchEpoch func() uint64
+	watchWait  func(ctx context.Context, seen uint64) error
 }
 
 // Get returns the freshest value, decoding straight from the register
@@ -702,6 +840,41 @@ func (r *TypedReader[T]) Close() error {
 	return r.rd.Close()
 }
 
+// watchPollInterval paces the poll fallback of Watch and Changed on
+// registers without a publication sequencer (Caps.Watchable false).
+const watchPollInterval = time.Millisecond
+
+// Watch returns an iterator over the register's publications: it
+// yields the value current when iteration starts, then every change it
+// observes, parking between changes instead of polling. Delivery is
+// at-least-once per publication with latest-value conflation — a burst
+// of Sets may be observed as one change carrying the newest value, and
+// a consumer that processes slowly never blocks the writer (the writer
+// publishes and moves on; the watcher re-reads the freshest value when
+// it returns).
+//
+// On watchable registers (Caps.Watchable: ARC and the (M,N)
+// composition) an idle watcher costs nothing and wakes via the
+// publication sequencer; the writer's publish path stays RMW- and
+// allocation-free while the watcher is busy processing. Algorithms
+// without a sequencer degrade to polling every millisecond.
+//
+// The iterator ends when the consumer breaks, when ctx is done (the
+// final yield carries ctx's error), or when a read/decode error is
+// yielded:
+//
+//	for v, err := range rd.Watch(ctx) {
+//		if err != nil { break } // ctx.Err() or a read/decode error
+//		apply(v)
+//	}
+//
+// Watch owns the handle while it runs: do not touch the TypedReader
+// from other goroutines (handles are single-goroutine, like every
+// reader in this package).
+func (r *TypedReader[T]) Watch(ctx context.Context) iter.Seq2[T, error] {
+	return r.watchSeq(ctx, watchPollInterval, true)
+}
+
 // Values returns a poll iterator over the register's publications: it
 // yields the value current when iteration starts, then every change it
 // observes, sleeping `every` between polls (0 yields the scheduler
@@ -710,6 +883,11 @@ func (r *TypedReader[T]) Close() error {
 // algorithms (Caps.FreshProbe false) fall back to a copy-and-compare
 // poll. Like all reads, polling observes the freshest value: rapid
 // successive Sets may be observed as one change.
+//
+// Values is the polling compatibility shim over the Watch engine —
+// same yield semantics, fixed-interval pacing instead of parking, no
+// context. New code that wants change delivery should use Watch: it
+// reacts immediately, costs nothing while idle, and cancels cleanly.
 //
 // The iterator stops when the loop breaks or a read/decode error is
 // yielded:
@@ -723,12 +901,38 @@ func (r *TypedReader[T]) Close() error {
 // from other goroutines (handles are single-goroutine, like every
 // reader in this package).
 func (r *TypedReader[T]) Values(every time.Duration) iter.Seq2[T, error] {
+	return r.watchSeq(context.Background(), every, false)
+}
+
+// watchSeq is the one change-delivery engine under Watch and Values:
+// read, yield on change, then either park on the publication sequencer
+// (park, on watchable registers) or pace by sleeping `every`.
+func (r *TypedReader[T]) watchSeq(ctx context.Context, every time.Duration, park bool) iter.Seq2[T, error] {
 	return func(yield func(T, error) bool) {
+		var zero T
 		first := true
+		parked := park && r.watchEpoch != nil && r.watchWait != nil
+		var timer *time.Timer // lazily created, reused across poll rounds
+		defer func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}()
 		for {
+			if err := ctx.Err(); err != nil {
+				yield(zero, err)
+				return
+			}
+			// Epoch snapshot strictly before the read: a publication
+			// racing the read either lands in it or moves the epoch past
+			// the snapshot and makes the wait return immediately —
+			// at-least-once, never a lost change.
+			var seen uint64
+			if parked {
+				seen = r.watchEpoch()
+			}
 			v, changed, err := r.poll(first)
 			if err != nil {
-				var zero T
 				yield(zero, err)
 				return
 			}
@@ -736,9 +940,30 @@ func (r *TypedReader[T]) Values(every time.Duration) iter.Seq2[T, error] {
 				return
 			}
 			first = false
-			if every > 0 {
-				time.Sleep(every)
-			} else {
+			switch {
+			case parked:
+				if err := r.watchWait(ctx, seen); err != nil {
+					yield(zero, err)
+					return
+				}
+			case every > 0:
+				if ctx.Done() == nil {
+					time.Sleep(every)
+				} else {
+					if timer == nil {
+						timer = time.NewTimer(every)
+					} else {
+						timer.Reset(every)
+					}
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						// go ≥ 1.23 timer semantics: Stop without
+						// draining; Reset is safe regardless.
+						timer.Stop()
+					}
+				}
+			default:
 				runtime.Gosched()
 			}
 		}
