@@ -13,10 +13,22 @@
 //	         platform of Figure 2) while integrity is checked online.
 //	mixed  — all of the above at once.
 //
+// Map-level scenarios (see mapstress.go) drive the sharded regmap store
+// through compaction epochs, corrupt-shard repair and the deterministic
+// fault-injection points instead of a single register:
+//
+//	dirchurn, corrupt-repair, compact-under-watch
+//
+// -scenario accepts a comma-separated list, run sequentially; the exit
+// status is the worst of the runs. -seed makes the map scenarios' fault
+// schedules deterministic, and -faultcov additionally fails the run if
+// any registered regmap fault point was never armed.
+//
 // Every read is integrity-verified (torn-read detection) and checked for
 // per-reader version monotonicity online.
 //
 //	arcstress -alg arc -scenario mixed -duration 30s
+//	arcstress -scenario dirchurn,corrupt-repair -duration 5s -seed 1 -faultcov
 //
 // Exit status 0 if no violation was observed.
 package main
@@ -25,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,43 +77,70 @@ func (s *shared) fail(format string, args ...any) {
 func run() int {
 	var (
 		alg      = flag.String("alg", "arc", "algorithm: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
-		scenario = flag.String("scenario", "mixed", "stall|churn|steal|mixed")
+		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch")
 		threads  = flag.Int("threads", 6, "reader workers (plus 1 writer)")
 		size     = flag.Int("size", 512, "value size in bytes")
-		duration = flag.Duration("duration", 10*time.Second, "stress duration")
+		duration = flag.Duration("duration", 10*time.Second, "stress duration (per scenario)")
 		stealF   = flag.Float64("steal", 0.3, "steal fraction for steal/mixed scenarios")
+		seed     = flag.Uint64("seed", 1, "seed for the map scenarios' fault schedules")
+		faultcov = flag.Bool("faultcov", false, "fail if any regmap fault point was never armed")
 	)
 	flag.Parse()
 
-	a, err := harness.ParseAlgorithm(*alg)
+	worst := 0
+	for _, name := range strings.Split(*scenario, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var rc int
+		if isMapScenario(name) {
+			rc = mapScenarios[name](*seed, *duration)
+		} else {
+			rc = runRegister(*alg, name, *threads, *size, *duration, *stealF)
+		}
+		if rc > worst {
+			worst = rc
+		}
+	}
+	if *faultcov {
+		if rc := checkFaultCoverage(); rc > worst {
+			worst = rc
+		}
+	}
+	return worst
+}
+
+func runRegister(alg, scenario string, threads, size int, duration time.Duration, stealF float64) int {
+	a, err := harness.ParseAlgorithm(alg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arcstress:", err)
 		return 2
 	}
-	if *size < membuf.MinPayload {
-		*size = membuf.MinPayload
+	if size < membuf.MinPayload {
+		size = membuf.MinPayload
 	}
-	wantStall := *scenario == "stall" || *scenario == "mixed"
-	wantChurn := *scenario == "churn" || *scenario == "mixed"
-	wantSteal := *scenario == "steal" || *scenario == "mixed"
+	wantStall := scenario == "stall" || scenario == "mixed"
+	wantChurn := scenario == "churn" || scenario == "mixed"
+	wantSteal := scenario == "steal" || scenario == "mixed"
 	if !wantStall && !wantChurn && !wantSteal {
-		fmt.Fprintf(os.Stderr, "arcstress: unknown scenario %q\n", *scenario)
+		fmt.Fprintf(os.Stderr, "arcstress: unknown scenario %q\n", scenario)
 		return 2
 	}
 	// Stalling readers park on handles, so budget extra capacity.
-	capacity := *threads * 2
+	capacity := threads * 2
 	if capacity > a.MaxReaders() {
 		capacity = a.MaxReaders()
 	}
-	if *threads+1 > capacity {
+	if threads+1 > capacity {
 		fmt.Fprintf(os.Stderr, "arcstress: %d readers do not fit %s's capacity %d\n",
-			*threads, a, capacity)
+			threads, a, capacity)
 		return 2
 	}
 
 	frac := 0.0
 	if wantSteal {
-		frac = *stealF
+		frac = stealF
 	}
 	inj, err := steal.NewInjector(steal.Config{Fraction: frac, Seed: 7})
 	if err != nil {
@@ -108,11 +148,11 @@ func run() int {
 		return 2
 	}
 
-	seed := make([]byte, *size)
+	seed := make([]byte, size)
 	membuf.Encode(seed, 0)
 	reg, err := harness.NewRegister(a, register.Config{
 		MaxReaders:   capacity,
-		MaxValueSize: *size,
+		MaxValueSize: size,
 		Initial:      seed,
 	})
 	if err != nil {
@@ -120,14 +160,14 @@ func run() int {
 		return 2
 	}
 
-	s := &shared{reg: reg, size: *size}
+	s := &shared{reg: reg, size: size}
 	var wg sync.WaitGroup
 
 	// Writer.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		buf := make([]byte, *size)
+		buf := make([]byte, size)
 		vcpu := inj.VCPU(0)
 		var version uint64
 		for !s.stop.Load() {
@@ -143,7 +183,7 @@ func run() int {
 	}()
 
 	// Steady readers (with optional stalling behaviour).
-	for i := 0; i < *threads; i++ {
+	for i := 0; i < threads; i++ {
 		rd, err := reg.NewReader()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "arcstress:", err)
@@ -154,7 +194,7 @@ func run() int {
 			defer wg.Done()
 			defer rd.Close()
 			viewer, _ := rd.(register.Viewer)
-			scratch := make([]byte, *size)
+			scratch := make([]byte, size)
 			vcpu := inj.VCPU(1 + id)
 			var last uint64
 			var ops uint64
@@ -217,7 +257,7 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := make([]byte, *size)
+			scratch := make([]byte, size)
 			for !s.stop.Load() {
 				rd, err := reg.NewReader()
 				if err != nil {
@@ -257,13 +297,13 @@ func run() int {
 		}
 	}()
 
-	time.Sleep(*duration)
+	time.Sleep(duration)
 	s.stop.Store(true)
 	wg.Wait()
 	close(done)
 
 	fmt.Printf("arcstress: %s scenario=%s threads=%d size=%d duration=%v\n",
-		a, *scenario, *threads, *size, *duration)
+		a, scenario, threads, size, duration)
 	fmt.Printf("  totals: %d reads, %d writes, %d stalls, %d churn cycles\n",
 		s.reads.Load(), s.writes.Load(), s.stalls.Load(), s.churns.Load())
 	if f := s.failures.Load(); f > 0 {

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Test points are registered once (the registry is process-global and
+// duplicate names panic by design).
+var (
+	tpOn    = NewPoint("fault-test/on", CanYield|CanStall|CanCrash)
+	tpEvery = NewPoint("fault-test/every", CanYield|CanCrash)
+	tpProb  = NewPoint("fault-test/prob", CanYield)
+	tpNoCr  = NewPoint("fault-test/nocrash", CanYield|CanStall)
+	tpDead  = NewPoint("fault-test/never-armed", CanYield)
+)
+
+func TestDisarmedPointIsInert(t *testing.T) {
+	before := tpOn.Hits()
+	for i := 0; i < 1000; i++ {
+		tpOn.Hit()
+	}
+	if got := tpOn.Hits(); got != before {
+		t.Fatalf("disarmed hits advanced: %d -> %d", before, got)
+	}
+}
+
+func TestOnFiresExactlyOnce(t *testing.T) {
+	s, err := NewSchedule(1, Rule{Point: tpOn.Name(), Kind: Crash, On: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	defer s.Disarm()
+	crashes := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c, ok := r.(Crashed)
+					if !ok {
+						t.Fatalf("panic value %T, want Crashed", r)
+					}
+					if c.Point != tpOn.Name() || c.Hit != 3 {
+						t.Fatalf("Crashed = %+v, want point %q hit 3", c, tpOn.Name())
+					}
+					crashes++
+				}
+			}()
+			tpOn.Hit()
+		}()
+	}
+	if crashes != 1 {
+		t.Fatalf("On=3 fired %d times over 10 hits, want 1", crashes)
+	}
+}
+
+func TestEveryCadence(t *testing.T) {
+	s, err := NewSchedule(1, Rule{Point: tpEvery.Name(), Kind: Yield, Every: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	defer s.Disarm()
+	base := tpEvery.Fired()
+	for i := 0; i < 40; i++ {
+		tpEvery.Hit()
+	}
+	if got := tpEvery.Fired() - base; got != 10 {
+		t.Fatalf("Every=4 fired %d times over 40 hits, want 10", got)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		s, err := NewSchedule(seed, Rule{Point: tpProb.Name(), Kind: Yield, Prob: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		defer s.Disarm()
+		var fires []uint64
+		base := tpProb.Fired()
+		for i := 0; i < 200; i++ {
+			tpProb.Hit()
+			if f := tpProb.Fired(); f > base {
+				fires = append(fires, uint64(i))
+				base = f
+			}
+		}
+		return fires
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("Prob=0.25 never fired in 200 hits")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different firing counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different firing sequence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing sequences (suspicious)")
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	s, err := NewSchedule(1, Rule{Point: tpOn.Name(), Kind: Stall, On: 1, Stall: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	defer s.Disarm()
+	start := time.Now()
+	tpOn.Hit()
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("stall slept %v, want >= ~5ms", d)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(1, Rule{Point: "fault-test/unregistered", Kind: Yield, On: 1}); err == nil {
+		t.Fatal("unregistered point accepted")
+	}
+	if _, err := NewSchedule(1, Rule{Point: tpNoCr.Name(), Kind: Crash, On: 1}); err == nil {
+		t.Fatal("crash on a non-crashable point accepted")
+	}
+	if _, err := NewSchedule(1, Rule{Point: tpNoCr.Name(), Kind: Yield}); err == nil {
+		t.Fatal("rule that can never fire accepted")
+	}
+	if _, err := NewSchedule(1, Rule{Point: tpNoCr.Name(), On: 1}); err == nil {
+		t.Fatal("rule with no action accepted")
+	}
+}
+
+func TestCoverageTracksArming(t *testing.T) {
+	armed, unarmed := Coverage()
+	found := func(list []string, name string) bool {
+		for _, n := range list {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	// tpDead exists but no schedule ever arms it.
+	if !found(unarmed, tpDead.Name()) {
+		t.Fatalf("never-armed point missing from unarmed set %v", unarmed)
+	}
+	s, err := NewSchedule(1, Rule{Point: tpDead.Name(), Kind: Yield, Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	s.Disarm()
+	armed, unarmed = Coverage()
+	if !found(armed, tpDead.Name()) || found(unarmed, tpDead.Name()) {
+		t.Fatalf("armed point not tracked: armed=%v unarmed=%v", armed, unarmed)
+	}
+}

@@ -235,6 +235,7 @@ func RunMap(cfg MapRunConfig) (MapResult, error) {
 				res.ReadStat.DirRefreshes += st.DirRefreshes
 				res.ReadStat.Snapshots += st.Snapshots
 				res.ReadStat.SnapshotRetries += st.SnapshotRetries
+				res.ReadStat.Repairs += st.Repairs
 				res.Snapshots += rw.Snapshots()
 			})
 	}
@@ -425,17 +426,18 @@ func (d *MapFigureData) RenderTable(w io.Writer) {
 
 // RenderCSV writes the figure in long form.
 func (d *MapFigureData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,keys,threads,mops,get_ops,set_ops,rmw,fastpath,misses,dir_refreshes,keys_created,keys_deleted,snapshots,snapshot_retries")
+	fmt.Fprintln(w, "figure,keys,threads,mops,get_ops,set_ops,rmw,fastpath,misses,dir_refreshes,keys_created,keys_deleted,snapshots,snapshot_retries,compactions,dir_bytes,repairs")
 	for _, c := range d.Cells {
 		if c.Err != nil {
 			continue
 		}
 		r := c.Result
-		fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			d.Figure.ID, c.Keys, c.Threads, r.Mops(),
 			r.GetOps, r.SetOps, r.ReadStat.RMW, r.ReadStat.FastPath,
 			r.ReadStat.Misses, r.ReadStat.DirRefreshes, r.KeysCreated,
-			r.KeysDeleted, r.Snapshots, r.ReadStat.SnapshotRetries)
+			r.KeysDeleted, r.Snapshots, r.ReadStat.SnapshotRetries,
+			r.WriteStat.Compactions, r.WriteStat.DirBytes, r.ReadStat.Repairs)
 	}
 }
 

@@ -117,6 +117,9 @@ func TestMapFigureRunAndRender(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "figure,keys,threads,mops") {
 		t.Fatalf("csv header = %q", lines[0])
 	}
+	if !strings.HasSuffix(lines[0], ",compactions,dir_bytes,repairs") {
+		t.Fatalf("csv header missing compaction columns: %q", lines[0])
+	}
 }
 
 func TestMapFigureScale(t *testing.T) {

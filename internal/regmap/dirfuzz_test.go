@@ -100,7 +100,7 @@ func FuzzDirectoryDecode(f *testing.F) {
 // bytes happen to form a valid log extension) or fail with an error —
 // never panic and never mis-parse silently into a torn lookup.
 func FuzzDirectoryDecodeCorrupt(f *testing.F) {
-	valid := func(entries ...[]byte) []byte {
+	valid := func(cgen uint32, entries ...[]byte) []byte {
 		buf := make([]byte, dirHeaderSize)
 		n := 0
 		for _, e := range entries {
@@ -109,30 +109,27 @@ func FuzzDirectoryDecodeCorrupt(f *testing.F) {
 		}
 		binary.LittleEndian.PutUint64(buf[0:8], uint64(n))
 		binary.LittleEndian.PutUint32(buf[8:12], uint32(n))
+		binary.LittleEndian.PutUint32(buf[12:16], cgen)
 		return buf
 	}
-	addEntry := func(slot int, key string) []byte {
-		var b []byte
-		var tmp [binary.MaxVarintLen64]byte
-		n := binary.PutUvarint(tmp[:], uint64(slot)<<1)
-		b = append(b, tmp[:n]...)
-		n = binary.PutUvarint(tmp[:], uint64(len(key)))
-		b = append(b, tmp[:n]...)
-		return append(b, key...)
+	addEntry := func(slot int, gen uint32, key string) []byte {
+		return appendAdd(nil, slot, gen, key)
 	}
 	tombEntry := func(slot int) []byte {
 		var tmp [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(tmp[:], uint64(slot)<<1|tombstoneFlag)
 		return append([]byte(nil), tmp[:n]...)
 	}
-	f.Add(valid(addEntry(0, "a")))
-	f.Add(valid(addEntry(0, "a"), tombEntry(0)))
-	f.Add(valid(tombEntry(3)))                       // tombstone of a never-added slot
-	f.Add(valid(addEntry(7, "gap")))                 // add skipping slots
-	f.Add(valid(addEntry(0, "a"), addEntry(0, "b"))) // add onto an occupied slot
-	f.Add([]byte{1, 2, 3})                           // shorter than the header
-	f.Add(append(valid(addEntry(0, "a")), 0xff))     // trailing garbage (beyond count: ignored)
-	truncated := valid(addEntry(0, "a-long-key"))
+	f.Add(valid(0, addEntry(0, 1, "a")))
+	f.Add(valid(0, addEntry(0, 1, "a"), tombEntry(0)))
+	f.Add(valid(0, tombEntry(3)))                             // tombstone of a never-added slot
+	f.Add(valid(0, addEntry(7, 1, "gap")))                    // add skipping slots
+	f.Add(valid(0, addEntry(0, 1, "a"), addEntry(0, 2, "b"))) // add onto an occupied slot
+	f.Add(valid(1, addEntry(0, 1, "a")))                      // compaction epoch naming an unknown slot
+	f.Add(valid(0, addEntry(0, 0, "a")))                      // generation zero is invalid
+	f.Add([]byte{1, 2, 3})                                    // shorter than the header
+	f.Add(append(valid(0, addEntry(0, 1, "a")), 0xff))        // trailing garbage (beyond count: ignored)
+	truncated := valid(0, addEntry(0, 1, "a-long-key"))
 	f.Add(truncated[:len(truncated)-4]) // keylen overruns the buffer
 
 	f.Fuzz(func(t *testing.T, dir []byte) {
@@ -154,24 +151,42 @@ func FuzzDirectoryDecodeCorrupt(f *testing.F) {
 		// The decode must either error cleanly or leave the reader in a
 		// self-consistent state (Get of any probed key terminates).
 		_, err = rd.Get("probe")
-		if err == nil || err == ErrKeyNotFound {
+		if err != nil && err != ErrKeyNotFound {
+			// Rejected: the corruption is sticky until the next
+			// publication — repeated operations keep returning errors
+			// rather than serving a half-applied directory.
+			if _, err2 := rd.Len(); err2 == nil {
+				t.Fatalf("decode rejected Get (%v) but accepted Len", err)
+			}
+			if rd.Fresh("probe") {
+				t.Fatalf("corrupt shard reports fresh")
+			}
+			if _, err2 := rd.Snapshot(); err2 == nil {
+				t.Fatalf("decode rejected Get (%v) but accepted Snapshot", err)
+			}
+		} else {
 			// Accepted: the bytes formed a plausible log. Lookups must
 			// stay terminating and consistent.
 			if _, err := rd.Len(); err != nil {
 				t.Fatalf("Len after accepted decode: %v", err)
 			}
-			return
 		}
-		// Rejected: the corruption is sticky — subsequent operations keep
-		// returning errors rather than serving a half-applied directory.
-		if _, err2 := rd.Len(); err2 == nil {
-			t.Fatalf("decode rejected Get (%v) but accepted Len", err)
+		// Whatever the bytes did — rejected garbage or silently plausible
+		// divergence — one compaction epoch repairs it: the writer's
+		// tables never saw the fuzzed publication, so Compact republishes
+		// the writer's truth (an empty map) and the reader must rebase
+		// onto it, whether it was latched, poisoned, or healthy.
+		if err := m.Compact(); err != nil {
+			t.Fatalf("Compact: %v", err)
 		}
-		if rd.Fresh("probe") {
-			t.Fatalf("corrupt shard reports fresh")
+		if _, err := rd.Get("probe"); err != ErrKeyNotFound {
+			t.Fatalf("Get after repair compaction = %v, want ErrKeyNotFound", err)
 		}
-		if _, err2 := rd.Snapshot(); err2 == nil {
-			t.Fatalf("decode rejected Get (%v) but accepted Snapshot", err)
+		if n, err := rd.Len(); err != nil || n != 0 {
+			t.Fatalf("Len after repair compaction = %d, %v; want 0", n, err)
+		}
+		if snap, err := rd.Snapshot(); err != nil || len(snap) != 0 {
+			t.Fatalf("Snapshot after repair compaction = %d keys, %v; want empty", len(snap), err)
 		}
 	})
 }

@@ -9,6 +9,7 @@ package regmap
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -488,12 +489,14 @@ func TestSnapshotClosedReader(t *testing.T) {
 	}
 }
 
-// TestDirectoryFullOnDelete pins the administrative ceiling: a shard
-// whose directory log is exhausted refuses tombstones with an error
-// instead of corrupting state (the log is append-only, so churn consumes
-// capacity — DESIGN.md §7 records the trade-off).
+// TestDirectoryFullOnDelete pins the administrative ceiling's new
+// semantics under compaction epochs: Delete always succeeds (at the
+// ceiling the deletion folds into a compaction instead of appending a
+// tombstone), and Set of a new key fails with ErrDirectoryFull only
+// when the live set alone fills the ceiling — garbage never wedges the
+// shard (DESIGN.md §9 records the protocol).
 func TestDirectoryFullOnDelete(t *testing.T) {
-	m := newMap(t, Config{Shards: 1, MaxReaders: 1, MaxValueSize: 16})
+	m := newMap(t, Config{Shards: 1, MaxReaders: 2, MaxValueSize: 16})
 	if err := m.Set("k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
@@ -502,13 +505,41 @@ func TestDirectoryFullOnDelete(t *testing.T) {
 	saved := dirCapacity
 	dirCapacity = len(sh.dirBuf)
 	defer func() { dirCapacity = saved }()
-	if err := m.Delete("k"); err == nil || err == ErrKeyNotFound {
-		t.Fatalf("Delete on full directory = %v, want capacity error", err)
+	// The live set alone fills the ceiling: creating another key must
+	// fail with the sentinel (compaction cannot shrink a garbage-free
+	// log), and the failed Set must not leak writer state.
+	if err := m.Set("k2", []byte("v")); !errors.Is(err, ErrDirectoryFull) {
+		t.Fatalf("Set on a full garbage-free directory = %v, want ErrDirectoryFull", err)
 	}
-	if err := m.Set("k2", []byte("v")); err == nil {
-		t.Fatal("Set creating a key on a full directory succeeded")
+	if _, ok := sh.index["k2"]; ok {
+		t.Fatal("failed Set left the key in the writer index")
 	}
-	if _, ok := sh.index["k"]; !ok {
-		t.Fatal("failed Delete removed the key from the writer index")
+	// Delete at the ceiling folds into a compaction epoch and succeeds.
+	if err := m.Delete("k"); err != nil {
+		t.Fatalf("Delete at the ceiling = %v, want success via compaction", err)
+	}
+	if _, ok := sh.index["k"]; ok {
+		t.Fatal("Delete left the key in the writer index")
+	}
+	if sh.compactions == 0 {
+		t.Fatal("ceiling Delete did not compact")
+	}
+	// The compacted log is empty again: the shard took the deletion and
+	// (under a ceiling with room for one entry's conservative varint
+	// pre-check) accepts a re-creation — no wedged-forever state.
+	dirCapacity = len(sh.dirBuf) + addEntryMax("k3")
+	if err := m.Set("k3", []byte("v")); err != nil {
+		t.Fatalf("Set after ceiling Delete = %v", err)
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if v, err := rd.Get("k3"); err != nil || string(v) != "v" {
+		t.Fatalf("Get(k3) after compaction = %q, %v", v, err)
+	}
+	if _, err := rd.Get("k"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Get(k) after compacted delete = %v, want ErrKeyNotFound", err)
 	}
 }

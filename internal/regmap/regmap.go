@@ -18,6 +18,18 @@
 //     a fresh value register (a new slot generation), so deleted keys
 //     never resurrect stale values.
 //
+//   - Delete/recreate churn accretes dead entries in the log, so the log
+//     is compacted in epochs: when an append would cross the directory
+//     ceiling (or on an explicit Map.Compact), the writer publishes a
+//     fresh log that re-registers every live key at its current slot and
+//     generation, under a bumped compaction generation in the header.
+//     Readers that observe the bump discard their incremental-decode
+//     cursor and rebase onto the new log; prefix-stability holds within
+//     each compaction epoch (DESIGN.md §9). The bump doubles as the
+//     repair path: a reader shard whose decode latched corrupt retries a
+//     full rebase when the directory publishes again, so poisoned shards
+//     heal instead of failing forever.
+//
 //   - The directory itself is published through a directory ARC register
 //     (one per shard, §3.3 dynamic-buffer variant, so its value can grow
 //     without bound while unchanged publications cost nothing). Adding or
@@ -84,6 +96,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -97,6 +110,19 @@ import (
 // ErrKeyNotFound is returned by Get for a key no Set has created (or a
 // deleted one), and by Delete for a key that does not exist.
 var ErrKeyNotFound = errors.New("regmap: key not found")
+
+// ErrDirectoryFull is returned by Set when a shard's live keys alone
+// (after compacting away any dead log entries) cannot fit under the
+// directory ceiling. It marks genuine capacity exhaustion, not churn:
+// churn is absorbed by compaction epochs. Match with errors.Is.
+var ErrDirectoryFull = errors.New("regmap: shard directory full")
+
+// ErrShardCorrupt is returned by reads of a shard whose directory decode
+// failed a structural or protocol check. The latch is per reader shard
+// and heals: the reader retries a full rebase decode when the writer
+// publishes again (Map.Compact guarantees a repairable publication).
+// Match with errors.Is.
+var ErrShardCorrupt = errors.New("regmap: shard directory corrupt")
 
 // DefaultShards is the shard count when Config.Shards is zero.
 const DefaultShards = 8
@@ -112,21 +138,43 @@ const dirMaxBytes = 1 << 30
 // exercise the full-directory paths without allocating a gibibyte.
 var dirCapacity = dirMaxBytes
 
-// dirHeaderSize is the fixed directory prefix: 8-byte epoch + 4-byte
-// entry count. Fixed-width (not varint) so the entry region's byte
-// offsets never shift as the log grows — that is what makes the reader's
-// incremental tail decode sound.
-const dirHeaderSize = 12
+// dirHeaderSize is the fixed directory prefix: 8-byte publication epoch
+// + 4-byte entry count + 4-byte compaction generation. Fixed-width (not
+// varint) so the entry region's byte offsets never shift as the log
+// grows — that is what makes the reader's incremental tail decode sound.
+// The epoch is globally monotone (it never resets); the entry count
+// restarts at each compaction; the compaction generation (cgen) bumps
+// once per compaction and is the reader's rebase signal.
+const dirHeaderSize = 16
 
 // Directory log entries are tagged with their target slot:
 //
-//	add:       uvarint(slot<<1)   | uvarint(len(key)) | key bytes
+//	add:       uvarint(slot<<1) | uvarint(gen) | uvarint(len(key)) | key bytes
 //	tombstone: uvarint(slot<<1|1)
 //
 // An add either appends a brand-new slot (slot == current slot count) or
-// reuses a tombstoned one; each add bumps the slot's generation on both
-// sides of the protocol.
+// reuses a tombstoned one. The add carries the slot's generation
+// explicitly: within one compaction epoch it matches the count of adds
+// that targeted the slot, but a compacted log re-registers slots at
+// their *current* generations, so readers cannot derive generations by
+// counting — they decode them.
 const tombstoneFlag = 1
+
+// addEntryMax bounds an add entry's encoded size (three varints plus the
+// key bytes) — the writer's capacity pre-check.
+func addEntryMax(key string) int { return 3*binary.MaxVarintLen64 + len(key) }
+
+// appendAdd appends one add entry for (slot, gen, key) to buf.
+func appendAdd(buf []byte, slot int, gen uint32, key string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(slot)<<1)
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(gen))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(key)))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, key...)
+}
 
 // Config parametrizes a Map.
 type Config struct {
@@ -204,15 +252,19 @@ type shard struct {
 	// parked.
 	notify notify.Sequencer
 
-	index     map[string]int  // writer-side key → slot (live keys only)
-	wregs     []*arc.Register // writer-side slot array (uncopied)
-	wgens     []uint32        // writer-side slot generations
-	freeSlots []int           // tombstoned slots available for reuse
-	epoch     uint64          // directory publish count
-	nentries  int             // log entries appended (adds + tombstones)
-	dirBuf    []byte          // directory encoding (prefix-stable, appended to)
-	deletes   uint64          // tombstones published
-	creates   uint64          // keys created (including re-creations)
+	si          int             // shard index (error context)
+	index       map[string]int  // writer-side key → slot (live keys only)
+	wregs       []*arc.Register // writer-side slot array (uncopied)
+	wgens       []uint32        // writer-side slot generations
+	wkeys       []string        // writer-side slot → key ("" when dead) — compaction's source of truth
+	freeSlots   []int           // tombstoned slots available for reuse
+	epoch       uint64          // directory publish count (monotone across compactions)
+	cgen        uint32          // compaction generation (bumps per compaction)
+	nentries    int             // log entries in the current compaction epoch
+	dirBuf      []byte          // directory encoding (prefix-stable within an epoch)
+	deletes     uint64          // tombstones published (including compaction-folded deletes)
+	creates     uint64          // keys created (including re-creations)
+	compactions uint64          // compaction epochs published
 }
 
 // beginPub / endPub bracket one publication for the snapshot gate.
@@ -263,7 +315,7 @@ func New(cfg Config) (*Map, error) {
 		maxValueSize: cfg.MaxValueSize,
 		dynamic:      cfg.DynamicValues,
 	}
-	genesis := make([]byte, dirHeaderSize) // epoch 0, no entries
+	genesis := make([]byte, dirHeaderSize) // epoch 0, no entries, cgen 0
 	for i := range m.shards {
 		dir, err := arc.New(register.Config{
 			MaxReaders:   cfg.MaxReaders,
@@ -275,6 +327,7 @@ func New(cfg Config) (*Map, error) {
 		}
 		sh := &shard{
 			dir:    dir,
+			si:     i,
 			index:  make(map[string]int),
 			dirBuf: append([]byte(nil), genesis...),
 		}
@@ -322,6 +375,7 @@ func (m *Map) Set(key string, val []byte) error {
 	sh := m.shards[m.ShardOf(key)]
 	if i, ok := sh.index[key]; ok {
 		sh.beginPub()
+		faultValuePublish.Hit()
 		err := sh.wregs[i].Write(val)
 		sh.endPub()
 		if err == nil {
@@ -349,25 +403,39 @@ func (m *Map) Delete(key string) error {
 	var tagBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tagBuf[:], uint64(slot)<<1|tombstoneFlag)
 	if len(sh.dirBuf)+n > dirCapacity {
-		return fmt.Errorf("regmap: shard directory full (%d bytes)", len(sh.dirBuf))
+		// No room for a tombstone: fold the deletion into a compaction
+		// epoch — the fresh log simply omits the key, so Delete succeeds
+		// at any fill level and the map can always shrink.
+		sh.unbind(key, slot)
+		return sh.compact()
 	}
-	delete(sh.index, key)
-	sh.freeSlots = append(sh.freeSlots, slot)
-	sh.deletes++
-	sh.liveKeys.Add(-1)
+	sh.unbind(key, slot)
+	faultDeleteRecycle.Hit()
 
 	sh.epoch++
 	sh.nentries++
 	sh.dirBuf = append(sh.dirBuf, tagBuf[:n]...)
 	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
+	faultDirPrepublish.Hit()
 	sh.beginPub()
+	faultDirPublish.Hit()
 	err := sh.dir.Write(sh.dirBuf)
 	sh.endPub()
 	if err == nil {
 		sh.notify.Publish()
 	}
 	return err
+}
+
+// unbind removes key (at slot) from the writer's live state; the
+// directory publication (tombstone or compaction) follows separately.
+func (sh *shard) unbind(key string, slot int) {
+	delete(sh.index, key)
+	sh.wkeys[slot] = ""
+	sh.freeSlots = append(sh.freeSlots, slot)
+	sh.deletes++
+	sh.liveKeys.Add(-1)
 }
 
 // addKey creates a fresh register for the key (seeded with the first
@@ -391,8 +459,8 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("regmap: key %q register: %w", key, err)
 	}
-	if len(sh.dirBuf)+2*binary.MaxVarintLen64+len(key) > dirCapacity {
-		return fmt.Errorf("regmap: shard directory full (%d bytes)", len(sh.dirBuf))
+	if err := sh.ensureRoom(addEntryMax(key)); err != nil {
+		return err
 	}
 
 	var slot int
@@ -401,10 +469,12 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 		sh.freeSlots = sh.freeSlots[:n-1]
 		sh.wregs[slot] = reg
 		sh.wgens[slot]++
+		sh.wkeys[slot] = key
 	} else {
 		slot = len(sh.wregs)
 		sh.wregs = append(sh.wregs, reg)
 		sh.wgens = append(sh.wgens, 1)
+		sh.wkeys = append(sh.wkeys, key)
 	}
 	next := &slots{
 		regs: append(make([]*arc.Register, 0, len(sh.wregs)), sh.wregs...),
@@ -417,16 +487,13 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	// Append the add entry to the prefix-stable log and re-publish.
 	sh.epoch++
 	sh.nentries++
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(slot)<<1)
-	sh.dirBuf = append(sh.dirBuf, lenBuf[:n]...)
-	n = binary.PutUvarint(lenBuf[:], uint64(len(key)))
-	sh.dirBuf = append(sh.dirBuf, lenBuf[:n]...)
-	sh.dirBuf = append(sh.dirBuf, key...)
+	sh.dirBuf = appendAdd(sh.dirBuf, slot, sh.wgens[slot], key)
 	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
+	faultDirPrepublish.Hit()
 	sh.beginPub()
 	sh.entries.Store(next)
+	faultSlotStore.Hit()
 	err = sh.dir.Write(sh.dirBuf)
 	sh.endPub()
 	if err == nil {
@@ -434,6 +501,102 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	}
 	return err
 }
+
+// ensureRoom guarantees the next append of up to need bytes fits under
+// the directory ceiling, compacting first when the log carries dead
+// entries (tombstones and their superseded adds). ErrDirectoryFull only
+// when even the compacted live set leaves no room — genuine capacity
+// exhaustion, not churn.
+func (sh *shard) ensureRoom(need int) error {
+	if len(sh.dirBuf)+need <= dirCapacity {
+		return nil
+	}
+	if sh.nentries > len(sh.index) {
+		if err := sh.compact(); err != nil {
+			return err
+		}
+		if len(sh.dirBuf)+need <= dirCapacity {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: shard %d holds %d live keys in %d bytes (ceiling %d)",
+		ErrDirectoryFull, sh.si, len(sh.index), len(sh.dirBuf), dirCapacity)
+}
+
+// compact publishes a new compaction epoch: a fresh directory log whose
+// entries re-register every live key at its current slot and generation,
+// under a bumped cgen. Slot numbering, value registers and generations
+// are untouched — only the log representation resets — so reader handles
+// parked on live keys survive the epoch (their (slot, gen) bindings
+// re-validate against the new log). The publication epoch keeps rising
+// across the bump: readers use it to order publications globally.
+//
+// compact is also the universal repair publication: it is built purely
+// from the writer-side tables (index/wkeys/wgens), so after a crash that
+// left an append unpublished — or after a corruption was injected behind
+// the writer's back — one compact republishes the writer's truth and
+// every latched reader rebases onto it.
+func (sh *shard) compact() error {
+	buf := make([]byte, dirHeaderSize, dirHeaderSize+len(sh.dirBuf)/2)
+	count := 0
+	for slot, key := range sh.wkeys {
+		if key == "" {
+			continue
+		}
+		buf = appendAdd(buf, slot, sh.wgens[slot], key)
+		count++
+	}
+	sh.epoch++
+	sh.cgen++
+	sh.nentries = count
+	sh.dirBuf = buf
+	binary.LittleEndian.PutUint64(buf[0:8], sh.epoch)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(count))
+	binary.LittleEndian.PutUint32(buf[12:16], sh.cgen)
+	sh.compactions++
+	// Re-store the slot snapshot from the writer tables: normally a
+	// no-op copy, but after a crash that unwound addKey between its
+	// state mutation and its publication, the published pointer is
+	// stale — re-storing it here is what makes compact the universal
+	// crash repair (readers verify decoded generations against it).
+	next := &slots{
+		regs: append(make([]*arc.Register, 0, len(sh.wregs)), sh.wregs...),
+		gens: append(make([]uint32, 0, len(sh.wgens)), sh.wgens...),
+	}
+	faultCompactBuilt.Hit()
+	sh.beginPub()
+	sh.entries.Store(next)
+	faultCompactPublish.Hit()
+	err := sh.dir.Write(sh.dirBuf)
+	sh.endPub()
+	if err == nil {
+		sh.notify.Publish()
+	}
+	return err
+}
+
+// Compact publishes a compaction epoch on every shard: directory logs
+// shrink to their live sets, and every reader-side corrupt latch in the
+// map becomes repairable (readers rebase on their next touch). Writers
+// rarely need to call it — appends auto-compact at the ceiling — but it
+// is the explicit recovery step after a crash mid-operation and the
+// administrative "truncate the logs now" knob.
+//
+// Compact is a writer-side operation on all shards at once: call it from
+// the goroutine that owns the whole map's writes, or use CompactShard
+// from partitioned writers.
+func (m *Map) Compact() error {
+	for si := range m.shards {
+		if err := m.CompactShard(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactShard publishes a compaction epoch on one shard, under the same
+// single-writer-per-shard contract as Set and Delete.
+func (m *Map) CompactShard(si int) error { return m.shards[si].compact() }
 
 // WriteStats aggregates the map's publish-side counters. Collect only at
 // quiescence (no Set or Delete in flight), like every stats accessor in
@@ -444,15 +607,13 @@ func (m *Map) WriteStats() WriteStats {
 		ws.Directory.Add(sh.dir.WriteStats())
 		ws.Keys += sh.creates
 		ws.Deletes += sh.deletes
+		ws.Compactions += sh.compactions
+		ws.DirBytes += uint64(len(sh.dirBuf))
 		// Aggregate live incarnations only: a tombstoned slot keeps its
 		// retired register parked until reuse, but its counters leave
 		// the aggregate at the Delete (deterministically, as documented).
-		dead := make(map[int]bool, len(sh.freeSlots))
-		for _, slot := range sh.freeSlots {
-			dead[slot] = true
-		}
 		for slot, reg := range sh.wregs {
-			if !dead[slot] {
+			if sh.wkeys[slot] != "" {
 				ws.Value.Add(reg.WriteStats())
 			}
 		}
@@ -471,8 +632,16 @@ type WriteStats struct {
 	// Keys is the number of keys created, including re-creations of
 	// deleted keys.
 	Keys uint64
-	// Deletes is the number of tombstones published.
+	// Deletes is the number of keys deleted (tombstones published, plus
+	// deletions folded directly into a compaction at the ceiling).
 	Deletes uint64
+	// Compactions is the number of compaction epochs published
+	// (automatic and explicit).
+	Compactions uint64
+	// DirBytes is the current total directory log size across shards —
+	// the bounded-memory observable: under churn it saws between the
+	// live-set size and the ceiling instead of growing without bound.
+	DirBytes uint64
 }
 
 // ReadStats counts the work a Reader handle performed.
@@ -493,6 +662,9 @@ type ReadStats struct {
 	// (zero at steady state).
 	Snapshots       uint64
 	SnapshotRetries uint64
+	// Repairs counts corrupt latches this handle cleared by rebasing
+	// onto a later publication (see ErrShardCorrupt).
+	Repairs uint64
 }
 
 // readerShard is a Reader's per-shard cache: the directory reader handle
@@ -510,25 +682,58 @@ type readerShard struct {
 	live    []bool
 	regs    []*arc.Register
 	handles []*arc.Reader
-	// retired holds handles displaced by tombstones. They are closed at
-	// Reader.Close, not eagerly: the owner may still hold views obtained
-	// through them, and the registers they pin are never written again.
+	// retired holds handles whose slot re-registered at a different
+	// generation (a recycle this handle observed) — the old incarnation
+	// is gone for good. They are closed at Reader.Close, not eagerly:
+	// the owner may still hold views obtained through them, and the
+	// registers they pin are never written again. A handle displaced by
+	// a tombstone *alone* stays parked at its (dead) slot instead: it
+	// still pins exactly incarnation gens[slot], so if a compaction
+	// rebase re-registers the slot at that same generation the handle is
+	// picked back up with zero RMW — and the slot's next true recycle
+	// displaces it for real.
 	retired []*arc.Reader
-	// epoch is the decoded directory epoch — consumed as a monotonicity
-	// guard: a publication carries a strictly larger epoch, so a decode
-	// observing a smaller one means the protocol broke. decoded/tailOff
-	// track the incremental decode frontier (entries parsed, byte offset
-	// of the next one — valid across publications because the log is
-	// prefix-stable).
+	// displaced stages handles pulled off their slots mid-decode: the
+	// decode may yet fail (and a later rebase may prove the displacement
+	// was poisoned), so the handle is not retired until a decode commits.
+	// On commit, a staged handle whose slot still carries its generation
+	// (with no replacement handle) is reinstated; the rest move to
+	// retired. The staging is what keeps repair from leaking handle
+	// capacity: each value register has exactly MaxReaders handles, so a
+	// reader must never re-acquire a handle for an incarnation it still
+	// holds one for.
+	displaced []displacedHandle
+	// epoch is the decoded publication epoch — a monotonicity guard: a
+	// later publication carries a strictly larger epoch, so a decode
+	// observing a smaller one (without a rebase) means the protocol
+	// broke. cgen is the decoded compaction generation: a publication
+	// with a different cgen makes the reader rebase — drop every binding
+	// and the incremental frontier, then decode the fresh log from its
+	// start. decoded/tailOff track the incremental decode frontier
+	// (entries parsed, byte offset of the next one — valid across
+	// publications because the log is prefix-stable within a cgen).
 	epoch   uint64
+	cgen    uint32
 	decoded int
 	tailOff int
 	// corrupt latches a failed decode: the directory handle already
 	// holds the broken publication (so freshness probes would pass), and
 	// the decode may have half-applied the tail — serving that state
-	// silently would be worse than failing, so every later operation on
-	// the shard returns the original error.
+	// silently would be worse than failing, so operations on the shard
+	// return the original error until the latch heals: when the
+	// directory publishes again, the reader retries with a full rebase
+	// decode (all poisoned incremental state discarded), and on success
+	// the latch clears (ReadStats.Repairs counts these).
 	corrupt error
+}
+
+// displacedHandle is one staged handle displacement: h was this reader's
+// handle for incarnation gen of slot when a decode replaced the slot's
+// generation. See readerShard.displaced.
+type displacedHandle struct {
+	slot int
+	gen  uint32
+	h    *arc.Reader
 }
 
 // Reader is a per-goroutine read endpoint over the whole map. One handle
@@ -544,6 +749,7 @@ type Reader struct {
 	refreshes   uint64
 	snapshots   uint64
 	snapRetries uint64
+	repairs     uint64
 }
 
 // NewReader allocates a reader handle (one directory handle per shard;
@@ -569,92 +775,171 @@ func (m *Map) NewReader() (*Reader, error) {
 	return r, nil
 }
 
-// refresh re-views and incrementally decodes shard si's directory log.
-// Called only when the directory register reports a change (or on first
-// touch). The apply loop may run more than once: if the slot snapshot is
+// rebase discards the incremental-decode cursor for a new compaction
+// epoch (or a repair): every binding is dropped — the fresh log's
+// entries re-register the live ones — and the frontier resets to the
+// log's start. Handles stay parked at their slots: a binding that
+// re-registers with an unchanged generation picks its handle back up
+// for free, one that re-registers with a new generation displaces it
+// through the normal staging path.
+func (rs *readerShard) rebase(cgen uint32) {
+	for slot := range rs.live {
+		rs.live[slot] = false
+	}
+	clear(rs.table)
+	rs.cgen = cgen
+	rs.decoded = 0
+	rs.tailOff = dirHeaderSize
+}
+
+// refresh re-views and decodes shard si's directory log. Called when the
+// directory register reports a change, on first touch, and to retry a
+// corrupt latch after a new publication. The decode is incremental
+// within a compaction epoch (only the tail entries parse); a publication
+// carrying a different cgen — and any repair attempt — triggers a
+// rebase, after which the fresh log decodes from its start.
+//
+// The apply loop may run more than once: if the slot snapshot is
 // observed ahead of the viewed directory (a slot reuse raced in), the
-// directory is re-viewed — sound because the snapshot can only run ahead
-// of fully published tombstones, and monotone because the log is
-// append-only, so partially applied entries never need rollback.
+// directory is re-viewed — sound because the snapshot can only run
+// ahead of fully published recycles, so the re-view must decode at
+// least the recycle's already-published entries. A re-view that decodes
+// nothing new while the mismatch persists therefore proves the mismatch
+// is not a race, and the shard latches corrupt instead of spinning on a
+// log that can never verify.
 func (r *Reader) refresh(si int) error {
 	rs := &r.shards[si]
+	repairing := false
 	if rs.corrupt != nil {
-		return rs.corrupt
+		// The latch heals only through a later publication; the handle
+		// still holds the poisoned one, so freshness means there is
+		// nothing new to rebase onto yet.
+		if rs.dirRd.Fresh() {
+			return rs.corrupt
+		}
+		repairing = true
 	}
 	// fail latches a protocol/decode error (see readerShard.corrupt).
 	fail := func(err error) error {
 		rs.corrupt = err
 		return err
 	}
+	rebased := false
 	for {
 		v, err := rs.dirRd.View()
 		if err != nil {
 			return err
 		}
 		if len(v) < dirHeaderSize {
-			return fail(fmt.Errorf("regmap: shard %d directory shorter than header (%d bytes)", si, len(v)))
+			return fail(fmt.Errorf("%w: shard %d shorter than header (%d bytes)", ErrShardCorrupt, si, len(v)))
 		}
 		epoch := binary.LittleEndian.Uint64(v[0:8])
 		count := int(binary.LittleEndian.Uint32(v[8:12]))
-		if epoch < rs.epoch || count < rs.decoded {
-			// ARC never serves an older publication to the same handle; a
-			// regressed epoch or count means the directory protocol broke.
-			return fail(fmt.Errorf("regmap: shard %d directory regressed (epoch %d→%d, entries %d→%d)",
-				si, rs.epoch, epoch, rs.decoded, count))
+		cgen := binary.LittleEndian.Uint32(v[12:16])
+		progressed := false
+		if cgen != rs.cgen || (repairing && !rebased) {
+			// A compaction epoch — or a repair, which re-decodes from
+			// scratch unconditionally because the incremental state may
+			// be poisoned. The rebase also re-baselines epoch and count:
+			// monotonicity is a per-epoch invariant (DESIGN.md §9), and
+			// insisting on it across a repair would leave a shard whose
+			// reader once accepted garbage unrecoverable.
+			rs.rebase(cgen)
+			rebased, progressed = true, true
+		} else if !rebased && (epoch < rs.epoch || count < rs.decoded) {
+			// Within one compaction epoch ARC never serves an older
+			// publication to the same handle, so a regressed epoch or
+			// entry count means either the directory protocol broke or —
+			// indistinguishably from this side — the reader once accepted
+			// a plausible-garbage publication that poisoned its
+			// baselines. Latching here could be permanent (the broken
+			// baseline would condemn every future publication), so
+			// re-decode the current publication from scratch instead: a
+			// genuine log re-verifies fully against the slot array and
+			// the reader heals; garbage fails the decode and latches
+			// through the normal corrupt path. Counted as a repair.
+			rs.rebase(cgen)
+			rebased, progressed, repairing = true, true, true
 		}
 		// Load the slot snapshot after viewing the directory: the writer
-		// stored it before publishing, so it covers every published add.
+		// stored it before publishing, so it covers every published add —
+		// which also bounds every genuine entry's slot index.
 		el := r.m.shards[si].entries.Load()
 		off := rs.tailOff
 		if rs.decoded == 0 {
 			off = dirHeaderSize
 		}
+		if count > rs.decoded {
+			progressed = true
+		}
 		for i := rs.decoded; i < count; i++ {
 			tag, n := binary.Uvarint(v[off:])
-			// A slot index can never exceed the entry count, which can
-			// never exceed the log length — anything larger (including
-			// values that would overflow int) is corruption.
-			if n <= 0 || tag>>1 > uint64(len(v)) {
-				return fail(fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off))
+			if n <= 0 || tag>>1 > math.MaxInt32 {
+				return fail(fmt.Errorf("%w: shard %d entry %d corrupt at offset %d", ErrShardCorrupt, si, i, off))
 			}
 			off += n
 			slot := int(tag >> 1)
+			if slot >= len(el.regs) {
+				// The slot array is stored before any add naming the slot
+				// publishes, and el was loaded after viewing v — a genuine
+				// log can never name a slot el lacks.
+				return fail(fmt.Errorf("%w: shard %d entry %d names slot %d beyond the slot array (%d)",
+					ErrShardCorrupt, si, i, slot, len(el.regs)))
+			}
 			if tag&tombstoneFlag != 0 {
 				if slot >= len(rs.keys) || !rs.live[slot] {
-					return fail(fmt.Errorf("regmap: shard %d entry %d tombstones dead slot %d", si, i, slot))
+					return fail(fmt.Errorf("%w: shard %d entry %d tombstones dead slot %d", ErrShardCorrupt, si, i, slot))
 				}
 				delete(rs.table, rs.keys[slot])
 				rs.live[slot] = false
-				if h := rs.handles[slot]; h != nil {
-					rs.retired = append(rs.retired, h)
-					rs.handles[slot] = nil
-				}
+				// The handle (if any) stays parked at the dead slot: it
+				// still pins exactly incarnation gens[slot], so a rebase
+				// that re-registers the slot at that generation reuses it,
+				// and a true recycle displaces it below.
 				continue
 			}
+			gen64, n := binary.Uvarint(v[off:])
+			if n <= 0 || gen64 == 0 || gen64 > math.MaxUint32 {
+				return fail(fmt.Errorf("%w: shard %d entry %d has invalid generation", ErrShardCorrupt, si, i))
+			}
+			off += n
+			gen := uint32(gen64)
 			klen, n := binary.Uvarint(v[off:])
 			// Compare in uint64 space: a klen that would overflow int must
 			// not slip past the bound check.
 			if n <= 0 || klen > uint64(len(v)-(off+n)) {
-				return fail(fmt.Errorf("regmap: shard %d directory entry %d corrupt at offset %d", si, i, off))
+				return fail(fmt.Errorf("%w: shard %d entry %d corrupt at offset %d", ErrShardCorrupt, si, i, off))
 			}
 			off += n
 			key := string(v[off : off+int(klen)])
 			off += int(klen)
-			switch {
-			case slot == len(rs.keys):
-				rs.keys = append(rs.keys, key)
-				rs.gens = append(rs.gens, 1)
-				rs.live = append(rs.live, true)
+			// Extend the per-slot arrays up to the named slot: a compacted
+			// log registers only live slots, so its slot indices may be
+			// sparse (bounded by the el check above).
+			for slot >= len(rs.keys) {
+				rs.keys = append(rs.keys, "")
+				rs.gens = append(rs.gens, 0)
+				rs.live = append(rs.live, false)
 				rs.handles = append(rs.handles, nil)
-			case slot < len(rs.keys) && !rs.live[slot]:
-				rs.keys[slot] = key
-				rs.gens[slot]++
-				rs.live[slot] = true
-			default:
-				return fail(fmt.Errorf("regmap: shard %d entry %d adds occupied slot %d", si, i, slot))
 			}
+			if rs.live[slot] {
+				return fail(fmt.Errorf("%w: shard %d entry %d adds occupied slot %d", ErrShardCorrupt, si, i, slot))
+			}
+			if h := rs.handles[slot]; h != nil && rs.gens[slot] != gen {
+				// The slot re-registers as a different incarnation while
+				// this reader still holds the old one's handle. Stage the
+				// displacement instead of retiring: if this decode fails
+				// and a repair later proves the slot still carries the
+				// staged generation, the handle is reinstated — never
+				// re-acquired (registers hold exactly MaxReaders handles).
+				rs.displaced = append(rs.displaced, displacedHandle{slot: slot, gen: rs.gens[slot], h: h})
+				rs.handles[slot] = nil
+			}
+			rs.keys[slot] = key
+			rs.gens[slot] = gen
+			rs.live[slot] = true
 			if _, dup := rs.table[key]; dup {
-				return fail(fmt.Errorf("regmap: shard %d entry %d re-adds live key %q", si, i, key))
+				return fail(fmt.Errorf("%w: shard %d entry %d re-adds live key %q", ErrShardCorrupt, si, i, key))
 			}
 			rs.table[key] = slot
 		}
@@ -666,25 +951,46 @@ func (r *Reader) refresh(si int) error {
 		// it can be ahead of the view (never behind it); ahead means a
 		// reuse raced in and el.regs would hand a live binding the wrong
 		// incarnation's register — re-view, which must observe the reuse's
-		// already-published tombstone.
+		// already-published entries (see the progress rule above).
 		ok := true
 		for slot, g := range rs.gens {
 			if !rs.live[slot] {
 				continue
 			}
 			if slot >= len(el.gens) || el.gens[slot] < g {
-				return fail(fmt.Errorf("regmap: shard %d slot snapshot behind directory (slot %d gen %d)", si, slot, g))
+				return fail(fmt.Errorf("%w: shard %d slot snapshot behind directory (slot %d gen %d)", ErrShardCorrupt, si, slot, g))
 			}
 			if el.gens[slot] != g {
 				ok = false
 				break
 			}
 		}
-		if ok {
-			rs.regs = el.regs
-			r.refreshes++
-			return nil
+		if !ok {
+			if !progressed {
+				return fail(fmt.Errorf("%w: shard %d slot array ahead of a stationary directory", ErrShardCorrupt, si))
+			}
+			runtime.Gosched()
+			continue
 		}
+		rs.regs = el.regs
+		// Commit the staged displacements: a handle whose slot still
+		// carries its generation (and grew no replacement) was displaced
+		// by a decode that never committed — reinstate it; the rest pin
+		// incarnations that are truly gone.
+		for _, d := range rs.displaced {
+			if rs.gens[d.slot] == d.gen && rs.handles[d.slot] == nil {
+				rs.handles[d.slot] = d.h
+			} else {
+				rs.retired = append(rs.retired, d.h)
+			}
+		}
+		rs.displaced = rs.displaced[:0]
+		if repairing {
+			rs.corrupt = nil
+			r.repairs++
+		}
+		r.refreshes++
+		return nil
 	}
 }
 
@@ -712,11 +1018,11 @@ func (r *Reader) GetFresh(key string) (v []byte, changed bool, err error) {
 	}
 	si := r.m.ShardOf(key)
 	rs := &r.shards[si]
-	if rs.corrupt != nil {
-		return nil, false, rs.corrupt
-	}
 	r.ops++
-	dirFresh := rs.dirRd.Fresh()
+	// One extra nil check on the hot path, no RMW: a corrupt shard
+	// routes through refresh, which returns the latch — or repairs it,
+	// if the directory has published something new to rebase onto.
+	dirFresh := rs.corrupt == nil && rs.dirRd.Fresh()
 	if !dirFresh {
 		if err := r.refresh(si); err != nil {
 			return nil, false, err
@@ -797,10 +1103,7 @@ func (r *Reader) Keys() ([]string, error) {
 	n := 0
 	for si := range r.shards {
 		rs := &r.shards[si]
-		if rs.corrupt != nil {
-			return nil, rs.corrupt
-		}
-		if !rs.dirRd.Fresh() {
+		if rs.corrupt != nil || !rs.dirRd.Fresh() {
 			if err := r.refresh(si); err != nil {
 				return nil, err
 			}
@@ -828,10 +1131,7 @@ func (r *Reader) Len() (int, error) {
 	n := 0
 	for si := range r.shards {
 		rs := &r.shards[si]
-		if rs.corrupt != nil {
-			return 0, rs.corrupt
-		}
-		if !rs.dirRd.Fresh() {
+		if rs.corrupt != nil || !rs.dirRd.Fresh() {
 			if err := r.refresh(si); err != nil {
 				return 0, err
 			}
@@ -909,16 +1209,13 @@ func (r *Reader) collectShard(si int) (map[string][]byte, uint64, error) {
 	sh := r.m.shards[si]
 	rs := &r.shards[si]
 	for {
-		if rs.corrupt != nil {
-			return nil, 0, rs.corrupt
-		}
 		started := sh.pubStarted.Load()
 		if started != sh.pubDone.Load() {
 			r.snapRetries++
 			runtime.Gosched()
 			continue
 		}
-		if !rs.dirRd.Fresh() {
+		if rs.corrupt != nil || !rs.dirRd.Fresh() {
 			if err := r.refresh(si); err != nil {
 				return nil, 0, err
 			}
@@ -956,6 +1253,7 @@ func (r *Reader) Stats() ReadStats {
 		DirRefreshes:    r.refreshes,
 		Snapshots:       r.snapshots,
 		SnapshotRetries: r.snapRetries,
+		Repairs:         r.repairs,
 	}
 	for si := range r.shards {
 		rs := &r.shards[si]
@@ -969,6 +1267,9 @@ func (r *Reader) Stats() ReadStats {
 		}
 		for _, h := range rs.retired {
 			st.RMW += h.ReadStats().RMW
+		}
+		for _, d := range rs.displaced {
+			st.RMW += d.h.ReadStats().RMW
 		}
 	}
 	return st
@@ -994,6 +1295,9 @@ func (r *Reader) Close() error {
 		}
 		for _, h := range rs.retired {
 			h.Close()
+		}
+		for _, d := range rs.displaced {
+			d.h.Close()
 		}
 	}
 	r.m.mu.Lock()

@@ -43,9 +43,13 @@ import (
 //
 // Lifecycle events are part of the stream: a deletion yields
 // (nil, ErrKeyNotFound) once and the watch continues — a later
-// re-creation yields the new incarnation's value. The iterator ends
-// when the consumer breaks, when ctx is done (yielding ctx's error), or
-// on a terminal register error.
+// re-creation yields the new incarnation's value. A corrupt shard is a
+// lifecycle event too: the watch yields (nil, ErrShardCorrupt) once per
+// episode, parks on the directory gate, and resumes when a later
+// publication repairs the shard (see ErrShardCorrupt) — corruption
+// degrades a watch, it does not kill it. The iterator ends when the
+// consumer breaks, when ctx is done (yielding ctx's error), or on a
+// terminal register error.
 //
 // Watch owns the Reader while it runs (handles are single-goroutine,
 // like every reader in this package); run concurrent watches on
@@ -57,6 +61,7 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 		rs := &r.shards[si]
 		first := true
 		lastMiss := false
+		lastCorrupt := false
 		for {
 			if err := ctx.Err(); err != nil {
 				yield(nil, err)
@@ -74,7 +79,25 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 						return
 					}
 				}
-				first, lastMiss = false, true
+				first, lastMiss, lastCorrupt = false, true, false
+				err := notify.Await(ctx, func() bool {
+					return !rs.dirRd.Fresh()
+				}, sh.dir.Notifier().Gate())
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+			case errors.Is(err, ErrShardCorrupt):
+				// Corruption is an episode, not the end of the stream:
+				// deliver it once, then park on the directory gate — the
+				// next publication is GetFresh's repair opportunity, and
+				// the watch resumes with the repaired state.
+				if first || !lastCorrupt {
+					if !yield(nil, err) {
+						return
+					}
+				}
+				first, lastCorrupt = false, true
 				err := notify.Await(ctx, func() bool {
 					return !rs.dirRd.Fresh()
 				}, sh.dir.Notifier().Gate())
@@ -83,7 +106,7 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 					return
 				}
 			case err != nil:
-				yield(nil, err) // terminal: corrupt shard or closed handle
+				yield(nil, err) // terminal: closed handle or register failure
 				return
 			default:
 				if first || changed {
@@ -91,7 +114,7 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 						return
 					}
 				}
-				first, lastMiss = false, false
+				first, lastMiss, lastCorrupt = false, false, false
 				// Park on the key's own value gate plus the shard's
 				// directory gate. The Fresh predicate is loaded after
 				// arming (inside Await), closing the publish race; it
@@ -146,6 +169,7 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 		epochs := make([]uint64, nsh)
 		var prev map[string][]byte
 		first := true
+		corrupted := false
 		for {
 			if err := ctx.Err(); err != nil {
 				yield(Delta{}, err)
@@ -158,10 +182,36 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 				epochs[i] = sh.notify.Epoch()
 			}
 			snap, err := r.Snapshot()
+			if errors.Is(err, ErrShardCorrupt) {
+				// A corrupt shard degrades the stream instead of ending
+				// it (mirroring Watch): deliver the episode once, park,
+				// and retry on the next publication — which is also the
+				// snapshot's repair opportunity.
+				if !corrupted {
+					if !yield(Delta{}, err) {
+						return
+					}
+					corrupted = true
+				}
+				err = notify.Await(ctx, func() bool {
+					for i, sh := range r.m.shards {
+						if sh.notify.Epoch() != epochs[i] {
+							return true
+						}
+					}
+					return false
+				}, &r.m.watchGate)
+				if err != nil {
+					yield(Delta{}, err)
+					return
+				}
+				continue
+			}
 			if err != nil {
 				yield(Delta{}, err)
 				return
 			}
+			corrupted = false
 			delta := diffSnapshots(prev, snap)
 			if first || len(delta.Values) > 0 || len(delta.Deleted) > 0 {
 				delta.Full = first

@@ -16,6 +16,25 @@ import (
 // (or a deleted one), and by Map.Delete for an absent key.
 var ErrKeyNotFound = regmap.ErrKeyNotFound
 
+// ErrDirectoryFull is returned by Map.Set when a shard's live keys
+// alone exceed the directory ceiling. Mere churn (deleted keys bloating
+// the log) never surfaces it: appends compact the shard automatically
+// when the log outgrows its live set, so ErrDirectoryFull means the
+// map's live population is genuinely too large for the directory, not
+// that it has been running too long. Match with errors.Is — the error
+// is wrapped with the shard and occupancy context.
+var ErrDirectoryFull = regmap.ErrDirectoryFull
+
+// ErrShardCorrupt is returned by MapReader operations when a reader's
+// decode of a shard directory fails validation (torn or damaged
+// publication). The latch is per-reader and sticky only while the
+// directory is quiet: any later genuine publication — an ordinary Set
+// or Delete on that shard, or a Map.Compact — repairs the reader, which
+// rebases onto the published log and resumes. Parked Watch/WatchAll
+// iterators observe the episode as one (zero, ErrShardCorrupt) event
+// and continue after repair. Match with errors.Is.
+var ErrShardCorrupt = regmap.ErrShardCorrupt
+
 // MapConfig parametrizes a byte-level Map (see NewByteMap). The typed
 // entry point NewMap takes the same parameters as functional options
 // (WithShards, WithReaders, WithMaxValueSize, WithDynamicValues).
@@ -125,6 +144,17 @@ func (m *Map) Caps() Caps {
 // WriteStats reports aggregate publish-side counters. Collect at
 // quiescence.
 func (m *Map) WriteStats() MapWriteStats { return m.m.WriteStats() }
+
+// Compact rewrites every shard's directory log down to its live keys
+// and publishes the result as a new compaction epoch. Appends already
+// compact automatically when a shard's log outgrows its live set, so
+// routine use never needs Compact; call it to reclaim directory memory
+// eagerly (after bulk deletes), or to force readers latched on a
+// corrupt shard to repair without waiting for the next write. Same
+// single-writer-per-shard contract as Set and Delete. Readers rebase
+// onto the new epoch on their next operation; views and watch
+// subscriptions they hold survive the bump (see DESIGN.md §9).
+func (m *Map) Compact() error { return m.m.Compact() }
 
 // NewReader allocates a read endpoint (one per goroutine, up to
 // MaxReaders).
@@ -354,6 +384,10 @@ func (t *MapOf[T]) Caps() Caps { return t.m.Caps() }
 // WriteStats reports aggregate publish-side counters; collect at
 // quiescence.
 func (t *MapOf[T]) WriteStats() MapWriteStats { return t.m.WriteStats() }
+
+// Compact rewrites every shard's directory down to its live keys (see
+// Map.Compact).
+func (t *MapOf[T]) Compact() error { return t.m.Compact() }
 
 // Codec reports the encoding in use.
 func (t *MapOf[T]) Codec() Codec[T] { return t.c }

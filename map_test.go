@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"arcreg"
+	"arcreg/internal/regmap"
 )
 
 // TestMapBasic covers the public Map surface: Set/Get/GetCopy round
@@ -210,6 +211,104 @@ func TestMapLifecyclePublic(t *testing.T) {
 	}
 	if !m.Caps().WaitFreeRead || !m.Caps().FreshProbe {
 		t.Fatalf("Map.Caps = %+v", m.Caps())
+	}
+}
+
+// TestMapCompactPublic covers the facade compaction surface: Compact
+// reclaims directory memory after bulk deletes, the Compactions and
+// DirBytes write-side counters report it, readers stay consistent
+// across the epoch bump, and a live population genuinely past the
+// directory ceiling surfaces ErrDirectoryFull through errors.Is.
+func TestMapCompactPublic(t *testing.T) {
+	m, err := arcreg.NewByteMap(arcreg.MapConfig{Shards: 2, MaxReaders: 2, MaxValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for i := 0; i < 64; i++ {
+		if err := m.Set(fmt.Sprintf("bulk/%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rd.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 64; i++ {
+		if err := m.Delete(fmt.Sprintf("bulk/%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.WriteStats().DirBytes
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ws := m.WriteStats()
+	if ws.Compactions != 2 { // one epoch per shard
+		t.Fatalf("WriteStats.Compactions = %d, want 2", ws.Compactions)
+	}
+	if ws.DirBytes >= before {
+		t.Fatalf("DirBytes %d not reclaimed (was %d)", ws.DirBytes, before)
+	}
+	for i := 0; i < 8; i++ {
+		if v, err := rd.Get(fmt.Sprintf("bulk/%d", i)); err != nil || string(v) != "x" {
+			t.Fatalf("Get(bulk/%d) across compaction = %q, %v", i, v, err)
+		}
+	}
+	if _, err := rd.Get("bulk/33"); !errors.Is(err, arcreg.ErrKeyNotFound) {
+		t.Fatalf("deleted key after compaction = %v", err)
+	}
+	if n, err := rd.Len(); err != nil || n != 8 {
+		t.Fatalf("Len across compaction = %d, %v", n, err)
+	}
+	// The typed wrapper exposes the same operation.
+	tm, err := arcreg.NewMap[int](arcreg.WithReaders(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Set("n", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.WriteStats().Compactions == 0 {
+		t.Fatal("typed Compact published no epochs")
+	}
+}
+
+// TestMapDirectoryFullPublic shrinks the directory ceiling (test hook)
+// and verifies the facade surfaces ErrDirectoryFull for a live set the
+// directory cannot hold — and only for that: churn alone auto-compacts.
+func TestMapDirectoryFullPublic(t *testing.T) {
+	restore := regmap.SetDirCapacity(64)
+	defer restore()
+	m, err := arcreg.NewByteMap(arcreg.MapConfig{Shards: 1, MaxReaders: 1, MaxValueSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full error
+	for i := 0; i < 64 && full == nil; i++ {
+		full = m.Set(fmt.Sprintf("live-key-%02d", i), []byte("v"))
+	}
+	if !errors.Is(full, arcreg.ErrDirectoryFull) {
+		t.Fatalf("overfilling live set = %v, want ErrDirectoryFull", full)
+	}
+	// Churn on the keys that fit keeps succeeding indefinitely: the log
+	// auto-compacts instead of exhausting the ceiling.
+	for round := 0; round < 50; round++ {
+		if err := m.Delete("live-key-00"); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := m.Set("live-key-00", []byte("v")); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if m.WriteStats().Compactions == 0 {
+		t.Fatal("ceiling churn triggered no auto-compaction")
 	}
 }
 
