@@ -35,17 +35,29 @@ type Reader = register.Reader
 type Viewer = register.Viewer
 
 // ReadStats counts per-handle read work (operations, RMW instructions,
-// fast-path hits); see StatReader.
+// fast-path hits); see StatReader. Its Snapshot method renders the
+// counters as a node of the Stats observability tree (see Reg.Stats).
 type ReadStats = register.ReadStats
 
 // WriteStats counts writer work (operations, RMW instructions, slot-scan
-// probes, hint hits); see StatWriter.
+// probes, hint hits); see StatWriter. Its Snapshot method renders the
+// counters as a node of the Stats observability tree (see Reg.Stats).
 type WriteStats = register.WriteStats
 
 // StatReader is implemented by reader handles exposing ReadStats.
+//
+// Deprecated: the New facade resolves capabilities at construction —
+// use TypedReader.ReadStats (and Reg.Caps().ReadStats) instead of
+// asserting byte handles; use Reg.Stats for the live observability
+// tree. StatReader remains for raw-register code.
 type StatReader = register.StatReader
 
 // StatWriter is implemented by writers exposing WriteStats.
+//
+// Deprecated: the New facade resolves capabilities at construction —
+// use TypedWriter.WriteStats (and Reg.Caps().WriteStats) instead of
+// asserting byte handles; use Reg.Stats for the live observability
+// tree. StatWriter remains for raw-register code.
 type StatWriter = register.StatWriter
 
 // Errors returned by register operations.

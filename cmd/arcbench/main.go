@@ -68,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "map figure shard count (0 keeps the default)")
 		delEvery  = fs.Int("delete-every", -1, "map figure delete-mix: every Nth writer op deletes/re-creates a lifecycle key (0 disables; -1 keeps the default)")
 		snapEvery = fs.Int("snapshot-every", -1, "map figure snapshot mix: every Nth reader op takes a multi-key Snapshot (0 disables; -1 keeps the default)")
-		watchers  = fs.String("watchers", "", "comma-separated watcher counts for the watch figure (overrides the sweep)")
+		watchers  = fs.String("watchers", "", "comma-separated watcher counts for the watch figure, k suffix = thousands (e.g. 1k,10k; overrides the sweep)")
 		pubEvery  = fs.Duration("publish-every", 0, "watch figure writer cadence (0 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -338,9 +338,10 @@ func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEver
 		fig.Watchers = mustInts(watchers)
 	}
 	progress := func(done, total int, c harness.WatchCell) {
-		fmt.Fprintf(os.Stderr, "[%s %d/%d] %s watchers=%d: %d observed, p99 %v\n",
+		fmt.Fprintf(os.Stderr, "[%s %d/%d] %s watchers=%d: %d observed, p99 %v, lag max %d, conflated %d\n",
 			fig.ID, done, total, c.Mode, c.Watchers, c.Result.Observed,
-			time.Duration(c.Result.Latency.Quantile(0.99)))
+			time.Duration(c.Result.Latency.Quantile(0.99)),
+			c.Result.LagMax, c.Result.Conflated)
 	}
 	data, err := fig.Run(progress)
 	if err != nil {
@@ -451,12 +452,18 @@ func mustInts(csv string) []int {
 		if part == "" {
 			continue
 		}
+		// Accept a k/K suffix for thousands (1k = 1000, 10k = 10000) —
+		// the watcher sweeps are quoted that way.
+		mult := 1
+		if s := strings.TrimRight(part, "kK"); len(s) == len(part)-1 {
+			part, mult = s, 1000
+		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "arcbench: bad integer %q\n", part)
 			os.Exit(2)
 		}
-		out = append(out, n)
+		out = append(out, n*mult)
 	}
 	return out
 }

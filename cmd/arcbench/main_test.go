@@ -176,4 +176,48 @@ func TestMustInts(t *testing.T) {
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("mustInts = %v", got)
 	}
+	got = mustInts("1k, 10K,25")
+	if len(got) != 3 || got[0] != 1000 || got[1] != 10000 || got[2] != 25 {
+		t.Fatalf("mustInts with k suffix = %v", got)
+	}
+}
+
+// TestWatchFigureQuick smoke-runs the watch figure through the CLI and
+// checks the backpressure columns reach the CSV: with the default slow
+// consumer, the watch series must conflate publications.
+func TestWatchFigureQuick(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "watch.csv")
+	var sb strings.Builder
+	err := run([]string{"-figure", "watch", "-quick", "-watchers", "2",
+		"-duration", "150ms", "-warmup", "20ms", "-csv", csv}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"wakeup latency", "lag max", "conflated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("watch figure output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "lag_p50,lag_max,conflated,wakeups") {
+		t.Fatalf("watch csv header missing backpressure columns: %q",
+			strings.SplitN(string(blob), "\n", 2)[0])
+	}
+	// The watch series row (first data row) must show conflation: its
+	// slow consumer parks through a fast publish cadence.
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("no csv rows:\n%s", string(blob))
+	}
+	fields := strings.Split(lines[1], ",")
+	if len(fields) != 14 {
+		t.Fatalf("csv row has %d fields, want 14: %q", len(fields), lines[1])
+	}
+	if fields[12] == "0" {
+		t.Errorf("watch series conflated nothing: %q", lines[1])
+	}
 }

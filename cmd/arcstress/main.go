@@ -17,12 +17,12 @@
 // through compaction epochs, corrupt-shard repair and the deterministic
 // fault-injection points instead of a single register:
 //
-//	dirchurn, corrupt-repair, compact-under-watch
+//	dirchurn, corrupt-repair, compact-under-watch, watchstorm
 //
 // -scenario accepts a comma-separated list, run sequentially; the exit
 // status is the worst of the runs. -seed makes the map scenarios' fault
 // schedules deterministic, and -faultcov additionally fails the run if
-// any registered regmap fault point was never armed.
+// any registered regmap or notify fault point was never armed.
 //
 // Every read is integrity-verified (torn-read detection) and checked for
 // per-reader version monotonicity online.
@@ -77,7 +77,7 @@ func (s *shared) fail(format string, args ...any) {
 func run() int {
 	var (
 		alg      = flag.String("alg", "arc", "algorithm: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
-		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch")
+		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm")
 		threads  = flag.Int("threads", 6, "reader workers (plus 1 writer)")
 		size     = flag.Int("size", 512, "value size in bytes")
 		duration = flag.Duration("duration", 10*time.Second, "stress duration (per scenario)")

@@ -21,10 +21,19 @@ package main
 //	                     driven by sibling-key churn: no spurious
 //	                     wakeup deliveries, no misses, versions
 //	                     monotone, and the final value arrives.
+//	watchstorm         — slow watchers against a fast writer with
+//	                     stall faults armed inside the notify
+//	                     sequencer (publish-side epoch crossing, gate
+//	                     swap) while a stats walker continuously
+//	                     snapshots the tree; asserts the backpressure
+//	                     ledgers record real conflation and lag and
+//	                     every accepted stats snapshot is internally
+//	                     consistent.
 //
 // All scenarios are seeded (-seed) and run their fault schedules
 // deterministically; -faultcov additionally fails the run if any
-// registered regmap fault point was never armed by any schedule.
+// registered regmap or notify fault point was never armed by any
+// schedule.
 
 import (
 	"context"
@@ -38,6 +47,7 @@ import (
 
 	"arcreg/internal/fault"
 	"arcreg/internal/membuf"
+	"arcreg/internal/notify"
 	"arcreg/internal/regmap"
 )
 
@@ -45,6 +55,7 @@ var mapScenarios = map[string]func(seed uint64, duration time.Duration) int{
 	"dirchurn":            runDirChurn,
 	"corrupt-repair":      runCorruptRepair,
 	"compact-under-watch": runCompactUnderWatch,
+	"watchstorm":          runWatchStorm,
 }
 
 func isMapScenario(name string) bool {
@@ -555,22 +566,206 @@ func runCompactUnderWatch(seed uint64, duration time.Duration) int {
 		fmt.Sprintf(", %d compactions, %d watch deliveries", ws.Compactions, deliveries.Load()))
 }
 
-// checkFaultCoverage fails the run if any regmap fault point was never
-// armed by a schedule during this process — a registered-but-dead
-// injection point is a hole in the chaos surface.
+// runWatchStorm is the backpressure-telemetry scenario: deliberately
+// slow watchers park through a fast-churning single-shard map while
+// stall injection on the notify sequencer's publish/wake crossing
+// (notify/publish-epoch, notify/wake-swap) widens the lost-wakeup
+// window the protocol's arm-then-recheck discipline must close. A
+// stats walker hammers Map.Stats throughout. The run fails if:
+//
+//   - any live watcher's ledger ever shows observed > published (the
+//     backpressure invariant a torn collect could invert);
+//   - any Map.Stats snapshot tears across a compaction (per-shard
+//     cgen != compactions);
+//   - a watcher observes a torn value or a version regression;
+//   - the storm produced no conflation or no wakeups (the scenario
+//     failed to generate backpressure), the schedule never fired, or
+//     churn forced no compaction epoch.
+func runWatchStorm(seed uint64, duration time.Duration) int {
+	restore := regmap.SetDirCapacity(1024)
+	defer restore()
+	sched, err := fault.NewSchedule(seed,
+		fault.Rule{Point: notify.FaultPublishEpoch, Kind: fault.Stall, Every: 512, Stall: 100 * time.Microsecond},
+		fault.Rule{Point: notify.FaultWakeSwap, Kind: fault.Stall, Every: 64, Stall: 100 * time.Microsecond},
+	)
+	if err != nil {
+		fmt.Println("arcstress: watchstorm:", err)
+		return 2
+	}
+	m, err := regmap.New(regmap.Config{Shards: 1, MaxReaders: 6, MaxValueSize: 64})
+	if err != nil {
+		fmt.Println("arcstress: watchstorm:", err)
+		return 2
+	}
+	watched := []string{"storm-0", "storm-1", "storm-2"}
+	churn := []string{"churn-0", "churn-1", "churn-2", "churn-3"}
+	var version uint64
+	set := func(key string) error {
+		b := make([]byte, 64)
+		version++
+		membuf.Encode(b, version)
+		return m.Set(key, b)
+	}
+	for _, k := range watched {
+		if err := set(k); err != nil {
+			fmt.Println("arcstress: watchstorm:", err)
+			return 2
+		}
+	}
+	s := &mapChaos{}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+
+	// Slow watchers: each parks on one key and spends a millisecond
+	// "processing" every delivery — against a back-to-back writer that
+	// guarantees conflation and a live mid-storm lag signal.
+	for i, key := range watched {
+		wrd, err := m.NewReader()
+		if err != nil {
+			fmt.Println("arcstress: watchstorm:", err)
+			cancel()
+			return 2
+		}
+		wg.Add(1)
+		go func(id int, key string, wrd *regmap.Reader) {
+			defer wg.Done()
+			defer wrd.Close()
+			var last uint64
+			for v, err := range wrd.Watch(ctx, key) {
+				if errors.Is(err, context.Canceled) {
+					return
+				}
+				if err != nil {
+					s.fail("watcher %d: %v", id, err) // keys are never deleted, shards never corrupted
+					return
+				}
+				ver, verr := membuf.Verify(v)
+				if verr != nil {
+					s.fail("watcher %d: torn value: %v", id, verr)
+					return
+				}
+				if ver < last {
+					s.fail("watcher %d: version regressed %d after %d", id, ver, last)
+					return
+				}
+				last = ver
+				s.reads.Add(1)
+				time.Sleep(time.Millisecond) // the slow consumer
+			}
+		}(i, key, wrd)
+	}
+
+	// Stats walker: every Map.Stats must be internally consistent and
+	// every live ledger must satisfy observed ≤ published, while the
+	// storm runs.
+	var walks atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !s.stop.Load() {
+			sn := m.Stats()
+			node := sn.Child("shard0")
+			if node == nil {
+				s.fail("walker: stats lost shard0")
+				return
+			}
+			cgen, _ := node.Get("cgen")
+			comp, _ := node.Get("compactions")
+			if cgen != comp {
+				s.fail("walker: torn stats: cgen %d != compactions %d", cgen, comp)
+				return
+			}
+			m.WatchTracker().Each(func(ws *notify.WatchStats) {
+				if o, p := ws.Observed(), ws.Published(); o > p {
+					s.fail("walker: ledger inverted: observed %d > published %d", o, p)
+				}
+			})
+			walks.Add(1)
+		}
+	}()
+
+	sched.Arm()
+	// Writer: back-to-back sets on the watched keys (the storm) plus
+	// delete/recreate churn that overflows the shrunk ceiling and
+	// forces compaction epochs under the walker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var round uint64
+		for _, k := range churn {
+			if err := set(k); err != nil {
+				s.fail("writer: Set(%s): %v", k, err)
+				return
+			}
+		}
+		for !s.stop.Load() {
+			round++
+			if err := set(watched[round%uint64(len(watched))]); err != nil {
+				s.fail("writer: %v", err)
+				return
+			}
+			s.writes.Add(1)
+			if round%8 == 0 {
+				victim := churn[(round/8)%uint64(len(churn))]
+				if err := m.Delete(victim); err != nil && !errors.Is(err, regmap.ErrKeyNotFound) {
+					s.fail("writer: Delete(%s): %v", victim, err)
+					return
+				}
+				if err := set(victim); err != nil {
+					s.fail("writer: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	s.stop.Store(true)
+	cancel()
+	wg.Wait()
+	sched.Disarm()
+
+	// The retired ledgers carry the storm's totals.
+	tsn := m.WatchTracker().Stats()
+	conflated, _ := tsn.Get("conflated")
+	wakeups, _ := tsn.Get("wakeups")
+	if conflated == 0 {
+		s.fail("storm conflated nothing across %d writes", s.writes.Load())
+	}
+	if wakeups == 0 {
+		s.fail("watchers parked through the storm without a wakeup")
+	}
+	if walks.Load() == 0 {
+		s.fail("stats walker never completed a snapshot")
+	}
+	if sched.Fired() == 0 {
+		s.fail("notify fault schedule never fired (writes=%d)", s.writes.Load())
+	}
+	ws := m.WriteStats()
+	if ws.Compactions == 0 {
+		s.fail("churn forced no compaction epoch under the walker")
+	}
+	return s.report("watchstorm",
+		fmt.Sprintf(", %d conflated, %d wakeups, %d stats walks, %d faults fired, %d compactions",
+			conflated, wakeups, walks.Load(), sched.Fired(), ws.Compactions))
+}
+
+// checkFaultCoverage fails the run if any regmap or notify fault point
+// was never armed by a schedule during this process — a
+// registered-but-dead injection point is a hole in the chaos surface.
 func checkFaultCoverage() int {
 	armed, unarmed := fault.Coverage()
 	var dead []string
 	for _, name := range unarmed {
-		if strings.HasPrefix(name, "regmap/") {
+		if strings.HasPrefix(name, "regmap/") || strings.HasPrefix(name, "notify/") {
 			dead = append(dead, name)
 		}
 	}
 	if len(dead) > 0 {
-		fmt.Printf("arcstress: fault coverage: %d regmap points never armed: %s\n",
+		fmt.Printf("arcstress: fault coverage: %d fault points never armed: %s\n",
 			len(dead), strings.Join(dead, ", "))
 		return 1
 	}
-	fmt.Printf("arcstress: fault coverage: all regmap points armed (%d total armed)\n", len(armed))
+	fmt.Printf("arcstress: fault coverage: all regmap and notify points armed (%d total armed)\n", len(armed))
 	return 0
 }

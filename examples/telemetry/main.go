@@ -9,13 +9,21 @@
 // one aggregation round and counter B from the next. The register makes
 // the whole snapshot one atomic unit.
 //
+// The register also observes ITSELF: arcreg.Observe exports its live
+// Stats tree through expvar (the standard /debug/vars JSON), and the
+// run ends with the same tree as a text dump — publication epoch,
+// reader occupancy, watcher ledgers — recorded with zero RMW and zero
+// allocations on the paths being observed (DESIGN.md §10).
+//
 //	go run ./examples/telemetry
 package main
 
 import (
 	"encoding/binary"
+	"expvar"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +44,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Self-observation: export the register's own live stats tree as an
+	// expvar (an HTTP server would now serve it at /debug/vars). The
+	// raw register exposes the tree through the StatsSource capability.
+	src, ok := any(reg).(arcreg.StatsSource)
+	if !ok {
+		log.Fatal("ARC register must expose a stats tree")
+	}
+	arcreg.Observe("snapshot-register", src)
 
 	var (
 		wg      sync.WaitGroup
@@ -120,4 +137,16 @@ func main() {
 	fmt.Printf("collector published %d snapshots; scrapers performed %d consistent scrapes\n",
 		rounds, scrapes.Load())
 	fmt.Println("every scrape saw an internally consistent snapshot (sum invariant held)")
+
+	// The register's own telemetry, two ways: the text dump of the live
+	// Stats tree, and the same tree as expvar JSON — what a scraper
+	// hitting /debug/vars would receive.
+	sn := src.Stats()
+	fmt.Println("\nregister stats tree:")
+	sn.WriteText(os.Stdout)
+	if epoch, ok := sn.Child("notify").Get("epoch"); !ok || epoch < rounds {
+		log.Fatalf("notify epoch %d, want >= %d publications", epoch, rounds)
+	}
+	fmt.Printf("\nexpvar %q serves the same tree (%d bytes of JSON)\n",
+		"snapshot-register", len(expvar.Get("snapshot-register").String()))
 }

@@ -54,6 +54,7 @@ import (
 
 	"arcreg/internal/membuf"
 	"arcreg/internal/notify"
+	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 	"arcreg/internal/word"
@@ -242,6 +243,21 @@ func (r *Register) Writer() register.Writer { return r }
 // WriteStats implements register.StatWriter. Call only while no write is
 // in flight.
 func (r *Register) WriteStats() register.WriteStats { return r.wstats }
+
+// Stats returns the register's live telemetry as a Stats-tree node:
+// capacity gauges plus the publication sequencer's counters. Safe from
+// any goroutine at any time — it reads only tier-1 words (atomically
+// published cells and the handle-table mutex), never the writer's or a
+// reader's plain hot-path counters; those stay quiescent-collection
+// only (WriteStats/ReadStats) per the DESIGN §10 recording discipline.
+func (r *Register) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "register"}
+	sn.Put("slots", uint64(len(r.slots)))
+	sn.Put("max_readers", uint64(r.maxReaders))
+	sn.Put("live_readers", uint64(r.LiveReaders()))
+	sn.Children = append(sn.Children, r.seq.Stats())
+	return sn
+}
 
 // Write publishes a new register value (Algorithm 3). It is wait-free:
 // the free-slot search is bounded by the slot count (Lemma 4.1 guarantees

@@ -278,6 +278,22 @@ func (s *Schedule) Disarm() {
 	}
 }
 
+// Fired sums rule firings across the schedule's points (each point
+// counted once) — the liveness check scenarios use to assert their
+// schedule actually exercised the instrumented paths.
+func (s *Schedule) Fired() uint64 {
+	seen := make(map[*Point]struct{}, len(s.points))
+	var n uint64
+	for _, p := range s.points {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		n += p.Fired()
+	}
+	return n
+}
+
 // Points lists every registered point name, sorted.
 func Points() []string {
 	mu.Lock()

@@ -24,6 +24,7 @@ import (
 
 	"arcreg/internal/arc"
 	"arcreg/internal/metrics"
+	"arcreg/internal/notify"
 	"arcreg/internal/register"
 )
 
@@ -55,6 +56,13 @@ type WatchRunConfig struct {
 	// Duration is the measurement window; Warmup precedes it.
 	Duration time.Duration
 	Warmup   time.Duration
+	// SlowConsumers makes the first SlowConsumers watchers spend
+	// SlowDelay "processing" each delivery before completing it — the
+	// backpressure cell: a consumer that cannot keep up with the
+	// publish cadence, whose ledger shows lag and conflation while the
+	// fast watchers' stays near zero.
+	SlowConsumers int
+	SlowDelay     time.Duration
 }
 
 // WatchResult is one cell's outcome.
@@ -67,6 +75,17 @@ type WatchResult struct {
 	// watchers.
 	Latency metrics.Histogram
 	Elapsed time.Duration
+	// LagP50 and LagMax are the live population's backpressure lag
+	// (publications known but not yet delivered), sampled mid-window
+	// while the watchers run — lag is a property of a running
+	// population, not of its quiescent residue.
+	LagP50 uint64
+	LagMax uint64
+	// Conflated counts publications skipped forever by latest-value
+	// conflation, Wakeups the park→wake edges, both summed over
+	// watchers for the whole run.
+	Conflated uint64
+	Wakeups   uint64
 }
 
 // RunWatch measures one watch-latency cell.
@@ -121,11 +140,13 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 		}
 	}()
 
-	// Watchers: observe every change, record publish→observe latency.
+	// Watchers: observe every change, record publish→observe latency,
+	// and keep a backpressure ledger per watcher.
 	type watchStats struct {
 		hist     metrics.Histogram
 		observed uint64
 	}
+	track := &notify.Tracker{}
 	stats := make([]watchStats, cfg.Watchers)
 	for w := 0; w < cfg.Watchers; w++ {
 		rd, err := reg.NewReaderHandle()
@@ -135,15 +156,23 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 			wg.Wait()
 			return WatchResult{}, err
 		}
+		var slow time.Duration
+		if w < cfg.SlowConsumers {
+			slow = cfg.SlowDelay
+		}
 		wg.Add(1)
-		go func(st *watchStats) {
+		go func(st *watchStats, slow time.Duration) {
 			defer wg.Done()
 			defer rd.Close()
+			ws := &notify.WatchStats{}
+			track.Attach(ws)
+			defer track.Detach(ws)
 			seq := reg.Notifier()
 			for {
 				// Snapshot before read: the at-least-once discipline of
 				// the Watch engine, reproduced at the register level.
 				seen := seq.Epoch()
+				ws.NoteSeen(seen)
 				v, changed, err := rd.ViewFresh()
 				if err != nil {
 					return
@@ -154,13 +183,24 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 						st.hist.Record(lat)
 						st.observed++
 					}
+					// A slow consumer spends SlowDelay processing the
+					// value; the delivery completes only when processing
+					// does (Watch-engine semantics: NoteDelivered fires
+					// after yield returns), so mid-window lag samples see
+					// the backlog it accumulates.
+					if slow > 0 {
+						time.Sleep(slow)
+					}
+					ws.NoteDelivered(seen)
+				} else {
+					ws.NoteObserved(seen)
 				}
 				if phase.Load() == phaseStop {
 					return
 				}
 				switch cfg.Mode {
 				case ModeWatch:
-					if _, err := seq.Wait(ctx, seen); err != nil {
+					if _, err := seq.WaitStats(ctx, seen, ws); err != nil {
 						return
 					}
 				default: // ModePoll: probe-and-sleep
@@ -169,19 +209,41 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 					}
 				}
 			}
-		}(&stats[w])
+		}(&stats[w], slow)
 	}
 
 	time.Sleep(cfg.Warmup)
 	phase.Store(phaseMeasure)
 	start := time.Now()
-	time.Sleep(cfg.Duration)
+	// Sample the live population's lag while the window runs (a slow
+	// consumer's backlog exists only mid-flight; after stop every
+	// watcher drains and lag collapses to zero). Keep the worst sample.
+	var lagP50, lagMax uint64
+	const lagSamples = 4
+	for i := 0; i < lagSamples; i++ {
+		time.Sleep(cfg.Duration / lagSamples)
+		sn := track.Stats()
+		if p50, _ := sn.Get("lag_p50"); p50 > lagP50 {
+			lagP50 = p50
+		}
+		if max, _ := sn.Get("lag_max"); max > lagMax {
+			lagMax = max
+		}
+	}
 	phase.Store(phaseStop)
 	elapsed := time.Since(start)
 	cancel() // release parked watchers
 	wg.Wait()
 
-	res := WatchResult{Published: published, Elapsed: elapsed}
+	res := WatchResult{
+		Published: published, Elapsed: elapsed,
+		LagP50: lagP50, LagMax: lagMax,
+	}
+	// Every watcher has detached: the tracker's totals are the retired
+	// sums for the whole run.
+	fin := track.Stats()
+	res.Conflated, _ = fin.Get("conflated")
+	res.Wakeups, _ = fin.Get("wakeups")
 	for i := range stats {
 		res.Observed += stats[i].observed
 		res.Latency.Merge(&stats[i].hist)
@@ -198,19 +260,28 @@ type WatchFigure struct {
 	ValueSize    int
 	Duration     time.Duration
 	Warmup       time.Duration
+	// SlowConsumers/SlowDelay deliberately lag that many watchers per
+	// cell (see WatchRunConfig), populating the lag and conflation
+	// columns with a real backpressure signal.
+	SlowConsumers int
+	SlowDelay     time.Duration
 }
 
 // FigWatch returns the standard watch-latency figure: parked watchers
-// versus 100µs and 1ms pollers, swept over watcher counts.
+// versus 100µs and 1ms pollers, swept over watcher counts, with one
+// deliberately slow consumer per cell so the backpressure columns
+// (lag, conflation) measure a real lagging subscriber.
 func FigWatch() WatchFigure {
 	return WatchFigure{
-		ID:           "watch",
-		Watchers:     []int{1, 4, 16},
-		PollEvery:    []time.Duration{100 * time.Microsecond, time.Millisecond},
-		PublishEvery: 200 * time.Microsecond,
-		ValueSize:    64,
-		Duration:     time.Second,
-		Warmup:       100 * time.Millisecond,
+		ID:            "watch",
+		Watchers:      []int{1, 4, 16},
+		PollEvery:     []time.Duration{100 * time.Microsecond, time.Millisecond},
+		PublishEvery:  200 * time.Microsecond,
+		ValueSize:     64,
+		Duration:      time.Second,
+		Warmup:        100 * time.Millisecond,
+		SlowConsumers: 1,
+		SlowDelay:     5 * time.Millisecond,
 	}
 }
 
@@ -275,13 +346,15 @@ func (f WatchFigure) Run(progress func(done, total int, c WatchCell)) (WatchData
 	for _, s := range sweeps {
 		for _, w := range f.Watchers {
 			res, err := RunWatch(WatchRunConfig{
-				Mode:         s.mode,
-				PollEvery:    s.poll,
-				Watchers:     w,
-				PublishEvery: f.PublishEvery,
-				ValueSize:    f.ValueSize,
-				Duration:     f.Duration,
-				Warmup:       f.Warmup,
+				Mode:          s.mode,
+				PollEvery:     s.poll,
+				Watchers:      w,
+				PublishEvery:  f.PublishEvery,
+				ValueSize:     f.ValueSize,
+				Duration:      f.Duration,
+				Warmup:        f.Warmup,
+				SlowConsumers: f.SlowConsumers,
+				SlowDelay:     f.SlowDelay,
 			})
 			cell := WatchCell{Mode: s.mode, PollEvery: s.poll, Watchers: w, Result: res, Err: err}
 			if err != nil {
@@ -300,30 +373,33 @@ func (f WatchFigure) Run(progress func(done, total int, c WatchCell)) (WatchData
 // RenderTable writes the figure as an ASCII table.
 func (d WatchData) RenderTable(w io.Writer) {
 	f := d.Figure
-	fmt.Fprintf(w, "== publish→observe wakeup latency (publish every %v, value %dB, window %v) ==\n",
-		f.PublishEvery, f.ValueSize, f.Duration)
-	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s\n",
-		"series", "watchers", "published", "observed", "lat p50", "lat p99", "lat max")
+	fmt.Fprintf(w, "== publish→observe wakeup latency (publish every %v, value %dB, window %v, %d slow consumer(s) +%v) ==\n",
+		f.PublishEvery, f.ValueSize, f.Duration, f.SlowConsumers, f.SlowDelay)
+	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s %8s %8s %10s %9s\n",
+		"series", "watchers", "published", "observed", "lat p50", "lat p99", "lat max",
+		"lag p50", "lag max", "conflated", "wakeups")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s\n",
+		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s %8d %8d %10d %9d\n",
 			c.series(), c.Watchers, r.Published, r.Observed,
 			metrics.Duration(r.Latency.Quantile(0.5)),
 			metrics.Duration(r.Latency.Quantile(0.99)),
-			time.Duration(r.Latency.Max()))
+			time.Duration(r.Latency.Max()),
+			r.LagP50, r.LagMax, r.Conflated, r.Wakeups)
 	}
 }
 
 // RenderCSV appends machine-readable rows.
 func (d WatchData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns")
+	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns,lag_p50,lag_max,conflated,wakeups")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%d\n",
 			d.Figure.ID, c.series(), c.Watchers,
 			float64(d.Figure.PublishEvery)/float64(time.Microsecond),
 			float64(c.PollEvery)/float64(time.Microsecond),
 			r.Published, r.Observed,
-			r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max())
+			r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max(),
+			r.LagP50, r.LagMax, r.Conflated, r.Wakeups)
 	}
 }

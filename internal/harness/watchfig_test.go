@@ -35,6 +35,40 @@ func TestRunWatchModes(t *testing.T) {
 	}
 }
 
+// TestRunWatchSlowConsumerBackpressure pins the backpressure columns:
+// a deliberately slow consumer against a fast publish cadence must
+// show conflation (publications skipped forever) and non-zero lag in
+// the mid-window samples, while delivery still makes progress.
+func TestRunWatchSlowConsumerBackpressure(t *testing.T) {
+	res, err := RunWatch(WatchRunConfig{
+		Mode:          ModeWatch,
+		Watchers:      2,
+		SlowConsumers: 1,
+		SlowDelay:     5 * time.Millisecond,
+		PublishEvery:  100 * time.Microsecond,
+		ValueSize:     32,
+		Duration:      300 * time.Millisecond,
+		Warmup:        20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Published == 0 || res.Observed == 0 {
+		t.Fatalf("no traffic: published=%d observed=%d", res.Published, res.Observed)
+	}
+	if res.Conflated == 0 {
+		t.Errorf("slow consumer conflated nothing (published=%d observed=%d)",
+			res.Published, res.Observed)
+	}
+	if res.LagMax == 0 {
+		t.Errorf("slow consumer showed no lag in any mid-window sample (published=%d)",
+			res.Published)
+	}
+	if res.Wakeups == 0 {
+		t.Error("parked watchers took no wakeups")
+	}
+}
+
 // TestWatchFigureRender runs the scaled figure end to end and checks
 // the table carries every series.
 func TestWatchFigureRender(t *testing.T) {
@@ -46,7 +80,7 @@ func TestWatchFigureRender(t *testing.T) {
 	var tbl, csv strings.Builder
 	data.RenderTable(&tbl)
 	data.RenderCSV(&csv)
-	for _, want := range []string{"watch", "poll-100µs", "poll-1ms", "lat p99"} {
+	for _, want := range []string{"watch", "poll-100µs", "poll-1ms", "lat p99", "lag max", "conflated"} {
 		if !strings.Contains(tbl.String(), want) {
 			t.Errorf("table missing %q:\n%s", want, tbl.String())
 		}

@@ -41,6 +41,10 @@ func (t Throughput) String() string {
 // holds samples in [2^i, 2^(i+1)) nanoseconds, covering 1ns to ~18s.
 const histBuckets = 35
 
+// NumBuckets is the bucket count, exported so live mirrors
+// (internal/obs) can shadow a Histogram word for word.
+const NumBuckets = histBuckets
+
 // Histogram is a log₂-bucketed latency histogram. The zero value is ready
 // to use. Record is wait-free and allocation-free; one histogram belongs
 // to one goroutine until merged.
@@ -85,6 +89,22 @@ func bucketOf(ns uint64) int {
 		i = histBuckets - 1
 	}
 	return i
+}
+
+// BucketIndex returns the bucket a sample of ns nanoseconds lands in.
+func BucketIndex(ns uint64) int { return bucketOf(ns) }
+
+// Bucket returns the sample count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Sum reports the total of all samples in nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Restore rebuilds a Histogram from previously exported words — the
+// inverse of reading it out bucket by bucket. Used by live mirrors to
+// materialize a point-in-time copy from atomically published words.
+func Restore(buckets [NumBuckets]uint64, count, sum, min, max uint64) Histogram {
+	return Histogram{buckets: buckets, count: count, sum: sum, min: min, max: max}
 }
 
 // Merge folds other into h.

@@ -102,6 +102,7 @@ import (
 
 	"arcreg/internal/arc"
 	"arcreg/internal/notify"
+	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
@@ -281,15 +282,52 @@ func (r *Register) NotifyGate() *notify.Gate { return &r.watchGate }
 // reading and wait on that snapshot for at-least-once change delivery
 // with latest-value conflation (same contract as notify.Sequencer.Wait).
 func (r *Register) WaitPublish(ctx context.Context, seen uint64) (uint64, error) {
+	return r.WaitPublishStats(ctx, seen, nil)
+}
+
+// WaitPublishStats is WaitPublish with per-watcher telemetry: park/wake
+// accounting goes through notify.AwaitStats and the epoch observed at
+// return is noted as published on ws (in the composite summed-epoch
+// frame). ws may be nil.
+func (r *Register) WaitPublishStats(ctx context.Context, seen uint64, ws *notify.WatchStats) (uint64, error) {
 	var epoch uint64
-	err := notify.Await(ctx, func() bool {
+	err := notify.AwaitStats(ctx, func() bool {
 		epoch = r.NotifyEpoch()
 		return epoch != seen
-	}, &r.watchGate)
+	}, ws, &r.watchGate)
 	if err != nil {
 		return seen, err
 	}
+	if ws != nil {
+		ws.NoteSeen(epoch)
+	}
 	return epoch, nil
+}
+
+// Stats returns the composite's live telemetry as a Stats-tree node:
+// the summed publication epoch, the publish-window counters, capacity
+// gauges, and one child per component register. Safe from any
+// goroutine at any time (tier-1 words only; per-handle scan counters
+// stay quiescent-collection, see ReadStats).
+func (r *Register) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "mnreg"}
+	sn.Put("epoch", r.NotifyEpoch())
+	sn.Put("pub_started", r.pubStarted.Load())
+	sn.Put("pub_done", r.pubDone.Load())
+	sn.Put("writers", uint64(r.writers))
+	sn.Put("readers", uint64(r.readers))
+	sn.Put("live_readers", uint64(r.LiveReaders()))
+	armed := uint64(0)
+	if r.watchGate.Armed() {
+		armed = 1
+	}
+	sn.Put("gate_armed", armed)
+	for i, comp := range r.comps {
+		child := comp.Stats()
+		child.Name = fmt.Sprintf("component%d", i)
+		sn.Children = append(sn.Children, child)
+	}
+	return sn
 }
 
 // Writers reports M.

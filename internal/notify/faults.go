@@ -1,0 +1,32 @@
+package notify
+
+import "arcreg/internal/fault"
+
+// Named fault-injection points in the publication-notification
+// protocol. Both sit on the two-word SC crossing the lost-wakeup
+// argument depends on (epoch store → gate load vs gate CAS → epoch
+// load), so stalling them holds the crossing open and drives the
+// wakeup storms the chaos scenarios assert backpressure counters
+// against.
+//
+// Neither point is CanCrash: Publish and Wake run on the register's
+// single publisher goroutine inside compositions (regmap holds its
+// publication window open around them), so an unwind here would wedge
+// collective protocols that a recover cannot repair.
+const (
+	// FaultPublishEpoch fires between the sequencer's epoch store and
+	// its gate wake — the publisher's half of the crossing. A stall
+	// here widens the window where waiters arm against an
+	// already-advanced epoch, forcing the recheck path.
+	FaultPublishEpoch = "notify/publish-epoch"
+	// FaultWakeSwap fires inside Gate.Wake after the armed check and
+	// before the stamp/swap/close — the broadcast edge. A stall here
+	// delays the close while more waiters pile onto the armed channel,
+	// turning the eventual close into a thundering wake.
+	FaultWakeSwap = "notify/wake-swap"
+)
+
+var (
+	faultPublishEpoch = fault.NewPoint(FaultPublishEpoch, fault.CanYield|fault.CanStall)
+	faultWakeSwap     = fault.NewPoint(FaultWakeSwap, fault.CanYield|fault.CanStall)
+)

@@ -61,9 +61,18 @@ package notify
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
+	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 )
+
+// clockBase anchors the package's monotonic nanosecond clock: wake
+// stamps and wakeup-latency samples are durations since process start,
+// immune to wall-clock steps.
+var clockBase = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(clockBase)) }
 
 // Gate is the parking point: an atomic pointer to the broadcast channel
 // shared by the currently parked waiters, nil when nobody is parked.
@@ -74,8 +83,14 @@ type Gate struct {
 	// armed is padded like every shared synchronization word in this
 	// repository: it is CAS target of parking waiters and must not
 	// false-share with the epoch word or neighbouring gates.
-	_      [pad.CacheLineSize - 8]byte
-	armed  atomic.Pointer[chan struct{}]
+	_     [pad.CacheLineSize - 8]byte
+	armed atomic.Pointer[chan struct{}]
+	_     [pad.CacheLineSize - 8]byte
+	// stamp is the monotonic time of the last waking publish, stored
+	// only on the armed slow path (just before the swap-and-close, so
+	// the channel close's happens-before edge carries it to every woken
+	// waiter). The no-waiter publish path never touches it.
+	stamp  atomic.Int64
 	_      [pad.CacheLineSize - 8]byte
 	parent *Gate
 	_      pad.CacheLinePad
@@ -122,11 +137,23 @@ func (g *Gate) Arm() <-chan struct{} {
 // store or RMW on the published state), so that a waiter woken by the
 // close — or one that never slept because its post-Arm recheck saw the
 // publication — observes the new state.
-func (g *Gate) Wake() {
+//
+// Wake returns the number of broadcast channels it closed (0 on the
+// no-waiter fast path), so publishers can count waking publications
+// without re-probing the gate.
+func (g *Gate) Wake() int {
+	woke := 0
 	for gg := g; gg != nil; gg = gg.parent {
 		if gg.armed.Load() == nil {
 			continue // fast path: nobody parked on this gate
 		}
+		// Armed slow path: stamp the wake time before the swap so the
+		// channel close's happens-before edge publishes the stamp to
+		// every waiter it wakes (their latency sample is close-to-
+		// observe, the backpressure half of the park→publish→observe
+		// path).
+		faultWakeSwap.Hit()
+		gg.stamp.Store(nowNanos())
 		// Swap-then-close: the channel leaves the gate before it
 		// closes, so no waiter can be handed an already-closed channel
 		// *through the gate* (one obtained just before the swap wakes
@@ -135,9 +162,17 @@ func (g *Gate) Wake() {
 		// publishers share a parent gate.
 		if p := gg.armed.Swap(nil); p != nil {
 			close(*p)
+			woke++
 		}
 	}
+	return woke
 }
+
+// WakeStamp returns the monotonic nanosecond time of the last waking
+// publish through g, 0 if none has happened. Woken waiters read it to
+// compute their wakeup latency; the close that woke them orders the
+// stamp before their load.
+func (g *Gate) WakeStamp() int64 { return g.stamp.Load() }
 
 // Armed reports whether a waiter is currently parked (or arming) on g.
 // Test and diagnostics hook; the answer is immediately stale.
@@ -153,6 +188,17 @@ func (g *Gate) Armed() bool { return g.armed.Load() != nil }
 // parks on the key's value gate and the shard's directory gate at
 // once); Await panics on other counts rather than silently degrading.
 func Await(ctx context.Context, changed func() bool, gates ...*Gate) error {
+	return AwaitStats(ctx, changed, nil, gates...)
+}
+
+// AwaitStats is Await with per-watcher telemetry: each pass through the
+// park→wake edge records one wakeup on ws, a wakeup-latency sample
+// against the waking gate's stamp, and a spurious wakeup when the wake
+// did not satisfy the predicate. ws may be nil (plain Await). All
+// recording happens on the waiter's side of the park — the publish path
+// is untouched beyond the stamp it already writes when a waiter is
+// parked.
+func AwaitStats(ctx context.Context, changed func() bool, ws *WatchStats, gates ...*Gate) error {
 	if len(gates) == 0 || len(gates) > 2 {
 		panic("notify: Await supports exactly 1 or 2 gates")
 	}
@@ -173,11 +219,26 @@ func Await(ctx context.Context, changed func() bool, gates ...*Gate) error {
 		if changed() {
 			return nil
 		}
+		var woke *Gate
 		select {
 		case <-c0:
+			woke = gates[0]
 		case <-c1: // nil when one gate: never ready
+			woke = gates[1]
 		case <-ctx.Done():
 			return ctx.Err()
+		}
+		if ws != nil {
+			ws.wakeups.Add(1)
+			if stamp := woke.WakeStamp(); stamp != 0 {
+				ws.latency.RecordSince(stamp, nowNanos())
+			}
+			if !changed() {
+				ws.spurious.Add(1)
+			}
+			// Fall through to the loop head: the predicate is monotone,
+			// so the extra changed() there costs one pass and keeps one
+			// exit path.
 		}
 	}
 }
@@ -197,6 +258,10 @@ type Sequencer struct {
 	// local mirrors epoch on the publisher's side so Publish needs no
 	// atomic read-modify-write — the publisher owns the counter.
 	local uint64
+	// wakes counts waking publications (a waiter was parked and the
+	// gate closed) — publisher-owned, advanced only on the armed slow
+	// path, so the no-waiter publish cost is unchanged.
+	wakes obs.Cell
 }
 
 // Publish records one publication: it advances the epoch (one atomic
@@ -207,7 +272,29 @@ type Sequencer struct {
 func (s *Sequencer) Publish() {
 	s.local++
 	s.epoch.Store(s.local)
-	s.gate.Wake()
+	faultPublishEpoch.Hit()
+	if s.gate.Wake() > 0 {
+		s.wakes.Add(1)
+	}
+}
+
+// Wakes reports how many publications found a waiter parked and woke
+// it: any goroutine, one atomic load.
+func (s *Sequencer) Wakes() uint64 { return s.wakes.Load() }
+
+// Stats returns the sequencer's live counters as a Stats-tree node:
+// publication epoch, waking publications, and whether a waiter is
+// currently parked. Safe from any goroutine at any time.
+func (s *Sequencer) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "notify"}
+	sn.Put("epoch", s.epoch.Load())
+	sn.Put("wakes", s.wakes.Load())
+	armed := uint64(0)
+	if s.gate.Armed() {
+		armed = 1
+	}
+	sn.Put("gate_armed", armed)
+	return sn
 }
 
 // Epoch returns the current publication count: one atomic load. Two
@@ -231,13 +318,24 @@ func (s *Sequencer) Chain(parent *Gate) { s.gate.Chain(parent) }
 // snapshot makes Wait return, and the caller's re-read then observes
 // it (or something newer — latest-value conflation).
 func (s *Sequencer) Wait(ctx context.Context, seen uint64) (uint64, error) {
+	return s.WaitStats(ctx, seen, nil)
+}
+
+// WaitStats is Wait with per-watcher telemetry: park/wake accounting
+// goes through AwaitStats, and the epoch observed at return is noted as
+// published on ws (the caller notes delivery once it has actually
+// yielded the value — see WatchStats.NoteDelivered). ws may be nil.
+func (s *Sequencer) WaitStats(ctx context.Context, seen uint64, ws *WatchStats) (uint64, error) {
 	var epoch uint64
-	err := Await(ctx, func() bool {
+	err := AwaitStats(ctx, func() bool {
 		epoch = s.epoch.Load()
 		return epoch != seen
-	}, &s.gate)
+	}, ws, &s.gate)
 	if err != nil {
 		return seen, err
+	}
+	if ws != nil {
+		ws.NoteSeen(epoch)
 	}
 	return epoch, nil
 }

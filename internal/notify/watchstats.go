@@ -1,0 +1,270 @@
+// Watch-side backpressure telemetry: per-watcher counters recorded on
+// the park/wake and delivery paths (never on a publish fast path), and
+// a Tracker aggregating the live watcher population into one Stats
+// node.
+//
+// # The backpressure ledger
+//
+// The notification layer conflates by design — a waiter that parks
+// through three publications wakes once and reads the latest value.
+// That is the right delivery semantics for a register, but it makes
+// "is this watcher keeping up?" invisible without a ledger of what was
+// published versus what was observed. WatchStats keeps that ledger in
+// the watcher's own epoch frame:
+//
+//	published — highest publication epoch the watcher has seen evidence
+//	            of (from its epoch snapshots; monotone)
+//	observed  — the epoch frame of the last value it delivered
+//	lag       — published - observed: publications the watcher knows
+//	            about but has not delivered yet
+//	conflated — publications skipped forever: epoch jumps >1 between
+//	            consecutive deliveries
+//	wakeups / spurious — park→wake edges, and wakes whose predicate
+//	            was not yet satisfied
+//	latency   — close-to-observe wakeup latency histogram
+//
+// The invariant observed ≤ published holds in every snapshot: delivery
+// stores published before observed, and Lag loads observed before
+// published, so a torn read can only under-report lag, never invert it.
+package notify
+
+import (
+	"sort"
+	"sync"
+
+	"arcreg/internal/metrics"
+	"arcreg/internal/obs"
+	"arcreg/internal/pad"
+)
+
+// WatchStats is one watcher's backpressure ledger. Single-writer: the
+// watcher goroutine records (via AwaitStats, NoteSeen, NoteDelivered);
+// any goroutine reads via the accessors or Stats. The zero value is
+// ready to use. Pad-bracketed so per-watcher blocks in an array or
+// arena do not false-share.
+type WatchStats struct {
+	_         pad.CacheLinePad
+	published obs.Cell
+	observed  obs.Cell
+	delivered obs.Cell
+	conflated obs.Cell
+	wakeups   obs.Cell
+	spurious  obs.Cell
+	latency   obs.Hist
+	_         pad.CacheLinePad
+}
+
+// NoteSeen records evidence that publication epoch e exists (from an
+// epoch snapshot taken before a read, or the epoch a Wait returned).
+// Monotone: stale evidence is ignored. Watcher goroutine only.
+func (ws *WatchStats) NoteSeen(e uint64) {
+	if e > ws.published.Local() {
+		ws.published.Store(e)
+	}
+}
+
+// NoteDelivered records that the watcher delivered the value published
+// at epoch e: one delivery, epoch-jump conflation accounting, and the
+// observed/published frame advance. Watcher goroutine only.
+//
+// Conflation counts from the second delivery on — the first delivery
+// of a watch is a baseline read, not a skipped publication. Store
+// order (published, then observed) maintains observed ≤ published for
+// concurrent readers.
+func (ws *WatchStats) NoteDelivered(e uint64) {
+	prev := ws.observed.Local()
+	if e <= prev {
+		// Same-epoch redelivery (e.g. a directory event without a value
+		// change): count the delivery, leave the frame alone.
+		ws.delivered.Add(1)
+		return
+	}
+	if ws.delivered.Local() > 0 && e > prev+1 {
+		ws.conflated.Add(e - prev - 1)
+	}
+	ws.delivered.Add(1)
+	if e > ws.published.Local() {
+		ws.published.Store(e)
+	}
+	ws.observed.Store(e)
+}
+
+// NoteObserved advances the observed frame to e without counting a
+// delivery or conflation — the watcher probed and verified it is
+// current as of epoch e (nothing to deliver). Keeps an up-to-date
+// watcher's lag at zero when the epoch frame is wider than its
+// subscription (e.g. a single-key watch framed by its shard's epoch).
+// Watcher goroutine only.
+func (ws *WatchStats) NoteObserved(e uint64) {
+	if e <= ws.observed.Local() {
+		return
+	}
+	if e > ws.published.Local() {
+		ws.published.Store(e)
+	}
+	ws.observed.Store(e)
+}
+
+// Published returns the highest publication epoch the watcher has seen
+// evidence of. Any goroutine.
+func (ws *WatchStats) Published() uint64 { return ws.published.Load() }
+
+// Observed returns the epoch frame of the last delivered value. Any
+// goroutine.
+func (ws *WatchStats) Observed() uint64 { return ws.observed.Load() }
+
+// Delivered returns the number of values the watcher has delivered.
+func (ws *WatchStats) Delivered() uint64 { return ws.delivered.Load() }
+
+// Conflated returns the number of publications skipped forever by
+// latest-value conflation.
+func (ws *WatchStats) Conflated() uint64 { return ws.conflated.Load() }
+
+// Wakeups returns the number of park→wake edges the watcher has taken.
+func (ws *WatchStats) Wakeups() uint64 { return ws.wakeups.Load() }
+
+// Spurious returns the number of wakeups whose predicate was not yet
+// satisfied.
+func (ws *WatchStats) Spurious() uint64 { return ws.spurious.Load() }
+
+// Latency returns a point-in-time copy of the wakeup-latency histogram.
+func (ws *WatchStats) Latency() metrics.Histogram { return ws.latency.Snapshot() }
+
+// Lag returns published - observed: how many known publications the
+// watcher has not delivered. Loads observed first so a concurrent
+// delivery can only shrink the reported lag, never make it negative.
+func (ws *WatchStats) Lag() uint64 {
+	o := ws.observed.Load()
+	p := ws.published.Load()
+	if p <= o {
+		return 0
+	}
+	return p - o
+}
+
+// Stats returns the watcher's ledger as a Stats-tree node.
+func (ws *WatchStats) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "watcher"}
+	sn.Put("published", ws.published.Load())
+	sn.Put("observed", ws.observed.Load())
+	sn.Put("lag", ws.Lag())
+	sn.Put("delivered", ws.delivered.Load())
+	sn.Put("conflated", ws.conflated.Load())
+	sn.Put("wakeups", ws.wakeups.Load())
+	sn.Put("spurious", ws.spurious.Load())
+	if h := ws.latency.Snapshot(); h.Count() > 0 {
+		sn.PutHist("wakeup_latency", h)
+	}
+	return sn
+}
+
+// Tracker aggregates a population of watchers into one Stats node:
+// live watchers attach on start and detach on exit (their totals fold
+// into retired sums so counters never go backwards), and Stats walks
+// the live set for population lag quantiles. Attach/Detach are
+// mutex-guarded lifecycle edges — never on a read or publish path.
+type Tracker struct {
+	mu   sync.Mutex
+	live map[*WatchStats]struct{}
+	// Retired totals: the monotone residue of detached watchers.
+	retiredWatchers  uint64
+	retiredDelivered uint64
+	retiredConflated uint64
+	retiredWakeups   uint64
+	retiredSpurious  uint64
+	retiredLatency   metrics.Histogram
+}
+
+// Attach registers ws as a live watcher.
+func (t *Tracker) Attach(ws *WatchStats) {
+	t.mu.Lock()
+	if t.live == nil {
+		t.live = make(map[*WatchStats]struct{})
+	}
+	t.live[ws] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Detach removes ws from the live set, folding its final totals into
+// the tracker's retired sums. A Detach without a prior Attach is a
+// no-op.
+func (t *Tracker) Detach(ws *WatchStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.live[ws]; !ok {
+		return
+	}
+	delete(t.live, ws)
+	t.retiredWatchers++
+	t.retiredDelivered += ws.Delivered()
+	t.retiredConflated += ws.Conflated()
+	t.retiredWakeups += ws.Wakeups()
+	t.retiredSpurious += ws.Spurious()
+	h := ws.Latency()
+	t.retiredLatency.Merge(&h)
+}
+
+// Watchers returns the live watcher count.
+func (t *Tracker) Watchers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// Each calls f for every live watcher under the tracker's lock; f must
+// not call back into the tracker.
+func (t *Tracker) Each(f func(*WatchStats)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for ws := range t.live {
+		f(ws)
+	}
+}
+
+// Stats aggregates the population: live count, retired count, total
+// deliveries/conflations/wakeups/spurious across live and retired
+// watchers, lag quantiles (p50/max) over the live set, and the merged
+// wakeup-latency histogram.
+func (t *Tracker) Stats() obs.Snapshot {
+	t.mu.Lock()
+	lags := make([]uint64, 0, len(t.live))
+	var delivered, conflated, wakeups, spurious uint64
+	latency := t.retiredLatency
+	for ws := range t.live {
+		lags = append(lags, ws.Lag())
+		delivered += ws.Delivered()
+		conflated += ws.Conflated()
+		wakeups += ws.Wakeups()
+		spurious += ws.Spurious()
+		h := ws.Latency()
+		latency.Merge(&h)
+	}
+	live := uint64(len(t.live))
+	retired := t.retiredWatchers
+	delivered += t.retiredDelivered
+	conflated += t.retiredConflated
+	wakeups += t.retiredWakeups
+	spurious += t.retiredSpurious
+	t.mu.Unlock()
+
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	var lagP50, lagMax uint64
+	if n := len(lags); n > 0 {
+		lagP50 = lags[n/2]
+		lagMax = lags[n-1]
+	}
+
+	sn := obs.Snapshot{Name: "watchers"}
+	sn.Put("live", live)
+	sn.Put("retired", retired)
+	sn.Put("delivered", delivered)
+	sn.Put("conflated", conflated)
+	sn.Put("wakeups", wakeups)
+	sn.Put("spurious", spurious)
+	sn.Put("lag_p50", lagP50)
+	sn.Put("lag_max", lagMax)
+	if latency.Count() > 0 {
+		sn.PutHist("wakeup_latency", latency)
+	}
+	return sn
+}

@@ -1,0 +1,195 @@
+package notify
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"arcreg/internal/fault"
+)
+
+func TestWatchStatsLedger(t *testing.T) {
+	var ws WatchStats
+	ws.NoteSeen(5)
+	ws.NoteSeen(3) // stale evidence ignored
+	if ws.Published() != 5 {
+		t.Fatalf("published = %d, want 5", ws.Published())
+	}
+	if ws.Lag() != 5 {
+		t.Fatalf("lag = %d, want 5", ws.Lag())
+	}
+
+	ws.NoteDelivered(5) // baseline delivery: no conflation
+	if ws.Conflated() != 0 || ws.Delivered() != 1 || ws.Observed() != 5 || ws.Lag() != 0 {
+		t.Fatalf("after baseline: conflated=%d delivered=%d observed=%d lag=%d",
+			ws.Conflated(), ws.Delivered(), ws.Observed(), ws.Lag())
+	}
+
+	ws.NoteDelivered(6) // consecutive: nothing skipped
+	if ws.Conflated() != 0 {
+		t.Fatalf("consecutive delivery conflated = %d", ws.Conflated())
+	}
+
+	ws.NoteDelivered(10) // epochs 7,8,9 skipped forever
+	if ws.Conflated() != 3 || ws.Observed() != 10 || ws.Published() != 10 {
+		t.Fatalf("after jump: conflated=%d observed=%d published=%d",
+			ws.Conflated(), ws.Observed(), ws.Published())
+	}
+
+	ws.NoteDelivered(10) // same-epoch redelivery: frame untouched
+	if ws.Conflated() != 3 || ws.Delivered() != 4 || ws.Observed() != 10 {
+		t.Fatalf("after redelivery: conflated=%d delivered=%d observed=%d",
+			ws.Conflated(), ws.Delivered(), ws.Observed())
+	}
+
+	sn := ws.Stats()
+	if v, _ := sn.Get("conflated"); v != 3 {
+		t.Fatalf("stats conflated = %d", v)
+	}
+	if v, _ := sn.Get("lag"); v != 0 {
+		t.Fatalf("stats lag = %d", v)
+	}
+}
+
+// TestWatchStatsInvariantUnderConcurrentReads pins observed ≤ published
+// in every concurrent snapshot while the owner delivers with jumps.
+func TestWatchStatsInvariantUnderConcurrentReads(t *testing.T) {
+	var ws WatchStats
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				o := ws.Observed()
+				p := ws.Published()
+				if o > p {
+					t.Errorf("invariant violated: observed %d > published %d", o, p)
+					return
+				}
+			}
+		}()
+	}
+	for e := uint64(1); e <= 50_000; e += 3 {
+		ws.NoteSeen(e + 2)
+		ws.NoteDelivered(e)
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestAwaitStatsCountsWakeupsAndLatency(t *testing.T) {
+	var s Sequencer
+	var ws WatchStats
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	seen := s.Epoch()
+	parked := make(chan struct{})
+	res := make(chan error, 1)
+	go func() {
+		close(parked)
+		_, err := s.WaitStats(ctx, seen, &ws)
+		res <- err
+	}()
+	<-parked
+	// Give the waiter time to actually park so the publish takes the
+	// armed slow path and stamps the gate.
+	for !s.Gate().Armed() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.Publish()
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if ws.Wakeups() != 1 {
+		t.Fatalf("wakeups = %d, want 1", ws.Wakeups())
+	}
+	if ws.Published() != 1 {
+		t.Fatalf("published = %d, want 1", ws.Published())
+	}
+	if h := ws.Latency(); h.Count() != 1 {
+		t.Fatalf("latency samples = %d, want 1", h.Count())
+	}
+	if s.Wakes() != 1 {
+		t.Fatalf("sequencer wakes = %d, want 1", s.Wakes())
+	}
+}
+
+func TestTrackerAggregatesLiveAndRetired(t *testing.T) {
+	var tr Tracker
+	a, b := &WatchStats{}, &WatchStats{}
+	tr.Attach(a)
+	tr.Attach(b)
+	if tr.Watchers() != 2 {
+		t.Fatalf("watchers = %d", tr.Watchers())
+	}
+
+	a.NoteDelivered(1)
+	a.NoteDelivered(5) // 3 conflated
+	a.NoteSeen(9)      // lag 4
+	b.NoteDelivered(1) // lag 0
+
+	sn := tr.Stats()
+	if v, _ := sn.Get("lag_max"); v != 4 {
+		t.Fatalf("lag_max = %d, want 4", v)
+	}
+	if v, _ := sn.Get("conflated"); v != 3 {
+		t.Fatalf("conflated = %d, want 3", v)
+	}
+	if v, _ := sn.Get("delivered"); v != 3 {
+		t.Fatalf("delivered = %d, want 3", v)
+	}
+
+	tr.Detach(a)
+	tr.Detach(a) // double detach is a no-op
+	sn = tr.Stats()
+	if v, _ := sn.Get("live"); v != 1 {
+		t.Fatalf("live = %d, want 1", v)
+	}
+	if v, _ := sn.Get("retired"); v != 1 {
+		t.Fatalf("retired = %d, want 1", v)
+	}
+	// Retired totals keep the detached watcher's counters.
+	if v, _ := sn.Get("conflated"); v != 3 {
+		t.Fatalf("conflated after detach = %d, want 3", v)
+	}
+	if v, _ := sn.Get("lag_max"); v != 0 {
+		t.Fatalf("lag_max after detach = %d, want 0 (only b live)", v)
+	}
+}
+
+// TestNotifyFaultPointsFire arms both notify points and checks they
+// observe hits on a publish with a parked waiter — the coverage the
+// watchstorm scenario depends on.
+func TestNotifyFaultPointsFire(t *testing.T) {
+	sched, err := fault.NewSchedule(1,
+		fault.Rule{Point: FaultPublishEpoch, Kind: fault.Yield, Every: 1},
+		fault.Rule{Point: FaultWakeSwap, Kind: fault.Yield, Every: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Arm()
+	defer sched.Disarm()
+
+	var s Sequencer
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() {
+		for !s.Gate().Armed() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		s.Publish()
+	}()
+	if _, err := s.Wait(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+}

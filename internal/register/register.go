@@ -14,6 +14,8 @@ package register
 import (
 	"errors"
 	"fmt"
+
+	"arcreg/internal/obs"
 )
 
 // Errors shared by the register implementations.
@@ -167,6 +169,19 @@ func (s *ReadStats) Add(other ReadStats) {
 	s.Retries += other.Retries
 }
 
+// Snapshot renders the counters as a Stats-tree node (internal/obs).
+// The struct stays the quiescent-collection carrier it always was; the
+// node is the view the unified Stats tree and expvar export consume.
+func (s ReadStats) Snapshot() obs.Snapshot {
+	sn := obs.Snapshot{Name: "reads"}
+	sn.Put("ops", s.Ops)
+	sn.Put("fast_path", s.FastPath)
+	sn.Put("rmw", s.RMW)
+	sn.Put("fallbacks", s.Fallbacks)
+	sn.Put("retries", s.Retries)
+	return sn
+}
+
 // WriteStats counts the work the writer performed.
 type WriteStats struct {
 	// Ops is the number of completed writes.
@@ -195,6 +210,19 @@ func (s *WriteStats) Add(other WriteStats) {
 	s.HintHits += other.HintHits
 	s.CopyOuts += other.CopyOuts
 	s.LockSpins += other.LockSpins
+}
+
+// Snapshot renders the counters as a Stats-tree node (see
+// ReadStats.Snapshot).
+func (s WriteStats) Snapshot() obs.Snapshot {
+	sn := obs.Snapshot{Name: "writes"}
+	sn.Put("ops", s.Ops)
+	sn.Put("rmw", s.RMW)
+	sn.Put("scan_steps", s.ScanSteps)
+	sn.Put("hint_hits", s.HintHits)
+	sn.Put("copy_outs", s.CopyOuts)
+	sn.Put("lock_spins", s.LockSpins)
+	return sn
 }
 
 // StatReader is implemented by reader handles that expose ReadStats.

@@ -103,6 +103,7 @@ import (
 
 	"arcreg/internal/arc"
 	"arcreg/internal/notify"
+	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
 )
@@ -265,11 +266,50 @@ type shard struct {
 	deletes     uint64          // tombstones published (including compaction-folded deletes)
 	creates     uint64          // keys created (including re-creations)
 	compactions uint64          // compaction epochs published
+
+	// stats mirrors the plain directory counters above as live cells
+	// for Map.Stats. The writer flushes it with flushStats only inside
+	// a publication window (after beginPub), so the validated collect
+	// in statsSnapshot — same seqlock argument as Snapshot's — either
+	// sees a mutually consistent flush or detects the overlap and
+	// retries. In particular cgen == compactions in every snapshot the
+	// walker accepts, even mid-Compact.
+	stats shardStats
+}
+
+// shardStats is the shard writer's tier-1 live counter block:
+// single-writer cells, pad-bracketed so neighbouring shards' walkers
+// and writers do not false-share.
+type shardStats struct {
+	_           pad.CacheLinePad
+	epoch       obs.Cell
+	cgen        obs.Cell
+	entries     obs.Cell
+	dirBytes    obs.Cell
+	creates     obs.Cell
+	deletes     obs.Cell
+	compactions obs.Cell
+	_           pad.CacheLinePad
 }
 
 // beginPub / endPub bracket one publication for the snapshot gate.
 func (sh *shard) beginPub() { sh.pubStarted.Add(1) }
 func (sh *shard) endPub()   { sh.pubDone.Add(1) }
+
+// flushStats publishes the shard's directory counters into the live
+// cells. Call only from the shard writer, only inside a publication
+// window (between beginPub and endPub): the window is what lets the
+// stats walker validate that the seven cells belong to one publication
+// instead of tearing across two.
+func (sh *shard) flushStats() {
+	sh.stats.epoch.Store(sh.epoch)
+	sh.stats.cgen.Store(uint64(sh.cgen))
+	sh.stats.entries.Store(uint64(sh.nentries))
+	sh.stats.dirBytes.Store(uint64(len(sh.dirBuf)))
+	sh.stats.creates.Store(sh.creates)
+	sh.stats.deletes.Store(sh.deletes)
+	sh.stats.compactions.Store(sh.compactions)
+}
 
 // Map is a sharded wait-free snapshot map of ARC registers.
 type Map struct {
@@ -282,6 +322,11 @@ type Map struct {
 	// watchGate aggregates every shard sequencer: any publication
 	// anywhere in the map wakes watchers parked here (Reader.WatchAll).
 	watchGate notify.Gate
+
+	// watchTrack aggregates the live Watch/WatchAll population's
+	// backpressure ledgers into the Stats tree. Watchers attach on
+	// entry and detach on return — lifecycle edges, never per-event.
+	watchTrack notify.Tracker
 
 	mu          sync.Mutex
 	liveReaders int
@@ -333,6 +378,7 @@ func New(cfg Config) (*Map, error) {
 		}
 		sh.entries.Store(&slots{})
 		sh.notify.Chain(&m.watchGate)
+		sh.flushStats() // seed the live cells before the shard is shared
 		m.shards[i] = sh
 	}
 	return m, nil
@@ -419,6 +465,7 @@ func (m *Map) Delete(key string) error {
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
 	faultDirPrepublish.Hit()
 	sh.beginPub()
+	sh.flushStats()
 	faultDirPublish.Hit()
 	err := sh.dir.Write(sh.dirBuf)
 	sh.endPub()
@@ -492,6 +539,7 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
 	faultDirPrepublish.Hit()
 	sh.beginPub()
+	sh.flushStats()
 	sh.entries.Store(next)
 	faultSlotStore.Hit()
 	err = sh.dir.Write(sh.dirBuf)
@@ -565,6 +613,7 @@ func (sh *shard) compact() error {
 	}
 	faultCompactBuilt.Hit()
 	sh.beginPub()
+	sh.flushStats()
 	sh.entries.Store(next)
 	faultCompactPublish.Hit()
 	err := sh.dir.Write(sh.dirBuf)
@@ -619,6 +668,92 @@ func (m *Map) WriteStats() WriteStats {
 		}
 	}
 	return ws
+}
+
+// Stats returns the map's live telemetry as a Stats-tree node: map
+// totals, one child per shard, and the aggregated watcher-backpressure
+// ledger. Safe from any goroutine at any time, concurrently with Sets,
+// Deletes and Compacts — unlike WriteStats it never touches the plain
+// writer-side fields, only the shard stat cells flushed inside
+// publication windows plus independently atomic gauges.
+//
+// Per-shard counters are mutually consistent: each shard node comes
+// from one validated collect (statsSnapshot), so within it cgen ==
+// compactions even while a Compact is publishing. Cross-shard totals
+// sum per-shard snapshots taken at slightly different instants — the
+// same per-shard consistency contract as Snapshot's value collect.
+func (m *Map) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "map"}
+	var keys, pubs, wakes, epoch, entries, dirBytes, creates, deletes, compactions uint64
+	children := make([]obs.Snapshot, 0, len(m.shards)+1)
+	for _, sh := range m.shards {
+		node := sh.statsSnapshot()
+		get := func(name string) uint64 { v, _ := node.Get(name); return v }
+		keys += get("live_keys")
+		pubs += get("publications")
+		wakes += get("wakes")
+		epoch += get("dir_epoch")
+		entries += get("dir_entries")
+		dirBytes += get("dir_bytes")
+		creates += get("creates")
+		deletes += get("deletes")
+		compactions += get("compactions")
+		children = append(children, node)
+	}
+	sn.Put("shards", uint64(len(m.shards)))
+	sn.Put("live_keys", keys)
+	sn.Put("live_readers", uint64(m.LiveReaders()))
+	sn.Put("max_readers", uint64(m.maxReaders))
+	sn.Put("publications", pubs)
+	sn.Put("wakes", wakes)
+	sn.Put("dir_epoch", epoch)
+	sn.Put("dir_entries", entries)
+	sn.Put("dir_bytes", dirBytes)
+	sn.Put("creates", creates)
+	sn.Put("deletes", deletes)
+	sn.Put("compactions", compactions)
+	sn.Children = append(sn.Children, m.watchTrack.Stats())
+	sn.Children = append(sn.Children, children...)
+	return sn
+}
+
+// WatchTracker returns the map's watcher-population tracker. Watch and
+// WatchAll attach their ledgers automatically; compositions embedding
+// the map can attach their own.
+func (m *Map) WatchTracker() *notify.Tracker { return &m.watchTrack }
+
+// statsSnapshot is one shard's validated live collect: load the
+// publish window counters, require quiescence (started == done), read
+// the stat cells, and accept only if no publication began meanwhile —
+// the seqlock discipline Snapshot already uses for values, applied to
+// counters. Because the writer flushes the cells exclusively inside
+// windows, an accepted read is a point-in-time copy of one flush.
+func (sh *shard) statsSnapshot() obs.Snapshot {
+	for {
+		s1 := sh.pubStarted.Load()
+		if s1 != sh.pubDone.Load() {
+			runtime.Gosched() // publication in flight: wait it out
+			continue
+		}
+		node := obs.Snapshot{Name: fmt.Sprintf("shard%d", sh.si)}
+		node.Put("dir_epoch", sh.stats.epoch.Load())
+		node.Put("cgen", sh.stats.cgen.Load())
+		node.Put("dir_entries", sh.stats.entries.Load())
+		node.Put("dir_bytes", sh.stats.dirBytes.Load())
+		node.Put("creates", sh.stats.creates.Load())
+		node.Put("deletes", sh.stats.deletes.Load())
+		node.Put("compactions", sh.stats.compactions.Load())
+		// Independently atomic gauges: consistent with themselves, not
+		// window-validated (live_keys moves just outside the window).
+		node.Put("live_keys", uint64(sh.liveKeys.Load()))
+		node.Put("publications", sh.notify.Epoch())
+		node.Put("wakes", sh.notify.Wakes())
+		if sh.pubStarted.Load() == s1 {
+			return node
+		}
+		// A publication overlapped the cell reads: the node may mix two
+		// flushes — discard and retry.
+	}
 }
 
 // WriteStats counts the work the map's writer side performed.

@@ -1,0 +1,250 @@
+package regmap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"arcreg/internal/notify"
+)
+
+// TestMapStatsShape pins the quiescent Stats tree: map totals agree
+// with the per-shard children and with WriteStats' quiescent view.
+func TestMapStatsShape(t *testing.T) {
+	m := newMap(t, Config{Shards: 2, MaxReaders: 2, MaxValueSize: 64})
+	for i := 0; i < 8; i++ {
+		if err := m.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Delete("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := m.Stats()
+	get := func(name string) uint64 {
+		v, ok := sn.Get(name)
+		if !ok {
+			t.Fatalf("map node missing %q:\n%s", name, sn.String())
+		}
+		return v
+	}
+	if get("live_keys") != 7 {
+		t.Fatalf("live_keys = %d, want 7", get("live_keys"))
+	}
+	if get("creates") != 8 || get("deletes") != 1 {
+		t.Fatalf("creates/deletes = %d/%d, want 8/1", get("creates"), get("deletes"))
+	}
+	if get("compactions") != uint64(m.Shards()) {
+		t.Fatalf("compactions = %d, want %d", get("compactions"), m.Shards())
+	}
+	if get("shards") != uint64(m.Shards()) {
+		t.Fatalf("shards = %d", get("shards"))
+	}
+	ws := m.WriteStats()
+	if get("dir_bytes") != ws.DirBytes {
+		t.Fatalf("dir_bytes = %d, WriteStats says %d", get("dir_bytes"), ws.DirBytes)
+	}
+
+	// Children: the watcher aggregate plus one node per shard, each
+	// internally consistent (cgen == compactions).
+	if sn.Child("watchers") == nil {
+		t.Fatalf("no watchers child:\n%s", sn.String())
+	}
+	var shardSum uint64
+	for si := 0; si < m.Shards(); si++ {
+		node := sn.Child(fmt.Sprintf("shard%d", si))
+		if node == nil {
+			t.Fatalf("no shard%d child", si)
+		}
+		cgen, _ := node.Get("cgen")
+		comp, _ := node.Get("compactions")
+		if cgen != comp {
+			t.Fatalf("shard%d: cgen %d != compactions %d", si, cgen, comp)
+		}
+		lk, _ := node.Get("live_keys")
+		shardSum += lk
+	}
+	if shardSum != 7 {
+		t.Fatalf("shard live_keys sum = %d, want 7", shardSum)
+	}
+}
+
+// TestMapStatsDuringCompact is the Stats-vs-Compact race audit: a
+// walker hammers Map.Stats while churn against a shrunken directory
+// ceiling forces continual auto-compaction epochs. Every accepted
+// snapshot must be internally consistent — cgen == compactions per
+// shard (the two cells bump together exactly once per compact, and the
+// validated collect must never tear across that publication) — and the
+// per-shard directory epoch and compaction counters must be monotone
+// across snapshots.
+func TestMapStatsDuringCompact(t *testing.T) {
+	restore := SetDirCapacity(512)
+	defer restore()
+	m := newMap(t, Config{Shards: 1, MaxReaders: 2, MaxValueSize: 32})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch, lastComp uint64
+			for ctx.Err() == nil {
+				sn := m.Stats()
+				node := sn.Child("shard0")
+				if node == nil {
+					errc <- fmt.Errorf("stats lost shard0")
+					return
+				}
+				cgen, _ := node.Get("cgen")
+				comp, _ := node.Get("compactions")
+				if cgen != comp {
+					errc <- fmt.Errorf("torn stats: cgen %d != compactions %d", cgen, comp)
+					return
+				}
+				epoch, _ := node.Get("dir_epoch")
+				if epoch < lastEpoch || comp < lastComp {
+					errc <- fmt.Errorf("stats regressed: epoch %d<%d or compactions %d<%d",
+						epoch, lastEpoch, comp, lastComp)
+					return
+				}
+				lastEpoch, lastComp = epoch, comp
+			}
+		}()
+	}
+
+	// Writer: delete/recreate churn that overflows the 512-byte ceiling
+	// and forces auto-compaction epochs mid-walk.
+	const keys = 4
+	var ver uint64
+	key := func(i int) string { return fmt.Sprintf("churn-%d", i) }
+	for i := 0; i < keys; i++ {
+		ver++
+		if err := m.Set(key(i), verVal(ver)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for round := 0; time.Now().Before(deadline); round++ {
+		i := round % keys
+		if err := m.Delete(key(i)); err != nil {
+			t.Fatalf("round %d: Delete: %v", round, err)
+		}
+		ver++
+		if err := m.Set(key(i), verVal(ver)); err != nil {
+			t.Fatalf("round %d: Set: %v", round, err)
+		}
+	}
+	cancel()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if sn := m.Stats(); true {
+		comp, _ := sn.Get("compactions")
+		if comp == 0 {
+			t.Fatal("churn forced no compaction — the race was never exercised")
+		}
+	}
+}
+
+// TestWatchStatsLedgerOnMap drives a single-key watch through a burst
+// of publications consumed in one wakeup and checks the backpressure
+// ledger: observed ≤ published always, conflation counts the skipped
+// publications, and the tracker exposes the population while the watch
+// is live.
+func TestWatchStatsLedgerOnMap(t *testing.T) {
+	m := newMap(t, Config{Shards: 1, MaxReaders: 2, MaxValueSize: 64})
+	if err := m.Set("k", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	got := make(chan []byte)
+	go func() {
+		for v, err := range rd.Watch(ctx, "k") {
+			if err != nil {
+				close(got)
+				return
+			}
+			select {
+			case got <- append([]byte(nil), v...):
+			case <-ctx.Done():
+				close(got)
+				return
+			}
+		}
+		close(got)
+	}()
+
+	if v := <-got; string(v) != "v0" {
+		t.Fatalf("first delivery %q", v)
+	}
+	// The watcher is between deliveries; its ledger is attached.
+	for m.WatchTracker().Watchers() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Publish a burst while the consumer is blocked in the unbuffered
+	// channel send (it cannot deliver until we receive): at least the
+	// intermediate publications conflate.
+	const burst = 50
+	for i := 0; i < burst; i++ {
+		if err := m.Set("k", []byte(fmt.Sprintf("v%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain until the final value arrives.
+	for v := range got {
+		if string(v) == fmt.Sprintf("v%d", burst) {
+			break
+		}
+	}
+
+	sn := m.WatchTracker().Stats()
+	if v, _ := sn.Get("live"); v != 1 {
+		t.Fatalf("live watchers = %d, want 1", v)
+	}
+	if v, _ := sn.Get("delivered"); v < 2 {
+		t.Fatalf("delivered = %d, want ≥ 2", v)
+	}
+	conflated, _ := sn.Get("conflated")
+	wakeups, _ := sn.Get("wakeups")
+	if conflated == 0 {
+		t.Fatalf("burst of %d conflated nothing (wakeups=%d):\n%s", burst, wakeups, sn.String())
+	}
+	if wakeups == 0 {
+		t.Fatal("watcher parked through a burst without a wakeup")
+	}
+
+	// Per-watcher invariant: observed ≤ published in every live ledger.
+	m.WatchTracker().Each(func(ws *notify.WatchStats) {
+		if o, p := ws.Observed(), ws.Published(); o > p {
+			t.Errorf("observed %d > published %d", o, p)
+		}
+	})
+
+	cancel()
+	for range got {
+	}
+	if m.WatchTracker().Watchers() != 0 {
+		t.Fatalf("watchers after exit = %d", m.WatchTracker().Watchers())
+	}
+}

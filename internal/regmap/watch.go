@@ -59,6 +59,16 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 		si := r.m.ShardOf(key)
 		sh := r.m.shards[si]
 		rs := &r.shards[si]
+		// The watcher's backpressure ledger, framed by the shard's
+		// publication epoch (the finest epoch that covers both the
+		// key's value publications and its directory lifecycle). The
+		// frame is wider than the subscription, so sibling-key activity
+		// delivered in one wakeup shows up as conflation — documented
+		// in DESIGN §10. Attach/detach are the iterator's lifecycle
+		// edges, never per-event.
+		ws := &notify.WatchStats{}
+		r.m.watchTrack.Attach(ws)
+		defer r.m.watchTrack.Detach(ws)
 		first := true
 		lastMiss := false
 		lastCorrupt := false
@@ -67,6 +77,11 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				yield(nil, err)
 				return
 			}
+			// Epoch snapshot strictly before the read: the value (or
+			// absence) GetFresh returns is current as of at least this
+			// epoch, so a delivery observes the frame at seen.
+			seen := sh.notify.Epoch()
+			ws.NoteSeen(seen)
 			v, changed, err := r.GetFresh(key)
 			switch {
 			case errors.Is(err, ErrKeyNotFound):
@@ -78,11 +93,14 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 					if !yield(nil, ErrKeyNotFound) {
 						return
 					}
+					ws.NoteDelivered(seen)
+				} else {
+					ws.NoteObserved(seen)
 				}
 				first, lastMiss, lastCorrupt = false, true, false
-				err := notify.Await(ctx, func() bool {
+				err := notify.AwaitStats(ctx, func() bool {
 					return !rs.dirRd.Fresh()
-				}, sh.dir.Notifier().Gate())
+				}, ws, sh.dir.Notifier().Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -91,16 +109,18 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				// Corruption is an episode, not the end of the stream:
 				// deliver it once, then park on the directory gate — the
 				// next publication is GetFresh's repair opportunity, and
-				// the watch resumes with the repaired state.
+				// the watch resumes with the repaired state. The ledger's
+				// observed frame deliberately stays put: publications the
+				// episode hides from the watcher are real lag.
 				if first || !lastCorrupt {
 					if !yield(nil, err) {
 						return
 					}
 				}
 				first, lastCorrupt = false, true
-				err := notify.Await(ctx, func() bool {
+				err := notify.AwaitStats(ctx, func() bool {
 					return !rs.dirRd.Fresh()
-				}, sh.dir.Notifier().Gate())
+				}, ws, sh.dir.Notifier().Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -113,6 +133,9 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 					if !yield(v, nil) {
 						return
 					}
+					ws.NoteDelivered(seen)
+				} else {
+					ws.NoteObserved(seen)
 				}
 				first, lastMiss, lastCorrupt = false, false, false
 				// Park on the key's own value gate plus the shard's
@@ -124,9 +147,9 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				if !ok {
 					continue // deleted between GetFresh and here: re-read
 				}
-				err := notify.Await(ctx, func() bool {
+				err := notify.AwaitStats(ctx, func() bool {
 					return !r.Fresh(key)
-				}, rs.regs[slot].Notifier().Gate(), sh.dir.Notifier().Gate())
+				}, ws, rs.regs[slot].Notifier().Gate(), sh.dir.Notifier().Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -170,6 +193,13 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 		var prev map[string][]byte
 		first := true
 		corrupted := false
+		// The whole-map ledger, framed by the sum of the shard
+		// publication epochs — the exact frame of the subscription
+		// (every publication anywhere is one epoch tick), so lag and
+		// conflation count real map publications.
+		ws := &notify.WatchStats{}
+		r.m.watchTrack.Attach(ws)
+		defer r.m.watchTrack.Detach(ws)
 		for {
 			if err := ctx.Err(); err != nil {
 				yield(Delta{}, err)
@@ -178,29 +208,34 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 			// Epoch snapshot strictly before the collect: a publication
 			// racing the Snapshot either lands in it or advances an
 			// epoch past this snapshot and forces another round.
+			var seen uint64
 			for i, sh := range r.m.shards {
 				epochs[i] = sh.notify.Epoch()
+				seen += epochs[i]
 			}
+			ws.NoteSeen(seen)
 			snap, err := r.Snapshot()
 			if errors.Is(err, ErrShardCorrupt) {
 				// A corrupt shard degrades the stream instead of ending
 				// it (mirroring Watch): deliver the episode once, park,
 				// and retry on the next publication — which is also the
-				// snapshot's repair opportunity.
+				// snapshot's repair opportunity. The observed frame stays
+				// put while the episode lasts (that unobservability IS
+				// lag).
 				if !corrupted {
 					if !yield(Delta{}, err) {
 						return
 					}
 					corrupted = true
 				}
-				err = notify.Await(ctx, func() bool {
+				err = notify.AwaitStats(ctx, func() bool {
 					for i, sh := range r.m.shards {
 						if sh.notify.Epoch() != epochs[i] {
 							return true
 						}
 					}
 					return false
-				}, &r.m.watchGate)
+				}, ws, &r.m.watchGate)
 				if err != nil {
 					yield(Delta{}, err)
 					return
@@ -218,17 +253,22 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 				if !yield(delta, nil) {
 					return
 				}
+				ws.NoteDelivered(seen)
 				first = false
+			} else {
+				// Nothing to deliver: the collect proved we are current
+				// as of seen (byte-identical snapshots conflate away).
+				ws.NoteObserved(seen)
 			}
 			prev = snap
-			err = notify.Await(ctx, func() bool {
+			err = notify.AwaitStats(ctx, func() bool {
 				for i, sh := range r.m.shards {
 					if sh.notify.Epoch() != epochs[i] {
 						return true
 					}
 				}
 				return false
-			}, &r.m.watchGate)
+			}, ws, &r.m.watchGate)
 			if err != nil {
 				yield(Delta{}, err)
 				return

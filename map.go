@@ -145,6 +145,18 @@ func (m *Map) Caps() Caps {
 // quiescence.
 func (m *Map) WriteStats() MapWriteStats { return m.m.WriteStats() }
 
+// Stats returns the map's observability tree: whole-map totals (live
+// keys, publications, directory bytes, compactions), a "watchers"
+// child aggregating the backpressure ledgers of live Watch/WatchAll
+// iterators (lag, conflation, wakeup latency), and one child per
+// shard. Each shard node is internally consistent even while that
+// shard compacts — its counters are collected inside a validated
+// publication window, so cgen always equals compactions within a node
+// (cross-shard totals are per-shard instants, like Len). Collecting
+// the tree only loads: no RMW on any register path, nothing added to
+// writer cost. Safe to poll continuously (see Observe).
+func (m *Map) Stats() Stats { return m.m.Stats() }
+
 // Compact rewrites every shard's directory log down to its live keys
 // and publishes the result as a new compaction epoch. Appends already
 // compact automatically when a shard's log outgrows its live set, so
@@ -384,6 +396,9 @@ func (t *MapOf[T]) Caps() Caps { return t.m.Caps() }
 // WriteStats reports aggregate publish-side counters; collect at
 // quiescence.
 func (t *MapOf[T]) WriteStats() MapWriteStats { return t.m.WriteStats() }
+
+// Stats returns the map's observability tree (see Map.Stats).
+func (t *MapOf[T]) Stats() Stats { return t.m.Stats() }
 
 // Compact rewrites every shard's directory down to its live keys (see
 // Map.Compact).

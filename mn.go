@@ -114,3 +114,11 @@ func (r *MNRegister) Readers() int { return r.reg.Readers() }
 
 // MaxValueSize reports the user-value bound.
 func (r *MNRegister) MaxValueSize() int { return r.reg.MaxValueSize() }
+
+// Stats returns the composite's observability tree: the shared
+// publication epoch, publication-window progress (pub_started /
+// pub_done), identity occupancy, and one child per ARC component.
+// Collecting it only loads — no RMW on any register path. Watcher
+// backpressure ledgers live on the owning Reg (see Reg.Stats); a raw
+// MNRegister reports the protocol side only.
+func (r *MNRegister) Stats() Stats { return r.reg.Stats() }

@@ -1,0 +1,72 @@
+package arcreg
+
+// The public observability surface: one Stats tree shape shared by
+// every register shape, the map, and the notification layer, with a
+// stdlib-only export path (expvar) and a human-readable text dump.
+//
+// The tree is produced by walkers on demand — registers record nothing
+// extra on their hot paths for it (reads stay zero-RMW, the no-waiter
+// publish stays counter-free). DESIGN.md §10 describes the recording
+// discipline: which counters are live cells readable mid-run, and
+// which are plain per-handle counters that enter the tree through the
+// Snapshot converters on ReadStats and WriteStats, collected at
+// quiescence.
+
+import (
+	"expvar"
+
+	"arcreg/internal/metrics"
+	"arcreg/internal/obs"
+)
+
+// Stats is one node of the observability tree: a name, flat counters,
+// optional latency histograms, and child nodes. Reg.Stats, Map.Stats
+// and MNRegister.Stats return the root of their component's tree;
+// Get, Child and WriteText navigate it, JSON renders it for export.
+type Stats = obs.Snapshot
+
+// Stat is one named counter in a Stats node.
+type Stat = obs.Stat
+
+// HistStat is one named histogram in a Stats node.
+type HistStat = obs.HistStat
+
+// Histogram is the fixed-size log-bucketed latency histogram the
+// Stats tree embeds (wakeup latency, snapshot retries): Count, Mean,
+// Quantile and Max summarize it, Merge combines populations.
+type Histogram = metrics.Histogram
+
+// StatsSource is anything that produces a Stats tree on demand —
+// Reg[T], Map, MapOf[T] and MNRegister all implement it, as does
+// StatsRegistry for composing several of them.
+type StatsSource = obs.Source
+
+// StatsSourceFunc adapts a plain function to StatsSource.
+type StatsSourceFunc = obs.SourceFunc
+
+// StatsVar adapts a StatsSource to expvar.Var: String renders the
+// live tree as JSON, so the stdlib /debug/vars endpoint serves it
+// with no additional dependencies. Observe wraps the common case.
+type StatsVar = obs.Var
+
+// StatsRegistry composes named StatsSources into one tree: Stats
+// returns a root node whose children are the registered sources'
+// snapshots in name order. Use one registry per process to export
+// several registers and maps under a single expvar name.
+type StatsRegistry = obs.Registry
+
+// Observe publishes src's live Stats tree in the process-wide expvar
+// registry under name, making it available on the stdlib
+// /debug/vars endpoint (and to expvar.Do walkers):
+//
+//	reg, _ := arcreg.New[Config]()
+//	arcreg.Observe("arcreg", reg)
+//	// GET /debug/vars  →  {..., "arcreg": {"name":"register", ...}, ...}
+//
+// The tree is walked lazily on each render; publishing costs the
+// register nothing until something scrapes it. Like expvar.Publish,
+// Observe panics if name is already published — call it once per
+// name, at wiring time.
+func Observe(name string, src StatsSource) {
+	expvar.Publish(name, obs.Var{Source: src})
+}

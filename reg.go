@@ -227,6 +227,11 @@ type Reg[T any] struct {
 	// instead.
 	seq *notify.Sequencer
 
+	// watchTrack aggregates the backpressure ledgers of this register's
+	// live watchers (parked Watch iterators attach on start, detach on
+	// exit); Stats exposes the aggregate as the "watchers" child.
+	watchTrack notify.Tracker
+
 	// Lazily allocated default writer for Set. Failed allocations are
 	// not cached: an (M,N) Set that lost the race for an identity
 	// succeeds once one is released.
@@ -508,9 +513,10 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 		return &TypedReader[T]{
 			c:          r.c,
 			mnrd:       rd,
+			tracker:    &r.watchTrack,
 			watchEpoch: mnr.NotifyEpoch,
-			watchWait: func(ctx context.Context, seen uint64) error {
-				_, err := mnr.WaitPublish(ctx, seen)
+			watchWait: func(ctx context.Context, seen uint64, ws *notify.WatchStats) error {
+				_, err := mnr.WaitPublishStats(ctx, seen, ws)
 				return err
 			},
 		}, nil
@@ -535,9 +541,10 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 		tr.statr = sr
 	}
 	if seq := r.seq; seq != nil {
+		tr.tracker = &r.watchTrack
 		tr.watchEpoch = seq.Epoch
-		tr.watchWait = func(ctx context.Context, seen uint64) error {
-			_, err := seq.Wait(ctx, seen)
+		tr.watchWait = func(ctx context.Context, seen uint64, ws *notify.WatchStats) error {
+			_, err := seq.WaitStats(ctx, seen, ws)
 			return err
 		}
 	}
@@ -653,6 +660,38 @@ func (r *Reg[T]) Get() (T, error) {
 	return r.c.Decode(buf[:n])
 }
 
+// Stats returns the register's observability tree: protocol gauges and
+// live-cell counters from the underlying register (slots, live
+// readers, publication epoch, waking publishes — DESIGN.md §10 has the
+// catalogue) plus a "watchers" child aggregating the backpressure
+// ledgers of the live Watch iterators (lag, conflation, wakeup
+// latency). Collecting the tree only loads: no RMW instruction on any
+// register path, nothing added to the writer's publish cost.
+//
+// Per-handle read/write counters are not in this tree — they are
+// deliberately plain (unsynchronized) so the hot paths stay zero-RMW.
+// Collect them at quiescence through TypedReader.ReadStats and
+// TypedWriter.WriteStats; their Snapshot converters produce nodes in
+// the same shape when a caller wants to graft them in.
+func (r *Reg[T]) Stats() Stats {
+	var sn Stats
+	switch {
+	case r.mn != nil:
+		sn = r.mn.Stats()
+	case r.reg != nil:
+		if src, ok := r.reg.(StatsSource); ok {
+			sn = src.Stats()
+		} else {
+			// Algorithms without live cells (RF, Peterson, the lock
+			// baselines) still report a root so the watcher aggregate
+			// has somewhere to hang.
+			sn = Stats{Name: "register"}
+		}
+	}
+	sn.Children = append(sn.Children, r.watchTrack.Stats())
+	return sn
+}
+
 // TypedWriter is a typed write endpoint: the single (1,N) writer, or
 // one of the M identities of the (M,N) composition. One goroutine per
 // handle.
@@ -744,9 +783,13 @@ type TypedReader[T any] struct {
 	// Parking hooks for Watch (nil on registers without a publication
 	// sequencer, which fall back to polling): watchEpoch snapshots the
 	// publication epoch, watchWait parks until it moves past the
-	// snapshot or ctx is done.
+	// snapshot or ctx is done, recording wakeups and latency in the
+	// watcher's ledger. tracker is the owning Reg's watcher population;
+	// parked Watch iterators attach their ledger to it for the
+	// iteration's lifetime.
 	watchEpoch func() uint64
-	watchWait  func(ctx context.Context, seen uint64) error
+	watchWait  func(ctx context.Context, seen uint64, ws *notify.WatchStats) error
+	tracker    *notify.Tracker
 }
 
 // Get returns the freshest value, decoding straight from the register
@@ -912,6 +955,18 @@ func (r *TypedReader[T]) watchSeq(ctx context.Context, every time.Duration, park
 		var zero T
 		first := true
 		parked := park && r.watchEpoch != nil && r.watchWait != nil
+		// The watcher's backpressure ledger, framed by the register's
+		// publication epoch. Attached to the Reg's tracker for the
+		// iteration's lifetime (lifecycle edges only, never per-event);
+		// polling iterators have no epoch frame and record nothing.
+		var ws *notify.WatchStats
+		if parked {
+			ws = &notify.WatchStats{}
+			if r.tracker != nil {
+				r.tracker.Attach(ws)
+				defer r.tracker.Detach(ws)
+			}
+		}
 		var timer *time.Timer // lazily created, reused across poll rounds
 		defer func() {
 			if timer != nil {
@@ -930,19 +985,29 @@ func (r *TypedReader[T]) watchSeq(ctx context.Context, every time.Duration, park
 			var seen uint64
 			if parked {
 				seen = r.watchEpoch()
+				ws.NoteSeen(seen)
 			}
 			v, changed, err := r.poll(first)
 			if err != nil {
 				yield(zero, err)
 				return
 			}
-			if (changed || first) && !yield(v, nil) {
-				return
+			if changed || first {
+				if !yield(v, nil) {
+					return
+				}
+				if parked {
+					ws.NoteDelivered(seen)
+				}
+			} else if parked {
+				// The poll proved we are current as of seen: advance the
+				// observed frame without counting a delivery.
+				ws.NoteObserved(seen)
 			}
 			first = false
 			switch {
 			case parked:
-				if err := r.watchWait(ctx, seen); err != nil {
+				if err := r.watchWait(ctx, seen, ws); err != nil {
 					yield(zero, err)
 					return
 				}
