@@ -12,6 +12,7 @@
 //	arcbench -figure ablation        # ARC vs its own disabled optimizations
 //	arcbench -figure rmw             # RMW instructions per read, ARC vs RF vs (M,N)
 //	arcbench -figure mn              # (M,N) composite: fresh-gated collect vs ablation
+//	arcbench -figure serve           # HTTP loopback: GET req/s + publish→observe latency
 //	arcbench -figure all             # everything above, in order
 //
 // Sweeps can be overridden (-threads, -sizes, -duration, -steal,
@@ -49,7 +50,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arcbench", flag.ContinueOnError)
 	var (
-		figure    = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|watch|all")
+		figure    = fs.String("figure", "", "figure to regenerate: fig1|fig2|fig3|processing|ablation|extensions|mn|map|rmw|latency|watch|serve|all")
 		alg       = fs.String("alg", "arc", "algorithm for single runs: arc|rf|peterson|lock|seqlock|leftright|mn|mn-nogate|map|arc-nofastpath|arc-nohint")
 		threads   = fs.String("threads", "", "comma-separated thread counts (overrides the figure's sweep)")
 		sizes     = fs.String("sizes", "", "comma-separated register sizes in bytes (overrides the sweep)")
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		delEvery  = fs.Int("delete-every", -1, "map figure delete-mix: every Nth writer op deletes/re-creates a lifecycle key (0 disables; -1 keeps the default)")
 		snapEvery = fs.Int("snapshot-every", -1, "map figure snapshot mix: every Nth reader op takes a multi-key Snapshot (0 disables; -1 keeps the default)")
 		watchers  = fs.String("watchers", "", "comma-separated watcher counts for the watch figure, k suffix = thousands (e.g. 1k,10k; overrides the sweep)")
+		clients   = fs.String("clients", "", "comma-separated HTTP client counts for the serve figure (overrides the sweep)")
 		pubEvery  = fs.Duration("publish-every", 0, "watch figure writer cadence (0 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +91,7 @@ func run(args []string, out io.Writer) error {
 
 	ids := []string{*figure}
 	if *figure == "all" {
-		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "map", "rmw", "latency", "watch"}
+		ids = []string{"fig1", "fig2", "fig3", "processing", "ablation", "extensions", "mn", "map", "rmw", "latency", "watch", "serve"}
 	}
 	var csv *os.File
 	if *csvPath != "" {
@@ -121,6 +123,12 @@ func run(args []string, out io.Writer) error {
 		}
 		if id == "watch" {
 			if err := runWatchFigure(out, csv, *watchers, *sizes, *pubEvery, *duration, *warmup, *quick); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "serve" {
+			if err := runServeFigure(out, csv, *clients, *sizes, *pubEvery, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -342,6 +350,49 @@ func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEver
 			fig.ID, done, total, c.Mode, c.Watchers, c.Result.Observed,
 			time.Duration(c.Result.Latency.Quantile(0.99)),
 			c.Result.LagMax, c.Result.Conflated)
+	}
+	data, err := fig.Run(progress)
+	if err != nil {
+		return err
+	}
+	data.RenderTable(out)
+	if csv != nil {
+		data.RenderCSV(csv)
+	}
+	return nil
+}
+
+// runServeFigure regenerates the HTTP serving figure: a real arcserve
+// server on a loopback listener, swept over concurrent GET client
+// counts, reporting sustained req/s and publish→client-observe latency
+// through the SSE watch path (see DESIGN.md §11).
+func runServeFigure(out io.Writer, csv *os.File, clients, sizes string, pubEvery, duration, warmup time.Duration, quick bool) error {
+	fig := harness.FigServe()
+	if pubEvery > 0 {
+		fig.PublishEvery = pubEvery
+	}
+	if sizes != "" {
+		sz := mustInts(sizes)
+		fig.ValueSize = sz[0]
+		if len(sz) > 1 {
+			fmt.Fprintf(os.Stderr, "arcbench: serve figure measures one value size per run; using %d\n", sz[0])
+		}
+	}
+	if quick {
+		fig = fig.Scale(2*runtime.NumCPU(), min(duration, 300*time.Millisecond), min(warmup, 50*time.Millisecond))
+	} else {
+		fig.Duration = duration
+		fig.Warmup = warmup
+	}
+	if clients != "" {
+		fig.Clients = mustInts(clients)
+	}
+	progress := func(done, total int, c harness.ServeCell) {
+		fmt.Fprintf(os.Stderr, "[%s %d/%d] clients=%d: %.0f GET/s, get p99 %v, obs p99 %v, conflated %d\n",
+			fig.ID, done, total, c.Clients, c.Result.Rate(),
+			time.Duration(c.Result.GetLat.Quantile(0.99)),
+			time.Duration(c.Result.ObsLat.Quantile(0.99)),
+			c.Result.Conflated)
 	}
 	data, err := fig.Run(progress)
 	if err != nil {

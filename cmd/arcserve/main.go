@@ -1,0 +1,129 @@
+// Command arcserve exposes an arcreg keyed register map over HTTP: the
+// wait-free (1,N) register behind a network edge. Reads (GET /k/{key})
+// ride pooled register readers — zero RMW, zero allocation for an
+// unchanged value; writes (PUT/DELETE /k/{key}) are serialized per
+// shard through bounded single-writer queues, preserving the register's
+// (1,N) discipline under arbitrary HTTP concurrency (overload answers
+// 503 + Retry-After, never queueing unboundedly); watches
+// (GET /watch/{key}, GET /watch) stream over SSE with the register's
+// latest-value conflation as the backpressure story — a slow client
+// sees fewer, newer values and costs the server O(1) memory.
+//
+//	arcserve -addr :8080 -shards 8 -pool 16 -max-value 4096
+//
+// Routes:
+//
+//	GET    /k/{key}        value bytes (404 absent, 503+Retry-After degraded)
+//	PUT    /k/{key}        store body (204; 503 queue full, 413 too large)
+//	DELETE /k/{key}        delete (204; 404 absent)
+//	GET    /watch/{key}    SSE value stream (?b64=1 base64; ?poll=5s long-poll)
+//	GET    /watch          SSE whole-map snapshot-delta stream
+//	GET    /keys           live key listing (JSON)
+//	POST   /compact        compact every shard through the writer queues
+//	GET    /statz          stats tree (text; ?format=json)
+//	GET    /debug/vars     expvar, including the server tree under -expvar
+//
+// SIGINT/SIGTERM drain in-flight requests (graceful http.Server
+// Shutdown), then close the serving layer: writer queues stop accepting,
+// in-flight writes complete, pooled readers are released.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arcreg/internal/regmap"
+	"arcreg/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("arcserve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		shards   = fs.Int("shards", 8, "map shard count (rounded up to a power of two)")
+		readers  = fs.Int("readers", 0, "map reader-handle capacity N (0 = pool + watch streams + 2)")
+		pool     = fs.Int("pool", serve.DefaultReaders, "pooled GET reader handles")
+		streams  = fs.Int("watch-streams", serve.DefaultWatchStreams, "concurrent watch stream cap")
+		queue    = fs.Int("queue", serve.DefaultQueueDepth, "per-shard write queue depth")
+		maxValue = fs.Int("max-value", 4096, "max value size in bytes")
+		dynamic  = fs.Bool("dynamic", false, "allocate exact-size value buffers per Set (many small keys)")
+		expName  = fs.String("expvar", "arcserve", "expvar name for the stats tree (empty disables)")
+		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+	)
+	fs.Parse(os.Args[1:])
+
+	n := *readers
+	if n <= 0 {
+		n = *pool + *streams + 2
+	}
+	m, err := regmap.New(regmap.Config{
+		Shards:        *shards,
+		MaxReaders:    n,
+		MaxValueSize:  *maxValue,
+		DynamicValues: *dynamic,
+	})
+	if err != nil {
+		log.Fatalf("arcserve: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Map:          m,
+		Readers:      *pool,
+		WatchStreams: *streams,
+		QueueDepth:   *queue,
+		ExpvarName:   *expName,
+	})
+	if err != nil {
+		log.Fatalf("arcserve: %v", err)
+	}
+
+	// The listener goes through serve.Listener so the accept-stall fault
+	// point is armable here exactly as in the chaos scenarios — permanent
+	// instrumentation, one atomic load per accept while disarmed.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("arcserve: %v", err)
+	}
+	hs := &http.Server{
+		Handler:   srv,
+		ConnState: srv.ConnState,
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(serve.Listener(ln)) }()
+	log.Printf("arcserve: listening on %s (%d shards, %d pooled readers, %d watch streams, queue %d)",
+		ln.Addr(), m.Shards(), *pool, *streams, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("arcserve: %s: draining (budget %v)", s, *grace)
+		// Shutdown drains ordinary requests; open SSE streams hold it
+		// until the budget expires, and srv.Close severs them (their
+		// contexts join the serving layer's base context).
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err == context.DeadlineExceeded {
+			err = nil // long-lived streams held the drain; Close below ends them
+		}
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Printf("arcserve: shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("arcserve: clean exit")
+	case err := <-done:
+		srv.Close()
+		log.Fatalf("arcserve: serve: %v", err)
+	}
+}

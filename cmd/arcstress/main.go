@@ -19,10 +19,17 @@
 //
 //	dirchurn, corrupt-repair, compact-under-watch, watchstorm
 //
+// The serving-layer scenario (servestress.go) runs a live loopback
+// arcserve HTTP server under connection-level faults — slow clients,
+// mid-response disconnects, accept-loop stalls:
+//
+//	servechaos
+//
 // -scenario accepts a comma-separated list, run sequentially; the exit
-// status is the worst of the runs. -seed makes the map scenarios' fault
-// schedules deterministic, and -faultcov additionally fails the run if
-// any registered regmap or notify fault point was never armed.
+// status is the worst of the runs. -seed makes the map and serve
+// scenarios' fault schedules deterministic, and -faultcov additionally
+// fails the run if any registered regmap, notify or serve fault point
+// was never armed.
 //
 // Every read is integrity-verified (torn-read detection) and checked for
 // per-reader version monotonicity online.
@@ -77,13 +84,13 @@ func (s *shared) fail(format string, args ...any) {
 func run() int {
 	var (
 		alg      = flag.String("alg", "arc", "algorithm: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
-		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm")
+		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm|servechaos")
 		threads  = flag.Int("threads", 6, "reader workers (plus 1 writer)")
 		size     = flag.Int("size", 512, "value size in bytes")
 		duration = flag.Duration("duration", 10*time.Second, "stress duration (per scenario)")
 		stealF   = flag.Float64("steal", 0.3, "steal fraction for steal/mixed scenarios")
 		seed     = flag.Uint64("seed", 1, "seed for the map scenarios' fault schedules")
-		faultcov = flag.Bool("faultcov", false, "fail if any regmap fault point was never armed")
+		faultcov = flag.Bool("faultcov", false, "fail if any regmap, notify or serve fault point was never armed")
 	)
 	flag.Parse()
 

@@ -29,11 +29,15 @@ package main
 //	                     ledgers record real conflation and lag and
 //	                     every accepted stats snapshot is internally
 //	                     consistent.
+//	servechaos         — the HTTP serving layer under connection-level
+//	                     faults (slow clients, mid-response
+//	                     disconnects, accept stalls); see
+//	                     servestress.go.
 //
 // All scenarios are seeded (-seed) and run their fault schedules
 // deterministically; -faultcov additionally fails the run if any
-// registered regmap or notify fault point was never armed by any
-// schedule.
+// registered regmap, notify or serve fault point was never armed by
+// any schedule.
 
 import (
 	"context"
@@ -56,6 +60,7 @@ var mapScenarios = map[string]func(seed uint64, duration time.Duration) int{
 	"corrupt-repair":      runCorruptRepair,
 	"compact-under-watch": runCompactUnderWatch,
 	"watchstorm":          runWatchStorm,
+	"servechaos":          runServeChaos,
 }
 
 func isMapScenario(name string) bool {
@@ -750,14 +755,14 @@ func runWatchStorm(seed uint64, duration time.Duration) int {
 			conflated, wakeups, walks.Load(), sched.Fired(), ws.Compactions))
 }
 
-// checkFaultCoverage fails the run if any regmap or notify fault point
-// was never armed by a schedule during this process — a
+// checkFaultCoverage fails the run if any regmap, notify or serve fault
+// point was never armed by a schedule during this process — a
 // registered-but-dead injection point is a hole in the chaos surface.
 func checkFaultCoverage() int {
 	armed, unarmed := fault.Coverage()
 	var dead []string
 	for _, name := range unarmed {
-		if strings.HasPrefix(name, "regmap/") || strings.HasPrefix(name, "notify/") {
+		if strings.HasPrefix(name, "regmap/") || strings.HasPrefix(name, "notify/") || strings.HasPrefix(name, "serve/") {
 			dead = append(dead, name)
 		}
 	}
@@ -766,6 +771,6 @@ func checkFaultCoverage() int {
 			len(dead), strings.Join(dead, ", "))
 		return 1
 	}
-	fmt.Printf("arcstress: fault coverage: all regmap and notify points armed (%d total armed)\n", len(armed))
+	fmt.Printf("arcstress: fault coverage: all regmap, notify and serve points armed (%d total armed)\n", len(armed))
 	return 0
 }

@@ -1,0 +1,442 @@
+package main
+
+// servechaos: the serving-layer chaos scenario. Where the map scenarios
+// attack the register protocol itself, this one attacks the network
+// edge of internal/serve with the three serve/ fault points armed on a
+// seeded schedule against a live loopback server:
+//
+//   - serve/slow-client stalls the SSE event loop between composing a
+//     frame and writing it — slow consumers that must conflate, not
+//     queue;
+//   - serve/mid-response-disconnect crashes GET handlers between the
+//     register read and the body write — clients vanishing mid-reply
+//     (recovered to http.ErrAbortHandler, a severed connection);
+//   - serve/accept-stall delays the accept loop — connection churn
+//     against a saturated listener.
+//
+// Meanwhile HTTP readers verify every observed value (torn-read
+// detection, per-key version monotonicity), a writer PUTs through the
+// shard queues retrying sheds, SSE watchers connect and abruptly
+// disconnect, and a ledger walker continuously asserts the watcher
+// backpressure invariant (observed ≤ published). After the storm the
+// scenario proves no shard writer wedged — a PUT+GET round-trip must
+// complete on every shard — and that the server's goroutines drained.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg/internal/fault"
+	"arcreg/internal/membuf"
+	"arcreg/internal/notify"
+	"arcreg/internal/regmap"
+	"arcreg/internal/serve"
+)
+
+func runServeChaos(seed uint64, duration time.Duration) int {
+	sched, err := fault.NewSchedule(seed,
+		fault.Rule{Point: serve.FaultSlowClient, Kind: fault.Stall, Every: 4, Stall: 200 * time.Microsecond},
+		fault.Rule{Point: serve.FaultAcceptStall, Kind: fault.Stall, Every: 2, Stall: 500 * time.Microsecond},
+		fault.Rule{Point: serve.FaultMidResponseDisconnect, Kind: fault.Crash, Every: 17},
+	)
+	if err != nil {
+		fmt.Println("arcstress: servechaos:", err)
+		return 2
+	}
+	m, err := regmap.New(regmap.Config{Shards: 2, MaxReaders: 16, MaxValueSize: 64})
+	if err != nil {
+		fmt.Println("arcstress: servechaos:", err)
+		return 2
+	}
+	srv, err := serve.New(serve.Config{Map: m, Readers: 4, WatchStreams: 4, QueueDepth: 64})
+	if err != nil {
+		fmt.Println("arcstress: servechaos:", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("arcstress: servechaos:", err)
+		return 2
+	}
+	hs := &http.Server{Handler: srv, ConnState: srv.ConnState}
+	go hs.Serve(serve.Listener(ln))
+	base := "http://" + ln.Addr().String()
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+
+	const stable = "stable"
+	keys := []string{stable, "churn-0", "churn-1", "churn-2"}
+	var version atomic.Uint64
+	s := &mapChaos{}
+	var aborts atomic.Uint64 // client-side severed responses (crash point)
+	var sheds atomic.Uint64
+	transport := &http.Transport{MaxIdleConnsPerHost: 16}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	// put publishes one versioned value over HTTP, retrying sheds and
+	// severed connections (the version is re-sent, so monotonicity
+	// holds); only genuine protocol errors fail the run.
+	put := func(key string) bool {
+		b := make([]byte, 64)
+		membuf.Encode(b, version.Add(1))
+		for {
+			if s.stop.Load() {
+				return false
+			}
+			req, err := http.NewRequest("PUT", base+"/k/"+key, bytes.NewReader(b))
+			if err != nil {
+				s.fail("put %s: %v", key, err)
+				return false
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				aborts.Add(1) // a crashed sibling response severed our conn
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusNoContent:
+				s.writes.Add(1)
+				return true
+			case http.StatusServiceUnavailable:
+				sheds.Add(1)
+				time.Sleep(time.Millisecond)
+			default:
+				s.fail("put %s: status %d", key, resp.StatusCode)
+				return false
+			}
+		}
+	}
+	for _, k := range keys {
+		if !put(k) {
+			return s.report("servechaos", "")
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// HTTP verifier readers: every 200 body must verify with per-key
+	// monotone versions; 404s (churn deletes) and severed responses
+	// (the crash point) are the chaos, not failures.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			last := make(map[string]uint64, len(keys))
+			var i int
+			for !s.stop.Load() {
+				key := keys[i%len(keys)]
+				i++
+				resp, err := client.Get(base + "/k/" + key)
+				if err != nil {
+					aborts.Add(1)
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					aborts.Add(1) // severed mid-body
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusNotFound:
+					continue
+				case http.StatusOK:
+				default:
+					s.fail("reader %d: GET %s: status %d", id, key, resp.StatusCode)
+					return
+				}
+				ver, verr := membuf.Verify(body)
+				if verr != nil {
+					s.fail("reader %d: torn value over the wire for %s: %v", id, key, verr)
+					return
+				}
+				if ver < last[key] {
+					s.fail("reader %d: %s version regressed %d after %d", id, key, ver, last[key])
+					return
+				}
+				last[key] = ver
+				s.reads.Add(1)
+			}
+		}(i)
+	}
+
+	// SSE watchers with abrupt disconnects: connect to the stable key's
+	// stream, drain a few events (each server-side write stalling on the
+	// slow-client point), then vanish without closing the stream
+	// politely. The global version high-water mark must stay monotone
+	// across reconnects — conflation only moves forward.
+	var lastWatched atomic.Uint64
+	var streamEvents atomic.Uint64
+	var reconnects atomic.Uint64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + uint64(id) + 1
+			for !s.stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				// Derive each stream from the run context so a watcher
+				// parked mid-drain is severed at stop time, not leaked.
+				ctx, cancel := context.WithCancel(runCtx)
+				req, err := http.NewRequestWithContext(ctx, "GET", base+"/watch/"+stable+"?b64=1", nil)
+				if err != nil {
+					cancel()
+					s.fail("watcher %d: %v", id, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					cancel()
+					continue // accept stall / severed conn; reconnect
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					cancel()
+					if resp.StatusCode == http.StatusServiceUnavailable {
+						sheds.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					s.fail("watcher %d: stream status %d", id, resp.StatusCode)
+					return
+				}
+				reconnects.Add(1)
+				br := bufio.NewReader(resp.Body)
+				drain := 2 + int(rng%6)
+				for e := 0; e < drain && !s.stop.Load(); e++ {
+					data, err := readServeSSE(br)
+					if err != nil {
+						break // stream severed; reconnect
+					}
+					raw, derr := base64.StdEncoding.DecodeString(data)
+					if derr != nil {
+						s.fail("watcher %d: bad b64 frame: %v", id, derr)
+						cancel()
+						resp.Body.Close()
+						return
+					}
+					ver, verr := membuf.Verify(raw)
+					if verr != nil {
+						s.fail("watcher %d: torn streamed value: %v", id, verr)
+						cancel()
+						resp.Body.Close()
+						return
+					}
+					for {
+						prev := lastWatched.Load()
+						if ver <= prev {
+							break
+						}
+						if lastWatched.CompareAndSwap(prev, ver) {
+							break
+						}
+					}
+					streamEvents.Add(1)
+				}
+				cancel() // the abrupt disconnect
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	// Ledger walker: the watcher backpressure invariant, continuously,
+	// while streams churn underneath it.
+	var walks atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !s.stop.Load() {
+			m.WatchTracker().Each(func(ws *notify.WatchStats) {
+				if o, p := ws.Observed(), ws.Published(); o > p {
+					s.fail("walker: ledger inverted: observed %d > published %d", o, p)
+				}
+			})
+			if _, ok := srv.Stats().Get("watch_events"); !ok {
+				s.fail("walker: serve stats lost watch_events")
+			}
+			walks.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	sched.Arm()
+	// Writer: versioned PUT churn with deletes, through the shard
+	// queues, for the whole window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var round uint64
+		for !s.stop.Load() {
+			round++
+			if !put(keys[round%uint64(len(keys))]) {
+				return
+			}
+			if round%8 == 0 {
+				victim := keys[1+(round/8)%uint64(len(keys)-1)] // never stable
+				req, _ := http.NewRequest("DELETE", base+"/k/"+victim, nil)
+				resp, err := client.Do(req)
+				if err != nil {
+					aborts.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusNoContent, http.StatusNotFound:
+				case http.StatusServiceUnavailable:
+					sheds.Add(1)
+				default:
+					s.fail("writer: DELETE %s: status %d", victim, resp.StatusCode)
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	s.stop.Store(true)
+	runCancel()
+	wg.Wait()
+	sched.Disarm()
+
+	// No-wedge proof: with the faults disarmed, every shard's writer
+	// goroutine must still apply a PUT and serve its GET back.
+	wedged := false
+	covered := make([]bool, m.Shards())
+	for i := 0; !allTrue(covered); i++ {
+		key := fmt.Sprintf("wedge-check-%d", i)
+		si := m.ShardOf(key)
+		if covered[si] {
+			continue
+		}
+		covered[si] = true
+		b := make([]byte, 64)
+		membuf.Encode(b, version.Add(1))
+		deadline := time.Now().Add(5 * time.Second)
+		ok := false
+		for time.Now().Before(deadline) {
+			req, _ := http.NewRequest("PUT", base+"/k/"+key, bytes.NewReader(b))
+			resp, err := client.Do(req)
+			if err != nil {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code != http.StatusNoContent {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if gresp, gerr := client.Get(base + "/k/" + key); gerr == nil {
+				body, _ := io.ReadAll(gresp.Body)
+				gresp.Body.Close()
+				if gresp.StatusCode == http.StatusOK && bytes.Equal(body, b) {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			s.fail("shard %d writer wedged: post-chaos PUT+GET round-trip never completed", si)
+			wedged = true
+		}
+	}
+
+	// Server-side accounting: the crash point must actually have severed
+	// responses, and the schedule must have fired.
+	sn := srv.Stats()
+	aborted, _ := sn.Get("aborted")
+	conflated, _ := sn.Get("watch_conflated")
+	if sched.Fired() == 0 {
+		s.fail("serve fault schedule never fired (reads=%d writes=%d)", s.reads.Load(), s.writes.Load())
+	}
+	if aborted == 0 {
+		s.fail("mid-response crash point never aborted a response server-side")
+	}
+	if aborts.Load() == 0 {
+		s.fail("no client ever observed a severed response")
+	}
+	if streamEvents.Load() == 0 {
+		s.fail("watch streams delivered nothing through the storm")
+	}
+	if walks.Load() == 0 {
+		s.fail("ledger walker never completed a pass")
+	}
+
+	// Teardown and goroutine hygiene: the edge must drain completely.
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		s.fail("close: %v", err)
+	}
+	if !wedged {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= baseline+4 {
+				break
+			} else if time.Now().After(deadline) {
+				s.fail("goroutine leak after close: %d, baseline %d", n, baseline)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return s.report("servechaos",
+		fmt.Sprintf(", %d client aborts, %d server aborts, %d sheds, %d stream events, %d reconnects, %d conflated, %d ledger walks, %d faults fired",
+			aborts.Load(), aborted, sheds.Load(), streamEvents.Load(), reconnects.Load(), conflated, walks.Load(), sched.Fired()))
+}
+
+func allTrue(b []bool) bool {
+	for _, v := range b {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// readServeSSE reads one SSE frame and returns its joined data payload.
+func readServeSSE(br *bufio.Reader) (string, error) {
+	var data []string
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if !seen {
+				continue
+			}
+			return strings.Join(data, "\n"), nil
+		case strings.HasPrefix(line, "data: "):
+			seen = true
+			data = append(data, line[len("data: "):])
+		default:
+			seen = true
+		}
+	}
+}

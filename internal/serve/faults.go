@@ -1,0 +1,64 @@
+package serve
+
+// Connection-level fault-injection points. Where internal/regmap's
+// points sit on the writer's publish paths, these sit on the network
+// edge — the places a real deployment's clients hurt a server: reading
+// slowly, vanishing mid-response, and stalling the accept loop. The
+// points are permanent instrumentation (one atomic load each while
+// disarmed) and are driven by the same seeded fault.Schedule machinery
+// as the map points; cmd/arcstress's servechaos scenario arms all
+// three against a live loopback server.
+//
+// Crash capability: only FaultMidResponseDisconnect may Crash. The
+// injected fault.Crashed panic is recovered at the top of
+// Server.ServeHTTP and re-raised as http.ErrAbortHandler, which makes
+// net/http sever the connection without a reply — a faithful
+// mid-response client disconnect, not a process death. No serve point
+// sits inside a regmap publication window (handlers never hold the
+// writer role; the shard writer goroutines do, and they carry no
+// injection points of their own beyond regmap's).
+
+import (
+	"net"
+
+	"arcreg/internal/fault"
+)
+
+// Fault point names, exported for schedules (cmd/arcstress, tests).
+const (
+	// FaultSlowClient sits in the SSE event loop, between composing an
+	// event frame and writing it to the client socket. Stalling here
+	// models a client that drains its stream slowly: the stream's
+	// goroutine blocks, the register moves on, and the next Watch
+	// delivery conflates to the freshest value. Stall/yield only.
+	FaultSlowClient = "serve/slow-client"
+	// FaultMidResponseDisconnect sits between a successful register
+	// read and the response body write. Crashing here aborts the
+	// response mid-flight (see package comment); the pooled reader
+	// must still be released and the connection accounting must not
+	// wedge.
+	FaultMidResponseDisconnect = "serve/mid-response-disconnect"
+	// FaultAcceptStall sits in the Listener wrapper's Accept, before
+	// delegating to the real listener. Stalling here models SYN-flood
+	// backpressure / a saturated accept loop. Stall/yield only.
+	FaultAcceptStall = "serve/accept-stall"
+)
+
+var (
+	faultSlowClient  = fault.NewPoint(FaultSlowClient, fault.CanYield|fault.CanStall)
+	faultMidResponse = fault.NewPoint(FaultMidResponseDisconnect, fault.CanYield|fault.CanStall|fault.CanCrash)
+	faultAcceptStall = fault.NewPoint(FaultAcceptStall, fault.CanYield|fault.CanStall)
+)
+
+// Listener wraps l with the serve/accept-stall fault point: every
+// Accept first visits the point (one atomic load while disarmed).
+// cmd/arcserve and the chaos scenarios wrap their TCP listeners with
+// it so accept-loop stalls are schedulable like any other fault.
+func Listener(l net.Listener) net.Listener { return chaosListener{l} }
+
+type chaosListener struct{ net.Listener }
+
+func (l chaosListener) Accept() (net.Conn, error) {
+	faultAcceptStall.Hit()
+	return l.Listener.Accept()
+}

@@ -1,0 +1,349 @@
+package serve
+
+// Serving-path lifecycle coverage: the map's hard lifecycle machinery
+// (compaction epochs, delete/recreate churn, corrupt-latch repair)
+// exercised through real HTTP connections, under -race. The claims:
+// views survive reader rebase mid-response, deleted values never
+// resurrect over the wire, watch streams ride out corrupt-repair
+// episodes, and disconnected clients leave no goroutines behind.
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arcreg/internal/membuf"
+	"arcreg/internal/regmap"
+)
+
+// TestServeLifecycleChurnRace races HTTP GET/PUT/DELETE clients, an
+// SSE watcher and a compaction loop (routed through the shard writer
+// queues) against each other. Every observed value must verify
+// (torn-read detection) with per-key monotone versions — a stale view
+// served after a delete+recreate would regress, a resurrected tombstone
+// would verify against an old version.
+func TestServeLifecycleChurnRace(t *testing.T) {
+	restore := regmap.SetDirCapacity(2048)
+	defer restore()
+	s, ts := newTestServer(t,
+		regmap.Config{Shards: 2, MaxReaders: 24, MaxValueSize: 64},
+		Config{Readers: 4, WatchStreams: 4, QueueDepth: 256})
+	c := ts.Client()
+
+	keys := []string{"churn-0", "churn-1", "churn-2", "stable"}
+	var version atomic.Uint64
+	put := func(key string) error {
+		b := make([]byte, 64)
+		membuf.Encode(b, version.Add(1))
+		resp, body := doReq(t, c, "PUT", ts.URL+"/k/"+key, b)
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			return nil
+		case http.StatusServiceUnavailable:
+			return errShed
+		default:
+			return fmt.Errorf("PUT %s: status %d: %s", key, resp.StatusCode, body)
+		}
+	}
+	for _, k := range keys {
+		if err := put(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var failures atomic.Uint64
+	fail := func(format string, args ...any) {
+		if failures.Add(1) == 1 {
+			t.Errorf(format, args...)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// HTTP readers: verify every body, track per-key monotonicity.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			last := make(map[string]uint64)
+			var i int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[i%len(keys)]
+				i++
+				resp, body := doReq(t, c, "GET", ts.URL+"/k/"+key, nil)
+				switch resp.StatusCode {
+				case http.StatusNotFound:
+					continue // deleted; recreation carries a newer version
+				case http.StatusOK:
+				default:
+					fail("reader %d: GET %s: status %d", id, key, resp.StatusCode)
+					return
+				}
+				ver, err := membuf.Verify(body)
+				if err != nil {
+					fail("reader %d: torn value over the wire for %s: %v", id, key, err)
+					return
+				}
+				if ver < last[key] {
+					fail("reader %d: %s version regressed %d after %d (resurrection over the wire?)",
+						id, key, ver, last[key])
+					return
+				}
+				last[key] = ver
+			}
+		}(r)
+	}
+
+	// SSE watcher on the stable key (never deleted): versions must stay
+	// monotone across however many compaction epochs run underneath.
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	var lastWatched atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		br, closeBody := openSSE(t, wctx, c, ts.URL+"/watch/stable?b64=1")
+		defer closeBody()
+		var last uint64
+		for {
+			ev, err := readSSE(br)
+			if err != nil {
+				return // stream ended (cancel at teardown)
+			}
+			if ev.name != "value" {
+				fail("watcher: unexpected event %q", ev.name)
+				return
+			}
+			raw, derr := base64.StdEncoding.DecodeString(string(ev.data))
+			if derr != nil {
+				fail("watcher: bad b64: %v", derr)
+				return
+			}
+			ver, verr := membuf.Verify(raw)
+			if verr != nil {
+				fail("watcher: torn value: %v", verr)
+				return
+			}
+			if ver < last {
+				fail("watcher: version regressed %d after %d", ver, last)
+				return
+			}
+			last = ver
+			lastWatched.Store(ver)
+		}
+	}()
+
+	// Writer: sequential PUTs with delete/recreate churn. One goroutine
+	// issues all writes so per-key versions are globally ordered; the
+	// server's shard queues serialize them onto the shard writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var round int
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			round++
+			key := keys[round%len(keys)]
+			if err := put(key); err != nil && err != errShed {
+				fail("writer: %v", err)
+				return
+			}
+			if round%8 == 0 {
+				victim := keys[(round/8)%(len(keys)-1)] // never the stable key
+				resp, _ := doReq(t, c, "DELETE", ts.URL+"/k/"+victim, nil)
+				switch resp.StatusCode {
+				case http.StatusNoContent, http.StatusNotFound, http.StatusServiceUnavailable:
+				default:
+					fail("writer: DELETE %s: status %d", victim, resp.StatusCode)
+					return
+				}
+			}
+		}
+	}()
+
+	// Compactor: epochs through the writer queues, racing everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil && !errors.Is(err, errClosed) {
+				fail("compactor: %v", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	// Final publication must reach the watcher through all the churn.
+	final := version.Add(1)
+	fb := make([]byte, 64)
+	membuf.Encode(fb, final)
+	if err := s.Set("stable", fb); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for lastWatched.Load() < final {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never saw the final value (saw %d, want %d)", lastWatched.Load(), final)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// No resurrection: delete a churn key, then its GET must 404 — the
+	// DELETE response means the shard writer applied and published it.
+	resp, _ := doReq(t, c, "DELETE", ts.URL+"/k/churn-0", nil)
+	if resp.StatusCode == http.StatusNoContent {
+		if resp, body := doReq(t, c, "GET", ts.URL+"/k/churn-0", nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET after acknowledged DELETE: status %d body %q, want 404", resp.StatusCode, body)
+		}
+	}
+	wcancel()
+	wg.Wait()
+	if ws := s.m.WriteStats(); ws.Compactions == 0 {
+		t.Fatal("lifecycle race ran without a single compaction epoch")
+	}
+}
+
+var errShed = errors.New("shed")
+
+// TestServeWatchAcrossCorruptRepair degrades a shard under a live SSE
+// stream (corruption injected through the shard writer's Do — the
+// publisher role), repairs it with a compaction, and requires the
+// stream to resume: degraded event, then the next genuine value.
+func TestServeWatchAcrossCorruptRepair(t *testing.T) {
+	s, ts := newTestServer(t,
+		regmap.Config{Shards: 1, MaxReaders: 8, MaxValueSize: 64},
+		Config{Readers: 2, WatchStreams: 2})
+	c := ts.Client()
+	v1 := bytes.Repeat([]byte("a"), 32)
+	if err := s.Set("watched", v1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, closeBody := openSSE(t, ctx, c, ts.URL+"/watch/watched?b64=1")
+	defer closeBody()
+	ev, err := readSSE(br)
+	if err != nil || ev.name != "value" {
+		t.Fatalf("initial event = %q (%v)", ev.name, err)
+	}
+
+	// Corrupt the shard's directory through the writer queue.
+	if err := s.Do(0, func(m *regmap.Map) error { return m.InjectDirectoryCorruption(0) }); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err = readSSE(br); err != nil || ev.name != "degraded" {
+		t.Fatalf("post-corruption event = %q (%v), want degraded", ev.name, err)
+	}
+	// While degraded, a GET answers 503 + Retry-After.
+	resp, _ := doReq(t, c, "GET", ts.URL+"/k/watched", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded GET: status %d Retry-After %q, want 503 + hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Repair (compaction through the queues), then a fresh publication
+	// must flow to both the stream and plain GETs.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte("b"), 32)
+	if err := s.Set("watched", v2); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err = readSSE(br)
+		if err != nil {
+			t.Fatalf("stream died after repair: %v", err)
+		}
+		if ev.name != "value" {
+			continue // a second degraded yield is permissible mid-episode
+		}
+		raw, derr := base64.StdEncoding.DecodeString(string(ev.data))
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if bytes.Equal(raw, v2) {
+			break
+		}
+	}
+	if resp, body := doReq(t, c, "GET", ts.URL+"/k/watched", nil); resp.StatusCode != http.StatusOK || !bytes.Equal(body, v2) {
+		t.Fatalf("post-repair GET: status %d body %q", resp.StatusCode, body)
+	}
+	if v, _ := s.Stats().Get("degraded"); v == 0 {
+		t.Fatal("degraded counter never moved")
+	}
+}
+
+// TestServeDisconnectGoroutineHygiene opens SSE streams over real
+// connections, severs the clients, and requires every server-side
+// stream goroutine (and its reader handle and semaphore slot) back
+// within a bounded wait — the leak guard for the disconnect path.
+func TestServeDisconnectGoroutineHygiene(t *testing.T) {
+	s, ts := newTestServer(t,
+		regmap.Config{Shards: 1, MaxReaders: 16, MaxValueSize: 64},
+		Config{Readers: 2, WatchStreams: 8})
+	c := ts.Client()
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const streams = 6
+	cancels := make([]context.CancelFunc, 0, streams)
+	closers := make([]func(), 0, streams)
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		br, closeBody := openSSE(t, ctx, c, ts.URL+"/watch/k")
+		if _, err := readSSE(br); err != nil {
+			t.Fatal(err)
+		}
+		cancels = append(cancels, cancel)
+		closers = append(closers, closeBody)
+	}
+	if v, _ := s.Stats().Get("watch_streams"); v != streams {
+		t.Fatalf("watch_streams = %d, want %d", v, streams)
+	}
+	live := s.m.LiveReaders()
+	for i := range cancels {
+		cancels[i]() // abrupt client disconnect
+		closers[i]()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, _ := s.Stats().Get("watch_streams")
+		n := runtime.NumGoroutine()
+		if v == 0 && n <= baseline+4 && s.m.LiveReaders() <= live-streams {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect leak: watch_streams=%d goroutines=%d (baseline %d) live readers=%d (was %d)",
+				v, n, baseline, s.m.LiveReaders(), live)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"arcreg/internal/regmap"
+)
+
+// newTestServer builds a map + Server + httptest front end. The
+// returned cleanup order matters: the HTTP server first (quiesces
+// handlers), the Server second (stops shard writers, closes readers).
+func newTestServer(t *testing.T, mcfg regmap.Config, scfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if mcfg.Shards == 0 {
+		mcfg.Shards = 2
+	}
+	if mcfg.MaxReaders == 0 {
+		mcfg.MaxReaders = 16
+	}
+	if mcfg.MaxValueSize == 0 {
+		mcfg.MaxValueSize = 128
+	}
+	m, err := regmap.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.Map = m
+	if scfg.Readers == 0 {
+		scfg.Readers = 4
+	}
+	if scfg.WatchStreams == 0 {
+		scfg.WatchStreams = 8
+	}
+	s, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(s)
+	ts.Config.ConnState = s.ConnState
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doReq(t *testing.T, c *http.Client, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{}, Config{})
+	c := ts.Client()
+
+	// Missing key → 404.
+	if resp, _ := doReq(t, c, "GET", ts.URL+"/k/absent", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent: status %d, want 404", resp.StatusCode)
+	}
+	// PUT → 204, GET returns the exact bytes.
+	val := []byte("hello over the wire")
+	if resp, _ := doReq(t, c, "PUT", ts.URL+"/k/greeting", val); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: status %d, want 204", resp.StatusCode)
+	}
+	resp, body := doReq(t, c, "GET", ts.URL+"/k/greeting", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, val) {
+		t.Fatalf("GET: status %d body %q, want 200 %q", resp.StatusCode, body, val)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("GET Content-Type %q", ct)
+	}
+	// Keys with slashes ride the {key...} wildcard.
+	if resp, _ := doReq(t, c, "PUT", ts.URL+"/k/nested/path/key", []byte("x")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT nested: status %d", resp.StatusCode)
+	}
+	if _, body := doReq(t, c, "GET", ts.URL+"/k/nested/path/key", nil); string(body) != "x" {
+		t.Fatalf("GET nested: body %q", body)
+	}
+	// Empty key → 400.
+	if resp, _ := doReq(t, c, "GET", ts.URL+"/k/", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET empty key: status %d, want 400", resp.StatusCode)
+	}
+	// Oversized PUT → 413.
+	big := make([]byte, 129)
+	if resp, _ := doReq(t, c, "PUT", ts.URL+"/k/big", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("PUT oversized: status %d, want 413", resp.StatusCode)
+	}
+	// DELETE → 204, then 404 on GET and on a second DELETE.
+	if resp, _ := doReq(t, c, "DELETE", ts.URL+"/k/greeting", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: status %d, want 204", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, c, "GET", ts.URL+"/k/greeting", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET deleted: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, c, "DELETE", ts.URL+"/k/greeting", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE deleted: status %d, want 404", resp.StatusCode)
+	}
+	// /keys lists what's live.
+	_, body = doReq(t, c, "GET", ts.URL+"/keys", nil)
+	var keys []string
+	if err := json.Unmarshal(body, &keys); err != nil {
+		t.Fatalf("keys: %v (%q)", err, body)
+	}
+	if len(keys) != 1 || keys[0] != "nested/path/key" {
+		t.Fatalf("keys = %v", keys)
+	}
+	// POST /compact → 204 and the map counts epochs.
+	if resp, _ := doReq(t, c, "POST", ts.URL+"/compact", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("compact: status %d, want 204", resp.StatusCode)
+	}
+	if ws := s.m.WriteStats(); ws.Compactions == 0 {
+		t.Fatal("compact did not reach the map")
+	}
+	// Index names the routes.
+	if _, body := doReq(t, c, "GET", ts.URL+"/", nil); !bytes.Contains(body, []byte("arcserve")) {
+		t.Fatalf("index body %q", body)
+	}
+	// /statz text is non-empty and carries both subtrees; JSON parses.
+	_, body = doReq(t, c, "GET", ts.URL+"/statz", nil)
+	if !bytes.Contains(body, []byte("serve")) || !bytes.Contains(body, []byte("map")) {
+		t.Fatalf("statz text missing subtrees:\n%s", body)
+	}
+	_, body = doReq(t, c, "GET", ts.URL+"/statz?format=json", nil)
+	var tree map[string]any
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatalf("statz json: %v (%q)", err, body)
+	}
+	// The serve node accounts the verbs.
+	sn := s.Stats()
+	if v, _ := sn.Get("req_put"); v < 2 {
+		t.Fatalf("req_put = %d, want >= 2", v)
+	}
+	if v, _ := sn.Get("get_hits"); v == 0 {
+		t.Fatal("get_hits = 0")
+	}
+	if v, _ := sn.Get("conns_accepted"); v == 0 {
+		t.Fatal("conns_accepted = 0 (ConnState not wired?)")
+	}
+}
+
+// TestServeQueueShed fills a 1-deep shard queue behind a blocked shard
+// writer: the overflow PUT must shed with 503 + Retry-After, and the
+// queued one must complete once the writer resumes.
+func TestServeQueueShed(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{Shards: 1}, Config{QueueDepth: 1})
+	c := ts.Client()
+
+	block := make(chan struct{})
+	busy := make(chan struct{})
+	go s.Do(0, func(*regmap.Map) error {
+		close(busy)
+		<-block
+		return nil
+	})
+	<-busy // the shard writer is now occupied
+
+	// One PUT fits the queue; it will park in await.
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := doReq(t, c, "PUT", ts.URL+"/k/queued", []byte("v1"))
+		firstDone <- resp.StatusCode
+	}()
+	// Wait until it occupies the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queues[0]) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued PUT never reached the shard queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next PUT overflows → shed.
+	resp, _ := doReq(t, c, "PUT", ts.URL+"/k/shed", []byte("v2"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow PUT: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if v, _ := s.Stats().Get("shed_writes"); v == 0 {
+		t.Fatal("shed_writes = 0")
+	}
+	close(block)
+	if code := <-firstDone; code != http.StatusNoContent {
+		t.Fatalf("queued PUT: status %d, want 204", code)
+	}
+	if _, body := doReq(t, c, "GET", ts.URL+"/k/queued", nil); string(body) != "v1" {
+		t.Fatalf("queued value = %q", body)
+	}
+}
+
+// waitParked blocks until exactly one watch stream is live (the
+// long-poll has reached its park) — a fixed sleep here would flake on
+// loaded CI machines.
+func waitParked(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := s.Stats().Get("watch_streams"); v == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long-poll never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// settle gives the handler time to consume the Watch iterator's
+// initial current-state yield after the stream gauge flips; a publish
+// landing inside that window would be absorbed as "current state" and
+// skipped by the long-poll.
+func settle() { time.Sleep(20 * time.Millisecond) }
+
+func TestServeLongPoll(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{}, Config{})
+	c := ts.Client()
+	if err := s.Set("lp", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Timeout with no change → 204.
+	resp, _ := doReq(t, c, "GET", ts.URL+"/watch/lp?poll=100ms", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("long-poll timeout: status %d, want 204", resp.StatusCode)
+	}
+
+	// A change during the park → 200 + the new value.
+	type outcome struct {
+		code int
+		body []byte
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		resp, body := doReq(t, c, "GET", ts.URL+"/watch/lp?poll=5s", nil)
+		got <- outcome{resp.StatusCode, body}
+	}()
+	waitParked(t, s)
+	settle()
+	if err := s.Set("lp", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-got:
+		if o.code != http.StatusOK || string(o.body) != "v2" {
+			t.Fatalf("long-poll change: status %d body %q, want 200 v2", o.code, o.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned after a publish")
+	}
+
+	// A deletion during the park → 404.
+	go func() {
+		resp, body := doReq(t, c, "GET", ts.URL+"/watch/lp?poll=5s", nil)
+		got <- outcome{resp.StatusCode, body}
+	}()
+	waitParked(t, s)
+	settle()
+	if err := s.Delete("lp"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-got:
+		if o.code != http.StatusNotFound {
+			t.Fatalf("long-poll delete: status %d, want 404", o.code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned after a delete")
+	}
+	if v, _ := s.Stats().Get("longpolls"); v < 3 {
+		t.Fatalf("longpolls = %d, want >= 3", v)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE parses the next event frame (terminated by a blank line).
+func readSSE(br *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	var data [][]byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.name == "" && len(data) == 0 {
+				continue // leading keep-alive blank
+			}
+			ev.data = bytes.Join(data, []byte("\n"))
+			return ev, nil
+		case strings.HasPrefix(line, "event: "):
+			ev.name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, []byte(line[len("data: "):]))
+		}
+	}
+}
+
+// openSSE starts an SSE request and returns a reader over its frames.
+func openSSE(t *testing.T, ctx context.Context, c *http.Client, url string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("SSE open: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("SSE Content-Type %q", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+func TestServeSSEWatchKey(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{}, Config{})
+	c := ts.Client()
+	if err := s.Set("feed", []byte("line1\nline2")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, closeBody := openSSE(t, ctx, c, ts.URL+"/watch/feed")
+	defer closeBody()
+
+	// First event: the current value, multi-line payload split and
+	// rejoined across data lines.
+	ev, err := readSSE(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.name != "value" || string(ev.data) != "line1\nline2" {
+		t.Fatalf("first event = %q %q", ev.name, ev.data)
+	}
+	// A publish is delivered.
+	if err := s.Set("feed", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err = readSSE(br); err != nil || ev.name != "value" || string(ev.data) != "v2" {
+		t.Fatalf("second event = %q %q (%v)", ev.name, ev.data, err)
+	}
+	// A delete is an explicit event.
+	if err := s.Delete("feed"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err = readSSE(br); err != nil || ev.name != "deleted" {
+		t.Fatalf("delete event = %q (%v)", ev.name, err)
+	}
+	// Recreation resumes the value stream (binary-safe via b64 on a
+	// second stream).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	raw := []byte{0x00, 0x01, 0xfe, 0xff, '\n', 0x7f}
+	if err := s.Set("feed", raw); err != nil {
+		t.Fatal(err)
+	}
+	br2, closeBody2 := openSSE(t, ctx2, c, ts.URL+"/watch/feed?b64=1")
+	defer closeBody2()
+	ev, err = readSSE(br2)
+	if err != nil || ev.name != "value" {
+		t.Fatalf("b64 event = %q (%v)", ev.name, err)
+	}
+	dec, err := base64.StdEncoding.DecodeString(string(ev.data))
+	if err != nil || !bytes.Equal(dec, raw) {
+		t.Fatalf("b64 payload = %v (%v), want %v", dec, err, raw)
+	}
+	if v, _ := s.Stats().Get("watch_events"); v < 4 {
+		t.Fatalf("watch_events = %d, want >= 4", v)
+	}
+}
+
+func TestServeWatchAll(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{}, Config{})
+	c := ts.Client()
+	if err := s.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, closeBody := openSSE(t, ctx, c, ts.URL+"/watch")
+	defer closeBody()
+
+	ev, err := readSSE(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.name != "snapshot" {
+		t.Fatalf("first event = %q, want snapshot", ev.name)
+	}
+	var d struct {
+		Values  map[string][]byte
+		Deleted []string
+		Full    bool
+	}
+	if err := json.Unmarshal(ev.data, &d); err != nil {
+		t.Fatalf("snapshot decode: %v (%q)", err, ev.data)
+	}
+	if !d.Full || string(d.Values["a"]) != "1" || string(d.Values["b"]) != "2" {
+		t.Fatalf("snapshot = %+v", d)
+	}
+	// A later write arrives as a delta; a delete lands in Deleted.
+	if err := s.Set("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	sawC, sawDelA := false, false
+	for i := 0; i < 4 && !(sawC && sawDelA); i++ {
+		ev, err := readSSE(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.name != "delta" {
+			t.Fatalf("event %d = %q, want delta", i, ev.name)
+		}
+		var d struct {
+			Values  map[string][]byte
+			Deleted []string
+			Full    bool
+		}
+		if err := json.Unmarshal(ev.data, &d); err != nil {
+			t.Fatal(err)
+		}
+		if string(d.Values["c"]) == "3" {
+			sawC = true
+		}
+		for _, k := range d.Deleted {
+			if k == "a" {
+				sawDelA = true
+			}
+		}
+	}
+	if !sawC || !sawDelA {
+		t.Fatalf("deltas missed changes: sawC=%v sawDelA=%v", sawC, sawDelA)
+	}
+}
+
+// TestServeWatchShed caps streams at 1: the second concurrent watch
+// must shed with 503 and the slot must come back after disconnect.
+func TestServeWatchShed(t *testing.T) {
+	s, ts := newTestServer(t, regmap.Config{}, Config{WatchStreams: 1})
+	c := ts.Client()
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	br, closeBody := openSSE(t, ctx, c, ts.URL+"/watch/k")
+	if _, err := readSSE(br); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := doReq(t, c, "GET", ts.URL+"/watch/k?poll=100ms", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second stream: status %d, want 503", resp.StatusCode)
+	}
+	if v, _ := s.Stats().Get("shed_watch"); v == 0 {
+		t.Fatal("shed_watch = 0")
+	}
+	cancel()
+	closeBody()
+	// The slot frees once the stream unwinds.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := s.Stats().Get("watch_streams"); v == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch stream slot never released after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServeExpvar(t *testing.T) {
+	name := fmt.Sprintf("arcserve-test-%d", time.Now().UnixNano())
+	_, ts := newTestServer(t, regmap.Config{}, Config{ExpvarName: name})
+	c := ts.Client()
+	resp, body := doReq(t, c, "GET", ts.URL+"/debug/vars", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars: status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(name)) {
+		t.Fatalf("debug/vars missing %q", name)
+	}
+}

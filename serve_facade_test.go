@@ -1,0 +1,99 @@
+package arcreg_test
+
+// The public HTTP facade, exercised end to end over real connections:
+// NewHTTPHandler on a Map, a PUT/GET round-trip, an in-process Set
+// visible over the wire, and the serve stats node. The serving layer's
+// deep coverage lives in internal/serve; this pins the exported
+// surface.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"arcreg"
+)
+
+func TestHTTPHandlerFacade(t *testing.T) {
+	m, err := arcreg.NewByteMap(arcreg.MapConfig{Shards: 2, MaxReaders: 8, MaxValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := arcreg.NewHTTPHandler(m, arcreg.HTTPOptions{Readers: 2, WatchStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(h)
+	ts.Config.ConnState = h.ConnState
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		h.Close()
+	})
+	c := ts.Client()
+
+	req, _ := http.NewRequest("PUT", ts.URL+"/k/greeting", bytes.NewReader([]byte("hello")))
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: status %d", resp.StatusCode)
+	}
+	resp, err = c.Get(ts.URL + "/k/greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("GET: status %d body %q", resp.StatusCode, body)
+	}
+
+	// In-process writes route through the same shard writer queues.
+	if err := h.Set("greeting", []byte("rebonjour")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Get(ts.URL + "/k/greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "rebonjour" {
+		t.Fatalf("GET after Set: body %q", body)
+	}
+	if err := h.Delete("greeting"); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = c.Get(ts.URL + "/k/greeting"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after Delete: status %d, want 404", resp.StatusCode)
+	}
+	if err := h.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := h.Stats()
+	if sn.Name != "serve" {
+		t.Fatalf("stats node name %q, want serve", sn.Name)
+	}
+	if v, _ := sn.Get("req_get"); v < 3 {
+		t.Fatalf("req_get = %d, want >= 3", v)
+	}
+	if v, _ := sn.Get("writes_applied"); v < 2 {
+		t.Fatalf("writes_applied = %d, want >= 2", v)
+	}
+	var text strings.Builder
+	sn.WriteText(&text)
+	if !strings.Contains(text.String(), "req_get") {
+		t.Fatalf("stats text missing req_get:\n%s", text.String())
+	}
+}
