@@ -72,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		watchers  = fs.String("watchers", "", "comma-separated watcher counts for the watch figure, k suffix = thousands (e.g. 1k,10k; overrides the sweep)")
 		clients   = fs.String("clients", "", "comma-separated HTTP client counts for the serve figure (overrides the sweep)")
 		pubEvery  = fs.Duration("publish-every", 0, "watch figure writer cadence (0 keeps the default)")
+		fanArity  = fs.Int("fan-arity", -1, "watch figure wakeup-tree arity (0 drops the tree series; -1 keeps the default)")
+		fanDepth  = fs.Int("fan-depth", -1, "watch figure wakeup-tree depth (-1 keeps the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,7 +124,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		if id == "watch" {
-			if err := runWatchFigure(out, csv, *watchers, *sizes, *pubEvery, *duration, *warmup, *quick); err != nil {
+			if err := runWatchFigure(out, csv, *watchers, *sizes, *pubEvery, *fanArity, *fanDepth, *duration, *warmup, *quick); err != nil {
 				return err
 			}
 			continue
@@ -324,10 +326,16 @@ func runMapFigure(out io.Writer, csv *os.File, threads, keys, sizes string, shar
 // runWatchFigure regenerates the wakeup-latency figure: publish→observe
 // latency of parked watchers vs fixed-interval pollers, swept over
 // watcher counts (the notify subsystem's measurement; see DESIGN.md §8).
-func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEvery, duration, warmup time.Duration, quick bool) error {
+func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEvery time.Duration, fanArity, fanDepth int, duration, warmup time.Duration, quick bool) error {
 	fig := harness.FigWatch()
 	if pubEvery > 0 {
 		fig.PublishEvery = pubEvery
+	}
+	if fanArity >= 0 {
+		fig.FanArity = fanArity
+	}
+	if fanDepth >= 0 {
+		fig.FanDepth = fanDepth
 	}
 	if sizes != "" {
 		sz := mustInts(sizes)
@@ -346,9 +354,10 @@ func runWatchFigure(out io.Writer, csv *os.File, watchers, sizes string, pubEver
 		fig.Watchers = mustInts(watchers)
 	}
 	progress := func(done, total int, c harness.WatchCell) {
-		fmt.Fprintf(os.Stderr, "[%s %d/%d] %s watchers=%d: %d observed, p99 %v, lag max %d, conflated %d\n",
-			fig.ID, done, total, c.Mode, c.Watchers, c.Result.Observed,
+		fmt.Fprintf(os.Stderr, "[%s %d/%d] %s watchers=%d: %d observed, p99 %v, pub p99 %v, lag max %d, conflated %d\n",
+			fig.ID, done, total, c.Series(), c.Watchers, c.Result.Observed,
 			time.Duration(c.Result.Latency.Quantile(0.99)),
+			time.Duration(c.Result.PubOverhead.Quantile(0.99)),
 			c.Result.LagMax, c.Result.Conflated)
 	}
 	data, err := fig.Run(progress)

@@ -214,10 +214,15 @@ func TestWatchFigureQuick(t *testing.T) {
 		t.Fatalf("no csv rows:\n%s", string(blob))
 	}
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 14 {
-		t.Fatalf("csv row has %d fields, want 14: %q", len(fields), lines[1])
+	if len(fields) != 16 {
+		t.Fatalf("csv row has %d fields, want 16: %q", len(fields), lines[1])
 	}
 	if fields[12] == "0" {
 		t.Errorf("watch series conflated nothing: %q", lines[1])
+	}
+	// Publisher-overhead columns (appended after wakeups) must carry
+	// real samples in the measured window.
+	if fields[15] == "0" {
+		t.Errorf("watch series recorded no publisher overhead: %q", lines[1])
 	}
 }

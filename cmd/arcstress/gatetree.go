@@ -1,0 +1,281 @@
+package main
+
+// gatetree is the wakeup-tree chaos scenario: a seeded random tree
+// topology (arity 2..64, depth 1..4, leaves capped at 4096) attached
+// to one ARC register's publication sequencer, with the notify-layer
+// fault points armed — yields and stalls inside the relay cascade
+// (notify/tree-wake) and on the publisher's epoch/gate crossing
+// (notify/publish-epoch, notify/wake-swap) — to widen every window the
+// tree's arm-before-propagate discipline must keep closed. Against a
+// back-to-back writer:
+//
+//   - parked watchers ride leaf subscriptions, re-subscribing on a
+//     churn cadence, and verify every observation (torn-read check,
+//     per-watcher version monotonicity, observed ≤ published);
+//   - a ledger walker continuously asserts observed ≤ published on
+//     every live backpressure ledger;
+//   - churn workers subscribe/close leaves as fast as they can, so
+//     relay lifecycles (spawn on 0→1, drain on 1→0, revival) race the
+//     cascade under fault injection;
+//   - at the end the writer publishes one final version that every
+//     watcher must observe — the no-lost-wakeup gate — and every
+//     relay helper must drain once the last subscription closes.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg/internal/arc"
+	"arcreg/internal/fault"
+	"arcreg/internal/membuf"
+	"arcreg/internal/notify"
+	"arcreg/internal/register"
+)
+
+func runGateTree(seed uint64, duration time.Duration) int {
+	// Seeded topology: depth first, then the widest arity whose
+	// leaf count stays within the cap (mirrors the test battery's
+	// randTopology).
+	rng := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	depth := notify.MinFanDepth + int(next()%uint64(notify.MaxFanDepth-notify.MinFanDepth+1))
+	arity := notify.MinFanArity + int(next()%uint64(notify.MaxFanArity-notify.MinFanArity+1))
+	const leafCap = 4096
+	leaves := func(a, d int) int {
+		n := 1
+		for i := 0; i < d; i++ {
+			n *= a
+		}
+		return n
+	}
+	for arity > notify.MinFanArity && leaves(arity, depth) > leafCap {
+		arity--
+	}
+
+	// One rule per point (a later rule for the same point replaces the
+	// earlier): the tree-wake point alternates yield/stall by seed
+	// parity so both failure shapes get CI exposure across seeds.
+	treeRule := fault.Rule{Point: notify.FaultTreeWake, Kind: fault.Yield, Every: 3}
+	if seed%2 == 0 {
+		treeRule = fault.Rule{Point: notify.FaultTreeWake, Kind: fault.Stall, Every: 129, Stall: 100 * time.Microsecond}
+	}
+	sched, err := fault.NewSchedule(seed,
+		treeRule,
+		fault.Rule{Point: notify.FaultWakeSwap, Kind: fault.Yield, Every: 5},
+		fault.Rule{Point: notify.FaultPublishEpoch, Kind: fault.Yield, Every: 7},
+	)
+	if err != nil {
+		fmt.Println("arcstress: gatetree:", err)
+		return 2
+	}
+
+	const (
+		watchers = 6
+		churners = 3
+		size     = 64
+	)
+	reg, err := arc.New(register.Config{MaxReaders: watchers + 1, MaxValueSize: size}, arc.Options{})
+	if err != nil {
+		fmt.Println("arcstress: gatetree:", err)
+		return 2
+	}
+	tree := reg.Notifier().Fan(arity, depth)
+
+	s := &mapChaos{}
+	track := &notify.Tracker{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// published is advanced BEFORE the Write that carries it, so any
+	// version a watcher observes is ≤ published at observation time.
+	var published atomic.Uint64
+	write := func() error {
+		buf := make([]byte, size)
+		membuf.Encode(buf, published.Add(1))
+		return reg.Write(buf)
+	}
+	if err := write(); err != nil {
+		fmt.Println("arcstress: gatetree:", err)
+		return 2
+	}
+
+	sched.Arm()
+
+	// Parked watchers: each rides leaf subscriptions through the tree,
+	// re-subscribing every churnEvery deliveries so subscription
+	// lifecycle races the cascade. lastSeen feeds the final-value gate.
+	lastSeen := make([]atomic.Uint64, watchers)
+	seq := reg.Notifier()
+	for i := 0; i < watchers; i++ {
+		rd, err := reg.NewReaderHandle()
+		if err != nil {
+			fmt.Println("arcstress: gatetree:", err)
+			cancel()
+			return 2
+		}
+		wg.Add(1)
+		go func(id int, rd *arc.Reader) {
+			defer wg.Done()
+			defer rd.Close()
+			ws := &notify.WatchStats{}
+			track.Attach(ws)
+			defer track.Detach(ws)
+			sub := tree.Subscribe()
+			defer func() { sub.Close() }()
+			churnEvery := uint64(16 + id*8)
+			var last, rounds uint64
+			for {
+				rounds++
+				if rounds%churnEvery == 0 {
+					sub.Close()
+					sub = tree.Subscribe()
+				}
+				seen := seq.Epoch()
+				ws.NoteSeen(seen)
+				v, changed, err := rd.ViewFresh()
+				if err != nil {
+					s.fail("watcher %d: %v", id, err)
+					return
+				}
+				if changed {
+					ver, verr := membuf.Verify(v)
+					if verr != nil {
+						s.fail("watcher %d: torn value: %v", id, verr)
+						return
+					}
+					if ver < last {
+						s.fail("watcher %d: version regressed %d after %d", id, ver, last)
+						return
+					}
+					if p := published.Load(); ver > p {
+						s.fail("watcher %d: observed version %d > published %d", id, ver, p)
+						return
+					}
+					last = ver
+					lastSeen[id].Store(ver)
+					s.reads.Add(1)
+					ws.NoteDelivered(seen)
+				} else {
+					ws.NoteObserved(seen)
+				}
+				if _, err := notify.WaitEpoch(ctx, seq.Epoch, seen, ws, sub.Gate()); err != nil {
+					if !errors.Is(err, context.Canceled) {
+						s.fail("watcher %d: wait: %v", id, err)
+					}
+					return
+				}
+			}
+		}(i, rd)
+	}
+
+	// Churn workers: pure subscribe/close pressure on random leaves,
+	// exercising relay spawn/drain/revival against the live cascade.
+	var churns atomic.Uint64
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !s.stop.Load() {
+				sub := tree.Subscribe()
+				sub.Gate().Arm() // park-shaped: leaf armed, then abandoned
+				sub.Close()
+				churns.Add(1)
+			}
+		}()
+	}
+
+	// Ledger walker: the backpressure invariant, continuously.
+	var walks atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !s.stop.Load() {
+			track.Each(func(ws *notify.WatchStats) {
+				if o, p := ws.Observed(), ws.Published(); o > p {
+					s.fail("walker: ledger inverted: observed %d > published %d", o, p)
+				}
+			})
+			walks.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Writer: back-to-back publications for the window.
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for !s.stop.Load() {
+			if err := write(); err != nil {
+				s.fail("writer: %v", err)
+				return
+			}
+			s.writes.Add(1)
+		}
+	}()
+
+	time.Sleep(duration)
+	s.stop.Store(true)
+	<-writerDone
+
+	// The no-lost-wakeup gate: one final publication after the storm
+	// must reach every parked watcher.
+	if err := write(); err != nil {
+		s.fail("final write: %v", err)
+	}
+	final := published.Load()
+	deadline := time.Now().Add(10 * time.Second)
+	for w := 0; w < watchers; w++ {
+		for lastSeen[w].Load() < final {
+			if time.Now().After(deadline) {
+				s.fail("watcher %d never observed the final value (saw %d, want %d) — lost wakeup",
+					w, lastSeen[w].Load(), final)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	sched.Disarm()
+
+	// Relay hygiene: every subscription is closed; the helpers must
+	// drain (quiescent collection — nothing publishes anymore).
+	drainBy := time.Now().Add(10 * time.Second)
+	for tree.Relays() != 0 {
+		if time.Now().After(drainBy) {
+			s.fail("%d relay goroutines still running after all subscriptions closed", tree.Relays())
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	tsn := track.Stats()
+	wakeups, _ := tsn.Get("wakeups")
+	if wakeups == 0 {
+		s.fail("watchers parked through the storm without a wakeup")
+	}
+	if tree.Cascades() == 0 {
+		s.fail("the cascade never ran (%d writes)", s.writes.Load())
+	}
+	if walks.Load() == 0 {
+		s.fail("ledger walker never completed a pass")
+	}
+	if sched.Fired() == 0 {
+		s.fail("fault schedule never fired (writes=%d, cascades=%d)", s.writes.Load(), tree.Cascades())
+	}
+	return s.report("gatetree",
+		fmt.Sprintf(", tree %d^%d=%d leaves, %d cascades, %d leaf wakes, %d wakeups, %d sub churns, %d ledger walks, %d faults fired",
+			arity, depth, tree.Leaves(), tree.Cascades(), tree.LeafWakes(), wakeups, churns.Load(), walks.Load(), sched.Fired()))
+}

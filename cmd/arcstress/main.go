@@ -19,6 +19,12 @@
 //
 //	dirchurn, corrupt-repair, compact-under-watch, watchstorm
 //
+// The gatetree scenario drives one register's sequencer through a
+// seeded random wakeup-tree topology under relay-cascade fault
+// injection (see gatetree.go):
+//
+//	gatetree
+//
 // The serving-layer scenario (servestress.go) runs a live loopback
 // arcserve HTTP server under connection-level faults — slow clients,
 // mid-response disconnects, accept-loop stalls:
@@ -84,7 +90,7 @@ func (s *shared) fail(format string, args ...any) {
 func run() int {
 	var (
 		alg      = flag.String("alg", "arc", "algorithm: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
-		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm|servechaos")
+		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm|gatetree|servechaos")
 		threads  = flag.Int("threads", 6, "reader workers (plus 1 writer)")
 		size     = flag.Int("size", 512, "value size in bytes")
 		duration = flag.Duration("duration", 10*time.Second, "stress duration (per scenario)")

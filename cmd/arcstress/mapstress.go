@@ -29,6 +29,12 @@ package main
 //	                     ledgers record real conflation and lag and
 //	                     every accepted stats snapshot is internally
 //	                     consistent.
+//	gatetree           — a seeded random wakeup-tree topology under
+//	                     relay-cascade fault injection: parked
+//	                     watchers, subscription churn and a ledger
+//	                     walker race a back-to-back writer, ending
+//	                     with a final-value no-lost-wakeup gate and a
+//	                     relay drain check; see gatetree.go.
 //	servechaos         — the HTTP serving layer under connection-level
 //	                     faults (slow clients, mid-response
 //	                     disconnects, accept stalls); see
@@ -60,6 +66,7 @@ var mapScenarios = map[string]func(seed uint64, duration time.Duration) int{
 	"corrupt-repair":      runCorruptRepair,
 	"compact-under-watch": runCompactUnderWatch,
 	"watchstorm":          runWatchStorm,
+	"gatetree":            runGateTree,
 	"servechaos":          runServeChaos,
 }
 

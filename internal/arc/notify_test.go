@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"arcreg/internal/notify"
 	"arcreg/internal/register"
 )
 
@@ -45,6 +46,61 @@ func TestWatchZeroRMWIdle(t *testing.T) {
 	}
 	if e := r.Notifier().Epoch(); e == 0 {
 		t.Error("sequencer epoch did not advance with the writes")
+	}
+}
+
+// TestWatchStormRMWBitIdentical is the wakeup-storm guard: the
+// publisher's instrumented RMW trace over a run of writes must be
+// BIT-IDENTICAL with zero watchers and with 100k watchers subscribed
+// and armed through the gate's wakeup tree. The 100k population is
+// built without 100k goroutines — each subscription's leaf gate is
+// armed directly (Arm is exactly what a parked watcher does before
+// blocking), so the writer faces fully armed wakeup state at every
+// publish. Any publisher-side cost that scaled with the audience —
+// a per-watcher RMW, an O(watchers) close attributed to an
+// instrumented atomic — would break the equality.
+func TestWatchStormRMWBitIdentical(t *testing.T) {
+	const writes = 200
+	watchers := 100_000
+	if testing.Short() {
+		watchers = 10_000
+	}
+	val := []byte("payload")
+
+	run := func(subs int) (rmw uint64) {
+		r, err := New(register.Config{MaxReaders: 4, MaxValueSize: 64}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := r.Notifier().Fan(32, 2) // 1024 leaves
+		held := make([]*notify.Sub, 0, subs)
+		for i := 0; i < subs; i++ {
+			sub := tree.Subscribe()
+			sub.Gate().Arm()
+			held = append(held, sub)
+		}
+		base := r.WriteStats()
+		for i := 0; i < writes; i++ {
+			if err := r.Write(val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := r.WriteStats()
+		for _, sub := range held {
+			sub.Close()
+		}
+		return st.RMW - base.RMW
+	}
+
+	idle := run(0)
+	stormed := run(watchers)
+	if idle != stormed {
+		t.Errorf("publisher RMW not bit-identical: %d with 0 watchers vs %d with %d armed watchers",
+			idle, stormed, watchers)
+	}
+	if idle != writes {
+		t.Errorf("baseline RMW = %d over %d writes, want exactly %d (the W2 swap only)",
+			idle, writes, writes)
 	}
 }
 

@@ -48,6 +48,15 @@ type WatchRunConfig struct {
 	PollEvery time.Duration
 	// Watchers is the subscriber count.
 	Watchers int
+	// FanArity/FanDepth route watch-mode parks through the sequencer
+	// gate's wakeup tree: each watcher subscribes a leaf and parks
+	// there, so a publication costs the writer one root wake and the
+	// fan-out runs on the tree's relay helpers. Zero means the flat
+	// baseline — every watcher parks directly on the sequencer gate and
+	// the writer's publish closes one channel with Watchers waiters
+	// inline. Ignored in poll mode.
+	FanArity int
+	FanDepth int
 	// PublishEvery is the writer cadence (0 = back-to-back).
 	PublishEvery time.Duration
 	// ValueSize is the published value size (≥ 8; the first 8 bytes
@@ -86,6 +95,13 @@ type WatchResult struct {
 	// watchers for the whole run.
 	Conflated uint64
 	Wakeups   uint64
+	// PubOverhead is the writer-side cost distribution: nanoseconds per
+	// Write call in the measured window. This is the column that
+	// separates the flat gate from the tree — a flat publish with W
+	// parked watchers closes a W-waiter channel inline, so its tail
+	// grows with the audience; a tree publish wakes one root relay no
+	// matter how many leaves are parked below it.
+	PubOverhead metrics.Histogram
 }
 
 // RunWatch measures one watch-latency cell.
@@ -119,19 +135,25 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 	defer cancel()
 
 	var published uint64
+	var pubHist metrics.Histogram
 	var wg sync.WaitGroup
 
-	// Writer: publish a timestamped value every PublishEvery.
+	// Writer: publish a timestamped value every PublishEvery, timing
+	// each measured-window Write into the publisher-overhead histogram
+	// (single goroutine; read only after wg.Wait).
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		buf := make([]byte, cfg.ValueSize)
 		for phase.Load() != phaseStop {
 			binary.LittleEndian.PutUint64(buf, now())
+			measured := phase.Load() == phaseMeasure
+			t0 := now()
 			if err := reg.Write(buf); err != nil {
 				return
 			}
-			if phase.Load() == phaseMeasure {
+			if measured {
+				pubHist.Record(now() - t0)
 				published++
 			}
 			if cfg.PublishEvery > 0 {
@@ -168,6 +190,14 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 			track.Attach(ws)
 			defer track.Detach(ws)
 			seq := reg.Notifier()
+			// Tree cell: park on a private wakeup-tree leaf instead of the
+			// sequencer gate itself; the publisher's wake reaches it through
+			// the relay cascade.
+			var sub *notify.Sub
+			if cfg.Mode == ModeWatch && cfg.FanArity > 0 {
+				sub = seq.Fan(cfg.FanArity, cfg.FanDepth).Subscribe()
+				defer sub.Close()
+			}
 			for {
 				// Snapshot before read: the at-least-once discipline of
 				// the Watch engine, reproduced at the register level.
@@ -200,7 +230,11 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 				}
 				switch cfg.Mode {
 				case ModeWatch:
-					if _, err := seq.WaitStats(ctx, seen, ws); err != nil {
+					if sub != nil {
+						if _, err := notify.WaitEpoch(ctx, seq.Epoch, seen, ws, sub.Gate()); err != nil {
+							return
+						}
+					} else if _, err := seq.WaitStats(ctx, seen, ws); err != nil {
 						return
 					}
 				default: // ModePoll: probe-and-sleep
@@ -238,6 +272,7 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 	res := WatchResult{
 		Published: published, Elapsed: elapsed,
 		LagP50: lagP50, LagMax: lagMax,
+		PubOverhead: pubHist,
 	}
 	// Every watcher has detached: the tracker's totals are the retired
 	// sums for the whole run.
@@ -265,6 +300,13 @@ type WatchFigure struct {
 	// columns with a real backpressure signal.
 	SlowConsumers int
 	SlowDelay     time.Duration
+	// FanArity/FanDepth configure the tree-parked watch series (the
+	// "watch" rows). The figure also always runs the flat baseline
+	// ("watch-flat"), where every watcher parks directly on the
+	// sequencer gate — the pair is the fan-out comparison. Zero arity
+	// drops the tree series.
+	FanArity int
+	FanDepth int
 }
 
 // FigWatch returns the standard watch-latency figure: parked watchers
@@ -282,8 +324,17 @@ func FigWatch() WatchFigure {
 		Warmup:        100 * time.Millisecond,
 		SlowConsumers: 1,
 		SlowDelay:     5 * time.Millisecond,
+		FanArity:      notify.DefaultFanArity,
+		FanDepth:      notify.DefaultFanDepth,
 	}
 }
+
+// maxPollWatchers caps the poll series: above this count a poll cell
+// is skipped rather than run, because N polling goroutines are N
+// CPU-resident sleep loops — at 100k they measure scheduler thrash,
+// not the subsystem, and would make the sweep take hours. The watch
+// series has no such cap; parked watchers are free.
+const maxPollWatchers = 4096
 
 // Scale clamps the figure for smoke runs.
 func (f WatchFigure) Scale(maxWatchers int, duration, warmup time.Duration) WatchFigure {
@@ -311,14 +362,21 @@ type WatchCell struct {
 	Mode      WatchMode
 	PollEvery time.Duration
 	Watchers  int
-	Result    WatchResult
-	Err       error
+	// FanArity/FanDepth are the wakeup-tree topology for a tree-parked
+	// watch cell; zero arity marks the flat-gate baseline.
+	FanArity int
+	FanDepth int
+	Result   WatchResult
+	Err      error
 }
 
-// series names the cell's subscriber discipline for tables and CSV.
-func (c WatchCell) series() string {
+// Series names the cell's subscriber discipline for tables and CSV.
+func (c WatchCell) Series() string {
 	if c.Mode == ModeWatch {
-		return "watch"
+		if c.FanArity > 0 {
+			return "watch"
+		}
+		return "watch-flat"
 	}
 	return fmt.Sprintf("poll-%s", c.PollEvery)
 }
@@ -329,26 +387,48 @@ type WatchData struct {
 	Cells  []WatchCell
 }
 
-// Run executes the sweep: the watch series plus one poll series per
-// configured interval, each across the watcher counts.
+// Run executes the sweep: the tree-parked watch series (when FanArity
+// is set), the flat-gate baseline, and one poll series per configured
+// interval, each across the watcher counts. Poll cells above
+// maxPollWatchers are skipped, not silently shrunk — they simply do
+// not appear in the output.
 func (f WatchFigure) Run(progress func(done, total int, c WatchCell)) (WatchData, error) {
 	type series struct {
-		mode WatchMode
-		poll time.Duration
+		mode     WatchMode
+		poll     time.Duration
+		fanArity int
+		fanDepth int
 	}
-	sweeps := []series{{ModeWatch, 0}}
+	var sweeps []series
+	if f.FanArity > 0 {
+		sweeps = append(sweeps, series{ModeWatch, 0, f.FanArity, f.FanDepth})
+	}
+	sweeps = append(sweeps, series{ModeWatch, 0, 0, 0}) // flat baseline
 	for _, p := range f.PollEvery {
-		sweeps = append(sweeps, series{ModePoll, p})
+		sweeps = append(sweeps, series{mode: ModePoll, poll: p})
 	}
 	data := WatchData{Figure: f}
-	total := len(sweeps) * len(f.Watchers)
+	total := 0
+	for _, s := range sweeps {
+		for _, w := range f.Watchers {
+			if s.mode == ModePoll && w > maxPollWatchers {
+				continue
+			}
+			total++
+		}
+	}
 	done := 0
 	for _, s := range sweeps {
 		for _, w := range f.Watchers {
+			if s.mode == ModePoll && w > maxPollWatchers {
+				continue
+			}
 			res, err := RunWatch(WatchRunConfig{
 				Mode:          s.mode,
 				PollEvery:     s.poll,
 				Watchers:      w,
+				FanArity:      s.fanArity,
+				FanDepth:      s.fanDepth,
 				PublishEvery:  f.PublishEvery,
 				ValueSize:     f.ValueSize,
 				Duration:      f.Duration,
@@ -356,7 +436,11 @@ func (f WatchFigure) Run(progress func(done, total int, c WatchCell)) (WatchData
 				SlowConsumers: f.SlowConsumers,
 				SlowDelay:     f.SlowDelay,
 			})
-			cell := WatchCell{Mode: s.mode, PollEvery: s.poll, Watchers: w, Result: res, Err: err}
+			cell := WatchCell{
+				Mode: s.mode, PollEvery: s.poll, Watchers: w,
+				FanArity: s.fanArity, FanDepth: s.fanDepth,
+				Result: res, Err: err,
+			}
 			if err != nil {
 				return data, err
 			}
@@ -375,31 +459,36 @@ func (d WatchData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== publish→observe wakeup latency (publish every %v, value %dB, window %v, %d slow consumer(s) +%v) ==\n",
 		f.PublishEvery, f.ValueSize, f.Duration, f.SlowConsumers, f.SlowDelay)
-	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s %8s %8s %10s %9s\n",
+	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s %10s %10s %8s %8s %10s %9s\n",
 		"series", "watchers", "published", "observed", "lat p50", "lat p99", "lat max",
-		"lag p50", "lag max", "conflated", "wakeups")
+		"pub p50", "pub p99", "lag p50", "lag max", "conflated", "wakeups")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s %8d %8d %10d %9d\n",
-			c.series(), c.Watchers, r.Published, r.Observed,
+		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s %10s %10s %8d %8d %10d %9d\n",
+			c.Series(), c.Watchers, r.Published, r.Observed,
 			metrics.Duration(r.Latency.Quantile(0.5)),
 			metrics.Duration(r.Latency.Quantile(0.99)),
 			time.Duration(r.Latency.Max()),
+			metrics.Duration(r.PubOverhead.Quantile(0.5)),
+			metrics.Duration(r.PubOverhead.Quantile(0.99)),
 			r.LagP50, r.LagMax, r.Conflated, r.Wakeups)
 	}
 }
 
 // RenderCSV appends machine-readable rows.
 func (d WatchData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns,lag_p50,lag_max,conflated,wakeups")
+	// New columns go at the end: CI's smoke grep matches the prefix of
+	// this header, and downstream plotting scripts index by name.
+	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns,lag_p50,lag_max,conflated,wakeups,pub_p50_ns,pub_p99_ns")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%d\n",
-			d.Figure.ID, c.series(), c.Watchers,
+		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%d,%.0f,%.0f\n",
+			d.Figure.ID, c.Series(), c.Watchers,
 			float64(d.Figure.PublishEvery)/float64(time.Microsecond),
 			float64(c.PollEvery)/float64(time.Microsecond),
 			r.Published, r.Observed,
 			r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max(),
-			r.LagP50, r.LagMax, r.Conflated, r.Wakeups)
+			r.LagP50, r.LagMax, r.Conflated, r.Wakeups,
+			r.PubOverhead.Quantile(0.5), r.PubOverhead.Quantile(0.99))
 	}
 }

@@ -15,22 +15,33 @@ func TestRunWatchModes(t *testing.T) {
 	for _, cfg := range []WatchRunConfig{
 		{Mode: ModeWatch, Watchers: 2, PublishEvery: 200 * time.Microsecond,
 			ValueSize: 32, Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond},
+		{Mode: ModeWatch, Watchers: 4, FanArity: 2, FanDepth: 2,
+			PublishEvery: 200 * time.Microsecond, ValueSize: 32,
+			Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond},
 		{Mode: ModePoll, PollEvery: 100 * time.Microsecond, Watchers: 2,
 			PublishEvery: 200 * time.Microsecond, ValueSize: 32,
 			Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond},
 	} {
+		label := string(cfg.Mode)
+		if cfg.FanArity > 0 {
+			label += "-tree"
+		}
 		res, err := RunWatch(cfg)
 		if err != nil {
-			t.Fatalf("%s: %v", cfg.Mode, err)
+			t.Fatalf("%s: %v", label, err)
 		}
 		if res.Published == 0 {
-			t.Errorf("%s: no publications in the measured window", cfg.Mode)
+			t.Errorf("%s: no publications in the measured window", label)
 		}
 		if res.Observed == 0 {
-			t.Errorf("%s: watchers observed nothing", cfg.Mode)
+			t.Errorf("%s: watchers observed nothing", label)
 		}
 		if res.Latency.Count() != res.Observed {
-			t.Errorf("%s: %d latency samples for %d observations", cfg.Mode, res.Latency.Count(), res.Observed)
+			t.Errorf("%s: %d latency samples for %d observations", label, res.Latency.Count(), res.Observed)
+		}
+		if res.PubOverhead.Count() != res.Published {
+			t.Errorf("%s: %d publisher-overhead samples for %d publications",
+				label, res.PubOverhead.Count(), res.Published)
 		}
 	}
 }
@@ -80,12 +91,64 @@ func TestWatchFigureRender(t *testing.T) {
 	var tbl, csv strings.Builder
 	data.RenderTable(&tbl)
 	data.RenderCSV(&csv)
-	for _, want := range []string{"watch", "poll-100µs", "poll-1ms", "lat p99", "lag max", "conflated"} {
+	for _, want := range []string{"watch", "watch-flat", "poll-100µs", "poll-1ms", "lat p99", "pub p99", "lag max", "conflated"} {
 		if !strings.Contains(tbl.String(), want) {
 			t.Errorf("table missing %q:\n%s", want, tbl.String())
 		}
 	}
 	if got := strings.Count(csv.String(), "\n"); got != len(data.Cells)+1 {
 		t.Errorf("CSV has %d lines, want %d cells + header", got, len(data.Cells))
+	}
+	// The CI smoke job greps this exact substring from the header; the
+	// pub columns must extend it, never break it.
+	if !strings.Contains(csv.String(), "lag_p50,lag_max,conflated,wakeups,pub_p50_ns,pub_p99_ns") {
+		t.Errorf("CSV header lost its stable column prefix:\n%s", csv.String())
+	}
+	// Both watch disciplines must run in the default figure: the tree
+	// series and the flat baseline are a comparison, not alternatives.
+	var tree, flat int
+	for _, c := range data.Cells {
+		if c.Mode != ModeWatch {
+			continue
+		}
+		if c.FanArity > 0 {
+			tree++
+		} else {
+			flat++
+		}
+	}
+	if tree == 0 || flat == 0 {
+		t.Errorf("figure ran %d tree and %d flat watch cells, want both", tree, flat)
+	}
+}
+
+// TestWatchFigurePollClamp pins the poll-series cap: a watcher count
+// past maxPollWatchers keeps its watch cells (parked watchers are
+// cheap) but drops the poll cells — a many-thousand-goroutine sleep
+// loop measures the scheduler, not the subsystem.
+func TestWatchFigurePollClamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two cells with >4096 parked watchers")
+	}
+	fig := FigWatch()
+	fig.Watchers = []int{2, maxPollWatchers + 1}
+	fig.Duration = 30 * time.Millisecond
+	fig.Warmup = 5 * time.Millisecond
+	data, err := fig.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[WatchMode]map[int]int{ModeWatch: {}, ModePoll: {}}
+	for _, c := range data.Cells {
+		cells[c.Mode][c.Watchers]++
+	}
+	if got := cells[ModePoll][2]; got != len(fig.PollEvery) {
+		t.Errorf("small watcher count ran %d poll cells, want %d", got, len(fig.PollEvery))
+	}
+	if got := cells[ModePoll][maxPollWatchers+1]; got != 0 {
+		t.Errorf("oversized watcher count ran %d poll cells, want 0", got)
+	}
+	if got := cells[ModeWatch][maxPollWatchers+1]; got != 2 {
+		t.Errorf("oversized watcher count ran %d watch cells, want 2 (tree + flat)", got)
 	}
 }

@@ -290,18 +290,7 @@ func (r *Register) WaitPublish(ctx context.Context, seen uint64) (uint64, error)
 // return is noted as published on ws (in the composite summed-epoch
 // frame). ws may be nil.
 func (r *Register) WaitPublishStats(ctx context.Context, seen uint64, ws *notify.WatchStats) (uint64, error) {
-	var epoch uint64
-	err := notify.AwaitStats(ctx, func() bool {
-		epoch = r.NotifyEpoch()
-		return epoch != seen
-	}, ws, &r.watchGate)
-	if err != nil {
-		return seen, err
-	}
-	if ws != nil {
-		ws.NoteSeen(epoch)
-	}
-	return epoch, nil
+	return notify.WaitEpoch(ctx, r.NotifyEpoch, seen, ws, &r.watchGate)
 }
 
 // Stats returns the composite's live telemetry as a Stats-tree node:
@@ -322,6 +311,11 @@ func (r *Register) Stats() obs.Snapshot {
 		armed = 1
 	}
 	sn.Put("gate_armed", armed)
+	if t := r.watchGate.Fanned(); t != nil {
+		// The composite gate's wakeup tree (attached by the first
+		// facade watch session): topology, live relays, cascades.
+		sn.Children = append(sn.Children, t.Stats())
+	}
 	for i, comp := range r.comps {
 		child := comp.Stats()
 		child.Name = fmt.Sprintf("component%d", i)

@@ -24,9 +24,17 @@ const (
 	// delays the close while more waiters pile onto the armed channel,
 	// turning the eventual close into a thundering wake.
 	FaultWakeSwap = "notify/wake-swap"
+	// FaultTreeWake fires at the top of a gate-tree relay's fan-out
+	// step, after the relay re-armed its own gate and before it wakes
+	// any child. A stall here holds a cascade open mid-tree — exactly
+	// the "pending cascade" window the per-level no-lost-wakeup
+	// argument (DESIGN.md §12) reasons about — while publishes and
+	// subscriber churn keep arriving above and below it.
+	FaultTreeWake = "notify/tree-wake"
 )
 
 var (
 	faultPublishEpoch = fault.NewPoint(FaultPublishEpoch, fault.CanYield|fault.CanStall)
 	faultWakeSwap     = fault.NewPoint(FaultWakeSwap, fault.CanYield|fault.CanStall)
+	faultTreeWake     = fault.NewPoint(FaultTreeWake, fault.CanYield|fault.CanStall)
 )

@@ -56,10 +56,24 @@
 // chains its per-shard sequencers to one map-level gate — while each
 // waiter still rechecks its own epoch predicate after arming, so the
 // chain adds only atomic loads to the publish path, never RMW.
+//
+// # Gate trees
+//
+// A flat gate's close is O(parked waiters) of scheduler work executed
+// inline in the publisher — fine at tens of waiters, a wakeup storm at
+// 100k. Tree (see tree.go) attaches a fixed-arity hierarchy of gates
+// to any source gate: watchers subscribe to a leaf and park there, and
+// per-node relay goroutines cascade each wake down level by level, so
+// the publisher's worst case stays one swap + one close (of the root
+// relay's one-waiter channel) and no single goroutine ever closes more
+// than one cohort. The no-lost-wakeup argument above then applies per
+// level; the relay's re-arm-before-propagate ordering is what makes
+// the induction go through.
 package notify
 
 import (
 	"context"
+	"reflect"
 	"sync/atomic"
 	"time"
 
@@ -93,7 +107,12 @@ type Gate struct {
 	stamp  atomic.Int64
 	_      [pad.CacheLineSize - 8]byte
 	parent *Gate
-	_      pad.CacheLinePad
+	// fan is the lazily attached wakeup tree (nil for the common flat
+	// gate). Cold: touched only by Fan/Fanned, never on the publish
+	// path — Wake goes through the armed pointer exactly as before,
+	// the tree's root relay being just another parked waiter.
+	fan atomic.Pointer[Tree]
+	_   pad.CacheLinePad
 }
 
 // Chain links g to parent: every Wake of g also wakes parent (and its
@@ -141,7 +160,13 @@ func (g *Gate) Arm() <-chan struct{} {
 // Wake returns the number of broadcast channels it closed (0 on the
 // no-waiter fast path), so publishers can count waking publications
 // without re-probing the gate.
-func (g *Gate) Wake() int {
+func (g *Gate) Wake() int { return g.WakeAt(0) }
+
+// WakeAt is Wake with a caller-supplied wake stamp: gate trees use it
+// to propagate the *origin* publish time down a cascade so leaf
+// watchers measure full publish→observe latency rather than the last
+// relay hop. stamp 0 means "now" (plain Wake).
+func (g *Gate) WakeAt(stamp int64) int {
 	woke := 0
 	for gg := g; gg != nil; gg = gg.parent {
 		if gg.armed.Load() == nil {
@@ -153,7 +178,11 @@ func (g *Gate) Wake() int {
 		// observe, the backpressure half of the park→publish→observe
 		// path).
 		faultWakeSwap.Hit()
-		gg.stamp.Store(nowNanos())
+		if stamp != 0 {
+			gg.stamp.Store(stamp)
+		} else {
+			gg.stamp.Store(nowNanos())
+		}
 		// Swap-then-close: the channel leaves the gate before it
 		// closes, so no waiter can be handed an already-closed channel
 		// *through the gate* (one obtained just before the swap wakes
@@ -168,6 +197,37 @@ func (g *Gate) Wake() int {
 	return woke
 }
 
+// disarm clears the gate's armed pointer if it still holds ch — the
+// exiting relay's cleanup for an interior gate it owns exclusively. A
+// concurrent Wake that already swapped the channel out wins the race
+// harmlessly (the CAS fails and nothing is disarmed).
+func (g *Gate) disarm(ch <-chan struct{}) {
+	if p := g.armed.Load(); p != nil && *p == ch {
+		g.armed.CompareAndSwap(p, nil)
+	}
+}
+
+// Fan returns the gate's wakeup tree, creating one with the given
+// topology on first call (see NewTree for the bounds). Concurrent
+// first calls race benignly — one tree wins the CAS, losers are
+// discarded before any relay spawns — and later calls return the
+// cached tree regardless of the arity/depth they ask for: a gate has
+// one fan shape, fixed by whoever attaches it first.
+func (g *Gate) Fan(arity, depth int) *Tree {
+	if t := g.fan.Load(); t != nil {
+		return t
+	}
+	t := NewTree(g, arity, depth)
+	if g.fan.CompareAndSwap(nil, t) {
+		return t
+	}
+	return g.fan.Load()
+}
+
+// Fanned returns the gate's wakeup tree if one has been attached, nil
+// otherwise — the stats walkers' no-allocate probe.
+func (g *Gate) Fanned() *Tree { return g.fan.Load() }
+
 // WakeStamp returns the monotonic nanosecond time of the last waking
 // publish through g, 0 if none has happened. Woken waiters read it to
 // compute their wakeup latency; the close that woke them orders the
@@ -178,15 +238,19 @@ func (g *Gate) WakeStamp() int64 { return g.stamp.Load() }
 // Test and diagnostics hook; the answer is immediately stale.
 func (g *Gate) Armed() bool { return g.armed.Load() != nil }
 
-// Await parks on one or two gates until changed reports true or ctx is
-// done, packaging the arm → recheck → block protocol. changed must be
-// monotone over the caller's wait (once true it stays true until the
-// caller acts) and is evaluated under no lock; its loads of published
-// state are what the arm-then-recheck ordering protects.
+// Await parks on one or more gates until changed reports true or ctx
+// is done, packaging the arm → recheck → block protocol. changed must
+// be monotone over the caller's wait (once true it stays true until
+// the caller acts) and is evaluated under no lock; its loads of
+// published state are what the arm-then-recheck ordering protects.
 //
-// Two gates cover every composition in this repository (a keyed watch
-// parks on the key's value gate and the shard's directory gate at
-// once); Await panics on other counts rather than silently degrading.
+// One and two gates — every steady-state composition in this
+// repository (a keyed watch parks on the key's value gate and the
+// shard's directory gate at once; tree watchers park on a single leaf)
+// — take an unrolled allocation-free select. Three or more gates fall
+// back to reflect.Select, which allocates per park; that path exists
+// for multi-source compositions and tests, not hot loops. Await panics
+// on zero gates rather than silently never waking.
 func Await(ctx context.Context, changed func() bool, gates ...*Gate) error {
 	return AwaitStats(ctx, changed, nil, gates...)
 }
@@ -199,9 +263,19 @@ func Await(ctx context.Context, changed func() bool, gates ...*Gate) error {
 // is untouched beyond the stamp it already writes when a waiter is
 // parked.
 func AwaitStats(ctx context.Context, changed func() bool, ws *WatchStats, gates ...*Gate) error {
-	if len(gates) == 0 || len(gates) > 2 {
-		panic("notify: Await supports exactly 1 or 2 gates")
+	switch len(gates) {
+	case 0:
+		panic("notify: Await needs at least one gate")
+	case 1, 2:
+		return await2(ctx, changed, ws, gates)
+	default:
+		return awaitN(ctx, changed, ws, gates)
 	}
+}
+
+// await2 is the unrolled 1-or-2-gate park loop — no per-iteration
+// allocation beyond the shared broadcast channel Arm may create.
+func await2(ctx context.Context, changed func() bool, ws *WatchStats, gates []*Gate) error {
 	for {
 		if changed() {
 			return nil
@@ -228,19 +302,79 @@ func AwaitStats(ctx context.Context, changed func() bool, ws *WatchStats, gates 
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		if ws != nil {
-			ws.wakeups.Add(1)
-			if stamp := woke.WakeStamp(); stamp != 0 {
-				ws.latency.RecordSince(stamp, nowNanos())
-			}
-			if !changed() {
-				ws.spurious.Add(1)
-			}
-			// Fall through to the loop head: the predicate is monotone,
-			// so the extra changed() there costs one pass and keeps one
-			// exit path.
-		}
+		noteWake(ws, woke, changed)
 	}
+}
+
+// awaitN is the general N-gate park loop (N ≥ 3) built on
+// reflect.Select. Same protocol, same recheck ordering; the price is
+// one case-slice build and reflect's per-call allocations per park.
+func awaitN(ctx context.Context, changed func() bool, ws *WatchStats, gates []*Gate) error {
+	cases := make([]reflect.SelectCase, len(gates)+1)
+	cases[len(gates)] = reflect.SelectCase{
+		Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ctx.Done()),
+	}
+	for {
+		if changed() {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i, g := range gates {
+			cases[i] = reflect.SelectCase{
+				Dir: reflect.SelectRecv, Chan: reflect.ValueOf(g.Arm()),
+			}
+		}
+		// The decisive recheck, after every gate is armed.
+		if changed() {
+			return nil
+		}
+		chosen, _, _ := reflect.Select(cases)
+		if chosen == len(gates) {
+			return ctx.Err()
+		}
+		noteWake(ws, gates[chosen], changed)
+	}
+}
+
+// noteWake records one park→wake edge on ws: the wakeup, its latency
+// against the waking gate's stamp, and whether it was spurious. The
+// caller falls through to its loop head afterwards — the predicate is
+// monotone, so the extra changed() there costs one pass and keeps one
+// exit path.
+func noteWake(ws *WatchStats, woke *Gate, changed func() bool) {
+	if ws == nil {
+		return
+	}
+	ws.wakeups.Add(1)
+	if stamp := woke.WakeStamp(); stamp != 0 {
+		ws.latency.RecordSince(stamp, nowNanos())
+	}
+	if !changed() {
+		ws.spurious.Add(1)
+	}
+}
+
+// WaitEpoch parks on the given gates until epoch() differs from seen,
+// returning the epoch it observed — the shared engine behind
+// Sequencer.WaitStats, the (M,N) composite wait, and tree-leaf parks.
+// epoch must be monotone in the "eventually differs" sense (it is a
+// publication counter, or a sum of them). The observed epoch is noted
+// as published on ws when ws is non-nil.
+func WaitEpoch(ctx context.Context, epoch func() uint64, seen uint64, ws *WatchStats, gates ...*Gate) (uint64, error) {
+	var e uint64
+	err := AwaitStats(ctx, func() bool {
+		e = epoch()
+		return e != seen
+	}, ws, gates...)
+	if err != nil {
+		return seen, err
+	}
+	if ws != nil {
+		ws.NoteSeen(e)
+	}
+	return e, nil
 }
 
 // Sequencer is the per-register publication sequencer: a monotonic
@@ -294,6 +428,9 @@ func (s *Sequencer) Stats() obs.Snapshot {
 		armed = 1
 	}
 	sn.Put("gate_armed", armed)
+	if t := s.gate.Fanned(); t != nil {
+		sn.Children = append(sn.Children, t.Stats())
+	}
 	return sn
 }
 
@@ -326,16 +463,12 @@ func (s *Sequencer) Wait(ctx context.Context, seen uint64) (uint64, error) {
 // published on ws (the caller notes delivery once it has actually
 // yielded the value — see WatchStats.NoteDelivered). ws may be nil.
 func (s *Sequencer) WaitStats(ctx context.Context, seen uint64, ws *WatchStats) (uint64, error) {
-	var epoch uint64
-	err := AwaitStats(ctx, func() bool {
-		epoch = s.epoch.Load()
-		return epoch != seen
-	}, ws, &s.gate)
-	if err != nil {
-		return seen, err
-	}
-	if ws != nil {
-		ws.NoteSeen(epoch)
-	}
-	return epoch, nil
+	return WaitEpoch(ctx, s.Epoch, seen, ws, &s.gate)
 }
+
+// Fan returns the sequencer gate's wakeup tree, attaching one on first
+// call (see Gate.Fan). Large watcher populations subscribe a leaf and
+// park there instead of on the shared gate, bounding every wakeup
+// cohort at watchers/leaves while the publish path keeps its flat-gate
+// cost.
+func (s *Sequencer) Fan(arity, depth int) *Tree { return s.gate.Fan(arity, depth) }

@@ -228,15 +228,68 @@ func TestAwaitTwoGates(t *testing.T) {
 
 // TestAwaitGateCountPanics pins the documented 1-or-2-gates contract.
 func TestAwaitGateCountPanics(t *testing.T) {
-	for _, gates := range [][]*Gate{nil, {new(Gate), new(Gate), new(Gate)}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Await(%d gates) did not panic", len(gates))
-				}
+	// Zero gates is the only illegal count: the wait could never wake.
+	defer func() {
+		if recover() == nil {
+			t.Error("Await(0 gates) did not panic")
+		}
+	}()
+	_ = Await(context.Background(), func() bool { return true })
+}
+
+// TestAwaitManyGates pins the N-gate contract (N ≥ 3 rides the
+// reflect.Select path): a wake on ANY of the armed gates unparks the
+// waiter, and a satisfied predicate returns without parking.
+func TestAwaitManyGates(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		for wakeIdx := 0; wakeIdx < n; wakeIdx++ {
+			gates := make([]*Gate, n)
+			for i := range gates {
+				gates[i] = new(Gate)
+			}
+			var fired atomic.Bool
+			done := make(chan error, 1)
+			go func() {
+				done <- Await(context.Background(), fired.Load, gates...)
 			}()
-			_ = Await(context.Background(), func() bool { return true }, gates...)
-		}()
+			// Wait for the waiter to actually park on all gates.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				armed := 0
+				for _, g := range gates {
+					if g.Armed() {
+						armed++
+					}
+				}
+				if armed == n {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("n=%d: waiter never armed all gates", n)
+				}
+				time.Sleep(time.Microsecond)
+			}
+			fired.Store(true)
+			gates[wakeIdx].Wake()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("n=%d wake=%d: Await: %v", n, wakeIdx, err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("n=%d wake=%d: Await never returned", n, wakeIdx)
+			}
+		}
+	}
+	// Immediate-true predicate returns without parking on any gate.
+	gates := []*Gate{new(Gate), new(Gate), new(Gate)}
+	if err := Await(context.Background(), func() bool { return true }, gates...); err != nil {
+		t.Fatalf("Await immediate: %v", err)
+	}
+	for i, g := range gates {
+		if g.Armed() {
+			t.Errorf("gate %d left armed by immediate Await", i)
+		}
 	}
 }
 

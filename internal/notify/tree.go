@@ -1,0 +1,418 @@
+// Gate trees: hierarchical wakeup fan-out for large watcher counts.
+//
+// A single broadcast Gate is the right shape for tens of waiters — one
+// swap, one close, the runtime readies the cohort. At 100k parked
+// watchers that close is O(waiters) of goready work executed inline in
+// the *publisher*, which breaks the whole point of the wait-free
+// writer: publish cost must not scale with the audience.
+//
+// A Tree restores the bound. It attaches to an existing source Gate
+// (the sequencer gate, a composite gate, the map-level gate — any gate,
+// with all its Chain wiring untouched) and interposes a fixed-arity
+// tree of interior gates between the source and the watchers:
+//
+//	source Gate ── root relay ── interior gates ── … ── leaf Gates
+//	                 (goroutine)    (one relay each)        (watchers park here)
+//
+// Watchers subscribe to a leaf (round-robin assignment) and park on the
+// leaf Gate with the ordinary Arm → recheck → block protocol. One relay
+// goroutine per active interior node parks on its node's gate exactly
+// like a waiter; when woken it wakes its children's gates and re-parks.
+// The publisher's path is completely unchanged: it still pays one
+// atomic load on the source gate when idle, and one swap + one close of
+// a one-waiter channel (the root relay) when the tree is live. No
+// goroutine — publisher or relay — ever closes more than arity
+// channels per cascade, so a 100k-watcher wakeup storm is spread across
+// O(leaves) helper closes instead of one inline O(100k) close.
+//
+// # No lost wakeups across levels
+//
+// The flat gate's correctness argument is a two-word SC crossing: the
+// waiter arms then rechecks, the publisher stores then loads, so one
+// side always observes the other. The tree preserves that argument
+// *per level* by one ordering rule in the relay loop:
+//
+//	the relay RE-ARMS its own gate BEFORE waking its children.
+//
+// With that order, a relay's gate is unarmed only while a cascade
+// through it is pending. Suppose a leaf watcher armed, rechecked, and
+// missed epoch E (its recheck ran before E's store). The publisher's
+// post-store load of the source gate then either (a) finds it armed —
+// the re-arm already happened — and starts a fresh cascade that is
+// ordered after the watcher's arm at every level, reaching its leaf; or
+// (b) finds it unarmed, which means a previous cascade was swapped out
+// but its propagation had not yet re-armed — and that pending cascade's
+// downward wakes are themselves ordered after each child's earlier
+// state, ultimately closing a leaf channel created no later than the
+// watcher's arm. Either way the watcher's channel closes. The same
+// argument applies inductively at each interior level (relays are
+// themselves arm-then-recheck waiters whose "predicate" is the pending
+// cascade). DESIGN.md §12 spells the interleavings out.
+//
+// # Relay lifecycle
+//
+// Relays exist only while someone is subscribed below them. Subscribe
+// reference-counts the root→leaf-parent path and spawns a relay on a
+// node's 0→1 edge; Close decrements and signals the relay to drain on
+// the 1→0 edge. Subscribe does not return until every relay on its
+// path has armed at least once (a ready handshake), so the leaf's
+// wake linkage is complete before the watcher's first recheck. A
+// draining relay that loses the race with a re-subscribe picks up the
+// fresh quit channel and keeps running. On exit a relay disarms the
+// interior gate it owns exclusively; the root relay never disarms the
+// shared source gate (direct waiters may be parked in the same cohort),
+// leaving at most one harmless extra swap+close to the next publish.
+package notify
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"arcreg/internal/obs"
+)
+
+// Tree topology bounds. Arity and depth are clamped-by-panic (a
+// programming error, not a runtime condition) and the leaf count is
+// capped so a typo cannot allocate millions of gates.
+const (
+	MinFanArity  = 2
+	MaxFanArity  = 64
+	MinFanDepth  = 1
+	MaxFanDepth  = 4
+	maxFanLeaves = 1 << 16
+)
+
+// Default topology for facade-level fans: 16² = 256 leaves keeps the
+// largest single cohort at watchers/256 while the publisher's worst
+// case stays one swap+close (the root relay).
+const (
+	DefaultFanArity = 16
+	DefaultFanDepth = 2
+)
+
+// Tree is a hierarchical wakeup fan attached to a source Gate. Create
+// with NewTree or, for the common lazily-attached case, Gate.Fan.
+// All methods are safe for concurrent use.
+type Tree struct {
+	src   *Gate
+	arity int
+	depth int
+
+	root       *treeNode
+	nodes      []*treeNode // every interior node, root first (BFS-ish)
+	leaves     []Gate
+	leafParent []*treeNode
+
+	// next drives round-robin leaf assignment; subs/relays are
+	// multi-writer lifecycle counters (raw atomics, not obs.Cell —
+	// Cells are single-writer).
+	next   atomic.Uint64
+	subs   atomic.Int64
+	relays atomic.Int64
+
+	// cascades counts relay fan-out steps (all levels); leafWakes
+	// counts leaf broadcast channels closed by cascades. Multi-writer:
+	// every relay advances them.
+	cascades  atomic.Uint64
+	leafWakes atomic.Uint64
+}
+
+// treeNode is one interior node: a parking gate (unused by the root,
+// which parks on the tree's source gate), the relay lifecycle state,
+// and either children (upper levels) or a leaf range (last interior
+// level).
+type treeNode struct {
+	t      *Tree
+	level  int // 0 = root
+	parent *treeNode
+	gate   Gate
+
+	children []*treeNode // nil at the leaf-parent level
+	leafLo   int         // when children == nil: wakes leaves [leafLo, leafHi)
+	leafHi   int
+
+	mu      sync.Mutex
+	refs    int
+	running bool
+	quit    chan struct{} // close to ask the relay to drain; replaced on re-up
+	ready   chan struct{} // closed by the relay once its gate is armed
+}
+
+// NewTree builds a tree of the given arity and depth over src without
+// spawning anything: relays start on first Subscribe, so an unused tree
+// costs only its gates. Depth counts cascade levels — depth 1 is a
+// root relay waking arity leaves, depth 2 adds one interior level
+// (arity² leaves), and so on. Panics if the topology is out of bounds
+// (arity 2–64, depth 1–4, at most 65536 leaves).
+func NewTree(src *Gate, arity, depth int) *Tree {
+	if src == nil {
+		panic("notify: NewTree with nil source gate")
+	}
+	if arity < MinFanArity || arity > MaxFanArity {
+		panic("notify: tree arity out of range")
+	}
+	if depth < MinFanDepth || depth > MaxFanDepth {
+		panic("notify: tree depth out of range")
+	}
+	nleaves := 1
+	for i := 0; i < depth; i++ {
+		nleaves *= arity
+		if nleaves > maxFanLeaves {
+			panic("notify: tree leaf count exceeds cap")
+		}
+	}
+	t := &Tree{
+		src:        src,
+		arity:      arity,
+		depth:      depth,
+		leaves:     make([]Gate, nleaves),
+		leafParent: make([]*treeNode, nleaves),
+	}
+	t.root = t.build(nil, 0, 0, nleaves)
+	return t
+}
+
+// build creates the interior node at the given level covering leaves
+// [lo, lo+span), recursing until the leaf-parent level.
+func (t *Tree) build(parent *treeNode, level, lo, span int) *treeNode {
+	n := &treeNode{t: t, level: level, parent: parent}
+	t.nodes = append(t.nodes, n)
+	if level == t.depth-1 {
+		n.leafLo, n.leafHi = lo, lo+span
+		for i := lo; i < lo+span; i++ {
+			t.leafParent[i] = n
+		}
+		return n
+	}
+	childSpan := span / t.arity
+	n.children = make([]*treeNode, t.arity)
+	for c := 0; c < t.arity; c++ {
+		n.children[c] = t.build(n, level+1, lo+c*childSpan, childSpan)
+	}
+	return n
+}
+
+// Arity returns the tree's fan-out per level.
+func (t *Tree) Arity() int { return t.arity }
+
+// Depth returns the number of cascade levels.
+func (t *Tree) Depth() int { return t.depth }
+
+// Leaves returns the number of leaf gates (arity^depth).
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// Subs returns the number of live subscriptions.
+func (t *Tree) Subs() int64 { return t.subs.Load() }
+
+// Relays returns the number of relay goroutines currently running —
+// the goroutine-hygiene number leak tests pin to zero after churn.
+func (t *Tree) Relays() int64 { return t.relays.Load() }
+
+// Sub is one watcher's leaf subscription. Park on Gate() with Await /
+// AwaitStats / WaitEpoch exactly as on a flat gate; Close when the
+// watch session ends so unused relays drain. A Sub is owned by one
+// goroutine; Close is idempotent but not concurrent-safe.
+type Sub struct {
+	t      *Tree
+	leaf   *Gate
+	path   [MaxFanDepth]*treeNode // root-first, path[0..pathLen)
+	pathn  int
+	closed bool
+}
+
+// Subscribe assigns the caller a leaf (round-robin, so cohort sizes
+// stay balanced regardless of caller identity), spins up any missing
+// relays on the root→leaf path, and returns once the path is fully
+// armed — from that point a publish on the source gate is guaranteed
+// to cascade to this leaf.
+func (t *Tree) Subscribe() *Sub {
+	li := int(t.next.Add(1)-1) % len(t.leaves)
+	s := &Sub{t: t, leaf: &t.leaves[li]}
+	for n := t.leafParent[li]; n != nil; n = n.parent {
+		s.pathn++
+		s.path[t.depth-s.pathn] = n // parent walk is leaf→root; store reversed
+	}
+	for i := 0; i < s.pathn; i++ {
+		t.ref(s.path[i])
+	}
+	t.subs.Add(1)
+	return s
+}
+
+// Gate returns the leaf gate this subscription parks on.
+func (s *Sub) Gate() *Gate { return s.leaf }
+
+// Close releases the subscription's references leaf-parent→root so
+// relays with no remaining subscribers drain. Idempotent.
+func (s *Sub) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i := s.pathn - 1; i >= 0; i-- {
+		s.t.unref(s.path[i])
+	}
+	s.t.subs.Add(-1)
+}
+
+// ref takes one reference on n, spawning its relay on the 0→1 edge and
+// blocking until the relay's gate is armed. Every caller waits on the
+// ready handshake — not just the spawner — so no subscriber can reach
+// its leaf recheck while the path above it is still dark.
+func (t *Tree) ref(n *treeNode) {
+	n.mu.Lock()
+	n.refs++
+	if !n.running {
+		n.running = true
+		n.quit = make(chan struct{})
+		n.ready = make(chan struct{})
+		t.relays.Add(1)
+		go t.relay(n, n.quit, n.ready)
+	}
+	// A draining relay (refs hit 0, quit closed, not yet exited) is
+	// revived by the fresh quit channel the 0→1 edge above installed;
+	// it re-reads n.quit under mu before exiting. Its gate stayed armed
+	// throughout, so ready (closed since first arm) remains truthful.
+	ready := n.ready
+	n.mu.Unlock()
+	<-ready
+}
+
+// unref drops one reference; on the 1→0 edge it closes the relay's
+// quit channel. The relay itself decides between exit and revival
+// under n.mu, so an unref/ref race settles on whichever edge ran last.
+func (t *Tree) unref(n *treeNode) {
+	n.mu.Lock()
+	if n.refs--; n.refs == 0 && n.running {
+		close(n.quit)
+		// Replace the closed channel so a later 0→1 edge that finds
+		// running==true (relay not yet exited) installs a fresh one —
+		// see ref. Leaving the closed channel here would make that
+		// revival signal a second drain immediately.
+		n.quit = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// relay is the per-node helper loop: park on the node's gate (the
+// source gate for the root), and on every wake RE-ARM FIRST, then fan
+// the wake out to the children. The re-arm-before-propagate order is
+// the tree's correctness invariant — see the package comment and
+// DESIGN.md §12. quit asks the relay to drain; it re-checks refs under
+// the node lock so a concurrent re-subscribe revives it instead.
+func (t *Tree) relay(n *treeNode, quit, ready chan struct{}) {
+	park := &n.gate
+	if n == t.root {
+		park = t.src
+	}
+	ch := park.Arm()
+	close(ready)
+	for {
+		select {
+		case <-ch:
+			// Re-arm before propagating: from here to the last child
+			// wake below, this node's "cascade pending" state stands in
+			// for its armed gate in the per-level SC-crossing argument.
+			ch = park.Arm()
+			t.fanOut(n, park.WakeStamp())
+		case <-quit:
+			n.mu.Lock()
+			if n.refs > 0 {
+				quit = n.quit // revived: pick up the fresh drain signal
+				n.mu.Unlock()
+				continue
+			}
+			if n != t.root {
+				// Disarm the interior gate this relay owns exclusively
+				// so the parent's next cascade skips it (one load). The
+				// root must NOT disarm the source gate: direct waiters
+				// may share its cohort channel.
+				park.disarm(ch)
+			}
+			n.running = false
+			n.mu.Unlock()
+			t.relays.Add(-1)
+			return
+		}
+	}
+}
+
+// fanOut wakes n's children — interior gates on upper levels, the leaf
+// range on the last level — propagating the origin publish stamp so
+// leaf watchers measure full publish→observe latency across the
+// cascade, not just the last hop.
+func (t *Tree) fanOut(n *treeNode, stamp int64) {
+	faultTreeWake.Hit()
+	t.cascades.Add(1)
+	if n.children != nil {
+		for _, c := range n.children {
+			c.gate.WakeAt(stamp)
+		}
+		return
+	}
+	woke := 0
+	for i := n.leafLo; i < n.leafHi; i++ {
+		woke += t.leaves[i].WakeAt(stamp)
+	}
+	if woke > 0 {
+		t.leafWakes.Add(uint64(woke))
+	}
+}
+
+// Cascades reports how many relay fan-out steps have run (all levels).
+func (t *Tree) Cascades() uint64 { return t.cascades.Load() }
+
+// LeafWakes reports how many leaf broadcast channels cascades closed.
+func (t *Tree) LeafWakes() uint64 { return t.leafWakes.Load() }
+
+// Stats returns the tree's shape and live counters as a Stats-tree
+// node, with one child per level reporting node and running-relay
+// counts. Safe from any goroutine; relay counts are immediately stale.
+func (t *Tree) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "fan"}
+	sn.Put("arity", uint64(t.arity))
+	sn.Put("depth", uint64(t.depth))
+	sn.Put("leaves", uint64(len(t.leaves)))
+	sn.Put("subs", uint64(max64(t.subs.Load(), 0)))
+	sn.Put("relays", uint64(max64(t.relays.Load(), 0)))
+	sn.Put("cascades", t.cascades.Load())
+	sn.Put("leaf_wakes", t.leafWakes.Load())
+	armedLeaves := uint64(0)
+	for i := range t.leaves {
+		if t.leaves[i].Armed() {
+			armedLeaves++
+		}
+	}
+	sn.Put("leaves_armed", armedLeaves)
+	levels := make([]struct{ nodes, running uint64 }, t.depth)
+	for _, n := range t.nodes {
+		levels[n.level].nodes++
+		n.mu.Lock()
+		if n.running {
+			levels[n.level].running++
+		}
+		n.mu.Unlock()
+	}
+	for lvl, c := range levels {
+		child := obs.Snapshot{Name: "level" + itoa(lvl)}
+		child.Put("nodes", c.nodes)
+		child.Put("relays_running", c.running)
+		sn.Children = append(sn.Children, child)
+	}
+	return sn
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// itoa formats a small non-negative int without strconv (levels ≤ 4).
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{'0' + byte(n)})
+	}
+	return string([]byte{'0' + byte(n/10), '0' + byte(n%10)})
+}

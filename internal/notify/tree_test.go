@@ -1,0 +1,581 @@
+package notify
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"arcreg/internal/fault"
+)
+
+// treeRng is SplitMix64 — the battery's deterministic topology and
+// churn driver, so every failure reproduces from its seed.
+type treeRng struct{ x uint64 }
+
+func (r *treeRng) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *treeRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randTopology draws a legal topology: depth 1–4, arity 2–64, capped
+// at 4096 leaves so a single case stays fast under -race.
+func randTopology(r *treeRng) (arity, depth int) {
+	depth = MinFanDepth + r.intn(MaxFanDepth)
+	maxA := MaxFanArity
+	for {
+		leaves := 1
+		for i := 0; i < depth; i++ {
+			leaves *= maxA
+		}
+		if leaves <= 4096 || maxA == MinFanArity {
+			break
+		}
+		maxA /= 2
+	}
+	arity = MinFanArity + r.intn(maxA-MinFanArity+1)
+	return arity, depth
+}
+
+// waitRelaysDrained polls until the tree has no running relays —
+// relay exit is asynchronous after the last Close.
+func waitRelaysDrained(t *testing.T, tree *Tree) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for tree.Relays() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("relays never drained: %d still running (subs=%d)",
+				tree.Relays(), tree.Subs())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestTreeWakesSubscriber is the smallest end-to-end path: one
+// subscriber parked on a leaf observes a publish cascaded through the
+// full relay chain, at every depth.
+func TestTreeWakesSubscriber(t *testing.T) {
+	for depth := MinFanDepth; depth <= MaxFanDepth; depth++ {
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			var s Sequencer
+			tree := s.Fan(2, depth)
+			sub := tree.Subscribe()
+			defer sub.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := WaitEpoch(context.Background(), s.Epoch, 0, nil, sub.Gate())
+				done <- err
+			}()
+			// Let the watcher park (Subscribe guarantees the relay path
+			// is armed; the watcher's own leaf arm is what we wait for).
+			deadline := time.Now().Add(2 * time.Second)
+			for !sub.Gate().Armed() {
+				if time.Now().After(deadline) {
+					t.Fatal("watcher never parked on its leaf")
+				}
+				time.Sleep(time.Microsecond)
+			}
+			s.Publish()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("WaitEpoch: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("publish never reached the leaf watcher")
+			}
+		})
+	}
+}
+
+// TestTreeBroadcastAllWatchers parks more watchers than leaves (so
+// leaf cohorts have size > 1) and asserts a single publish wakes every
+// one of them — the tree is a broadcast, not an anycast.
+func TestTreeBroadcastAllWatchers(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(4, 2) // 16 leaves
+	const watchers = 64
+	var parked, woken sync.WaitGroup
+	parked.Add(watchers)
+	woken.Add(watchers)
+	for i := 0; i < watchers; i++ {
+		sub := tree.Subscribe()
+		go func(sub *Sub) {
+			defer woken.Done()
+			defer sub.Close()
+			if _, err := WaitEpoch(context.Background(), s.Epoch, 0, nil, sub.Gate()); err != nil {
+				t.Errorf("WaitEpoch: %v", err)
+			}
+		}(sub)
+		go func(sub *Sub) {
+			defer parked.Done()
+			for !sub.Gate().Armed() {
+				time.Sleep(time.Microsecond)
+			}
+		}(sub)
+	}
+	parked.Wait()
+	s.Publish()
+	ok := make(chan struct{})
+	go func() { woken.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(10 * time.Second):
+		t.Fatal("not every watcher woke from one publish")
+	}
+	waitRelaysDrained(t, tree)
+}
+
+// TestTreeNoLostWakeupStress is the battery the tentpole's correctness
+// rests on: randomized topologies, a hammering publisher, parked
+// watchers, subscriber churn, and yield/stall fault schedules on the
+// tree-wake, wake-swap and publish-epoch points — asserting every
+// watcher observes the final epoch (at-least-once delivery with
+// conflation) and the ledger invariant observed ≤ published holds.
+func TestTreeNoLostWakeupStress(t *testing.T) {
+	seeds := []uint64{1, 7, 42, 1917}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := &treeRng{x: seed}
+			arity, depth := randTopology(rng)
+			rounds := 4000 + rng.intn(4000)
+			if testing.Short() {
+				rounds /= 4
+			}
+			watchers := 4 + rng.intn(8)
+			churners := 2 + rng.intn(4)
+			t.Logf("arity=%d depth=%d leaves=%d rounds=%d watchers=%d churners=%d",
+				arity, depth, pow(arity, depth), rounds, watchers, churners)
+
+			// One rule per point (a later rule for the same point would
+			// replace the earlier at Arm). Alternate the tree-wake kind
+			// across seeds so the battery covers both reordering
+			// (yield) and held-open-cascade (stall) windows.
+			treeRule := fault.Rule{Point: FaultTreeWake, Kind: fault.Yield, Every: 3}
+			if seed%2 == 0 {
+				treeRule = fault.Rule{Point: FaultTreeWake, Kind: fault.Stall,
+					Every: uint64(129 + rng.intn(128)), Stall: 200 * time.Microsecond}
+			}
+			sched, err := fault.NewSchedule(seed,
+				treeRule,
+				fault.Rule{Point: FaultWakeSwap, Kind: fault.Yield, Every: 5},
+				fault.Rule{Point: FaultPublishEpoch, Kind: fault.Yield, Every: 7},
+			)
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			sched.Arm()
+			defer sched.Disarm()
+
+			var s Sequencer
+			tree := s.Fan(arity, depth)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			var wg sync.WaitGroup
+			errs := make(chan string, watchers+churners)
+			target := uint64(rounds)
+
+			// Watchers: park on a leaf, observe monotone epochs until
+			// the final one, keeping the backpressure ledger.
+			ledgers := make([]*WatchStats, watchers)
+			for w := 0; w < watchers; w++ {
+				ws := &WatchStats{}
+				ledgers[w] = ws
+				sub := tree.Subscribe()
+				wg.Add(1)
+				go func(w int, sub *Sub, ws *WatchStats) {
+					defer wg.Done()
+					defer sub.Close()
+					var seen uint64
+					for seen < target {
+						e, err := WaitEpoch(ctx, s.Epoch, seen, ws, sub.Gate())
+						if err != nil {
+							errs <- fmt.Sprintf("watcher %d: %v (seen %d / target %d)", w, err, seen, target)
+							return
+						}
+						if e < seen {
+							errs <- fmt.Sprintf("watcher %d: epoch regressed %d after %d", w, e, seen)
+							return
+						}
+						seen = e
+						ws.NoteDelivered(e)
+					}
+				}(w, sub, ws)
+			}
+
+			// Churners: subscribe/park-briefly/close in a tight loop —
+			// the relay lifecycle (spawn, drain, revive) under fire.
+			stop := make(chan struct{})
+			for c := 0; c < churners; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					crng := &treeRng{x: seed ^ uint64(c)<<32}
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						sub := tree.Subscribe()
+						if crng.intn(2) == 0 {
+							cctx, ccancel := context.WithTimeout(ctx, time.Duration(crng.intn(200))*time.Microsecond)
+							_, _ = WaitEpoch(cctx, s.Epoch, s.Epoch(), nil, sub.Gate())
+							ccancel()
+						}
+						sub.Close()
+					}
+				}(c)
+			}
+
+			for i := 0; i < rounds; i++ {
+				s.Publish()
+				if i%256 == 0 {
+					runtime.Gosched() // 1-CPU container: let waiters park
+				}
+			}
+			// Watchers exit on their own: the final publish's cascade
+			// must reach every parked watcher — that is the theorem
+			// under test. No nudge publishes.
+			close(stop)
+			wg.Wait()
+			select {
+			case msg := <-errs:
+				t.Fatal(msg)
+			default:
+			}
+			for w, ws := range ledgers {
+				if ws.Observed() > ws.Published() {
+					t.Errorf("watcher %d: ledger inverted: observed %d > published %d",
+						w, ws.Observed(), ws.Published())
+				}
+				if ws.Observed() < target {
+					t.Errorf("watcher %d: never observed final epoch: %d < %d",
+						w, ws.Observed(), target)
+				}
+			}
+			if tree.Cascades() == 0 {
+				t.Error("no cascades ran — tree was never exercised")
+			}
+			if fired := sched.Fired(); fired == 0 {
+				t.Error("fault schedule never fired — stress ran unfaulted")
+			}
+			waitRelaysDrained(t, tree)
+		})
+	}
+}
+
+func pow(a, d int) int {
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= a
+	}
+	return n
+}
+
+// TestTreeRelayHygiene storms Subscribe/Close from many goroutines and
+// asserts the relay population returns to zero — no helper-goroutine
+// leak — and that goroutine counts settle back to the baseline.
+func TestTreeRelayHygiene(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var g Gate
+	tree := g.Fan(8, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			iters := 300
+			if testing.Short() {
+				iters = 50
+			}
+			for i := 0; i < iters; i++ {
+				sub := tree.Subscribe()
+				if i%3 == 0 {
+					g.Wake() // cascade against a live but empty tree
+				}
+				sub.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if subs := tree.Subs(); subs != 0 {
+		t.Errorf("live subs after churn: %d, want 0", subs)
+	}
+	waitRelaysDrained(t, tree)
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTreeMixedDirectAndLeafWaiters pins the mixed-cohort contract: a
+// waiter parked directly on the source gate and a tree subscriber
+// parked on a leaf are both woken by one publish — attaching a tree
+// must not strand pre-existing direct waiters.
+func TestTreeMixedDirectAndLeafWaiters(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(2, 1)
+	sub := tree.Subscribe()
+	defer sub.Close()
+	var woken sync.WaitGroup
+	woken.Add(2)
+	go func() {
+		defer woken.Done()
+		if _, err := s.Wait(context.Background(), 0); err != nil {
+			t.Errorf("direct Wait: %v", err)
+		}
+	}()
+	go func() {
+		defer woken.Done()
+		if _, err := WaitEpoch(context.Background(), s.Epoch, 0, nil, sub.Gate()); err != nil {
+			t.Errorf("leaf WaitEpoch: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !sub.Gate().Armed() {
+		if time.Now().After(deadline) {
+			t.Fatal("leaf watcher never parked")
+		}
+		time.Sleep(time.Microsecond)
+	}
+	s.Publish()
+	done := make(chan struct{})
+	go func() { woken.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("mixed cohort: not both waiters woke")
+	}
+}
+
+// TestTreeStampPropagation asserts a cascaded wake carries the ORIGIN
+// publish stamp to the leaf, not the stamp of the last relay hop — the
+// latency histograms must measure publish→observe, not hop→observe.
+func TestTreeStampPropagation(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(2, 3)
+	sub := tree.Subscribe()
+	defer sub.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = WaitEpoch(context.Background(), s.Epoch, 0, nil, sub.Gate())
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !sub.Gate().Armed() {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never parked")
+		}
+		time.Sleep(time.Microsecond)
+	}
+	s.Publish()
+	<-done
+	src, leaf := s.Gate().WakeStamp(), sub.Gate().WakeStamp()
+	if leaf != src {
+		t.Errorf("leaf stamp %d != source stamp %d (origin stamp must propagate)", leaf, src)
+	}
+}
+
+// TestTreeRoundRobinBalance pins leaf assignment: K×leaves sequential
+// subscriptions land exactly K per leaf.
+func TestTreeRoundRobinBalance(t *testing.T) {
+	var g Gate
+	tree := g.Fan(4, 1)
+	const k = 3
+	counts := map[*Gate]int{}
+	var subs []*Sub
+	for i := 0; i < k*tree.Leaves(); i++ {
+		sub := tree.Subscribe()
+		subs = append(subs, sub)
+		counts[sub.Gate()]++
+	}
+	for leaf, n := range counts {
+		if n != k {
+			t.Errorf("leaf %p got %d subscribers, want %d", leaf, n, k)
+		}
+	}
+	if len(counts) != tree.Leaves() {
+		t.Errorf("subscriptions hit %d distinct leaves, want %d", len(counts), tree.Leaves())
+	}
+	for _, sub := range subs {
+		sub.Close()
+	}
+	waitRelaysDrained(t, tree)
+}
+
+// TestTreeFanCaching pins Gate.Fan idempotence under racing first
+// calls: one tree wins, everyone gets it, topology arguments after the
+// first are ignored.
+func TestTreeFanCaching(t *testing.T) {
+	var g Gate
+	const racers = 16
+	trees := make([]*Tree, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trees[i] = g.Fan(8, 2)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if trees[i] != trees[0] {
+			t.Fatalf("racing Fan calls returned distinct trees")
+		}
+	}
+	if got := g.Fan(4, 1); got != trees[0] {
+		t.Error("later Fan with different topology returned a new tree")
+	}
+	if g.Fanned() != trees[0] {
+		t.Error("Fanned does not return the attached tree")
+	}
+}
+
+// TestTreeIdlePublishUnchanged pins the publisher-side contract: with
+// a tree attached but ZERO subscribers, no relays run, the source gate
+// stays unarmed, and Publish remains allocation-free — the tree costs
+// nothing until someone subscribes.
+func TestTreeIdlePublishUnchanged(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(16, 2)
+	if tree.Relays() != 0 {
+		t.Fatalf("relays running before any Subscribe: %d", tree.Relays())
+	}
+	allocs := testing.AllocsPerRun(1000, func() { s.Publish() })
+	if allocs != 0 {
+		t.Errorf("idle Publish with attached tree allocates %.1f objects/op, want 0", allocs)
+	}
+	if s.Gate().Armed() {
+		t.Error("idle tree armed the source gate")
+	}
+	if tree.Cascades() != 0 {
+		t.Error("cascades ran with no subscribers")
+	}
+}
+
+// TestTreeTopologyPanics pins NewTree's bounds.
+func TestTreeTopologyPanics(t *testing.T) {
+	cases := []struct {
+		name         string
+		arity, depth int
+	}{
+		{"arity-low", 1, 1},
+		{"arity-high", 65, 1},
+		{"depth-low", 8, 0},
+		{"depth-high", 8, 5},
+		{"leaf-cap", 64, 4}, // 64^4 = 16M leaves
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTree(arity=%d, depth=%d) did not panic", tc.arity, tc.depth)
+				}
+			}()
+			var g Gate
+			NewTree(&g, tc.arity, tc.depth)
+		})
+	}
+	t.Run("nil-src", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewTree(nil, ...) did not panic")
+			}
+		}()
+		NewTree(nil, 2, 1)
+	})
+}
+
+// TestTreeStatsShape sanity-checks the stats node: topology counters,
+// per-level children, live relay counts while subscribed.
+func TestTreeStatsShape(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(4, 2)
+	sub := tree.Subscribe()
+	sn := tree.Stats()
+	want := map[string]uint64{"arity": 4, "depth": 2, "leaves": 16, "subs": 1}
+	for k, v := range want {
+		if got, ok := sn.Get(k); !ok || got != v {
+			t.Errorf("fan stats %s = %d (present=%v), want %d", k, got, ok, v)
+		}
+	}
+	if got, _ := sn.Get("relays"); got == 0 {
+		t.Error("fan stats relays = 0 with a live subscription")
+	}
+	if len(sn.Children) != 2 {
+		t.Fatalf("fan stats has %d level children, want 2", len(sn.Children))
+	}
+	if n, _ := sn.Children[0].Get("nodes"); n != 1 {
+		t.Errorf("level0 nodes = %d, want 1 (root)", n)
+	}
+	if n, _ := sn.Children[1].Get("nodes"); n != 4 {
+		t.Errorf("level1 nodes = %d, want 4", n)
+	}
+	// The sequencer's stats node carries the fan child once attached.
+	seqSn := s.Stats()
+	if seqSn.Child("fan") == nil {
+		t.Error("Sequencer.Stats missing fan child after Fan")
+	}
+	sub.Close()
+	waitRelaysDrained(t, tree)
+}
+
+// TestTreeSubscribeDuringCascade overlaps Subscribe with in-flight
+// cascades: a subscriber must never return before its leaf path is
+// live, so a publish issued after Subscribe returns is always
+// observed. Regression guard for the ready-handshake.
+func TestTreeSubscribeDuringCascade(t *testing.T) {
+	var s Sequencer
+	tree := s.Fan(2, 2)
+	iters := 500
+	if testing.Short() {
+		iters = 100
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // background publisher keeps cascades in flight
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Publish()
+			}
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		sub := tree.Subscribe()
+		seen := s.Epoch()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// The publisher is hot, so the epoch moves past `seen`
+		// immediately; the theorem is that parking on the just-
+		// subscribed leaf still observes it (no dark window).
+		if _, err := WaitEpoch(ctx, s.Epoch, seen, nil, sub.Gate()); err != nil {
+			t.Fatalf("iter %d: subscribe-then-wait lost the publish: %v", i, err)
+		}
+		cancel()
+		sub.Close()
+	}
+	close(stop)
+	wg.Wait()
+	waitRelaysDrained(t, tree)
+}

@@ -713,6 +713,11 @@ func (m *Map) Stats() obs.Snapshot {
 	sn.Put("deletes", deletes)
 	sn.Put("compactions", compactions)
 	sn.Children = append(sn.Children, m.watchTrack.Stats())
+	if t := m.watchGate.Fanned(); t != nil {
+		// The map-level gate's wakeup tree (attached by the first
+		// WatchAll session): topology, live relays, cascade counters.
+		sn.Children = append(sn.Children, t.Stats())
+	}
 	sn.Children = append(sn.Children, children...)
 	return sn
 }
@@ -721,6 +726,33 @@ func (m *Map) Stats() obs.Snapshot {
 // WatchAll attach their ledgers automatically; compositions embedding
 // the map can attach their own.
 func (m *Map) WatchTracker() *notify.Tracker { return &m.watchTrack }
+
+// FanRelays sums the running relay goroutines across every wakeup tree
+// attached anywhere in the map — value registers, shard directories,
+// the map-level gate. Quiescent collection (like ReadStats): call with
+// no concurrent shard writer, since it walks the writer-side slot
+// arrays unlocked. Leak tests use it to pin that the sum drains to
+// zero once every watch session has ended.
+func (m *Map) FanRelays() int64 {
+	var n int64
+	for _, sh := range m.shards {
+		if t := sh.dir.Notifier().Gate().Fanned(); t != nil {
+			n += t.Relays()
+		}
+		for _, reg := range sh.wregs {
+			if reg == nil {
+				continue
+			}
+			if t := reg.Notifier().Gate().Fanned(); t != nil {
+				n += t.Relays()
+			}
+		}
+	}
+	if t := m.watchGate.Fanned(); t != nil {
+		n += t.Relays()
+	}
+	return n
+}
 
 // statsSnapshot is one shard's validated live collect: load the
 // publish window counters, require quiescence (started == done), read

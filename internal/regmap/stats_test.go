@@ -201,6 +201,21 @@ func TestWatchStatsLedgerOnMap(t *testing.T) {
 	for m.WatchTracker().Watchers() != 1 {
 		time.Sleep(time.Millisecond)
 	}
+	// The ledger attaches at session start, before the watcher has
+	// parked — and a watcher that is not yet parked when the burst
+	// lands consumes it through the freshness probe alone, with no
+	// wakeup to count. Wait for the watcher's leaf to arm on the key
+	// register's wakeup tree before bursting, so the burst provably
+	// races a parked watcher. (Reading the writer-side index here is
+	// safe: this goroutine is the shard writer.)
+	sh := m.shards[m.ShardOf("k")]
+	vtree := sh.wregs[sh.index["k"]].Notifier().Fan(keyFanArity, keyFanDepth)
+	for {
+		if armed, _ := vtree.Stats().Get("leaves_armed"); armed > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	// Publish a burst while the consumer is blocked in the unbuffered
 	// channel send (it cannot deliver until we receive): at least the

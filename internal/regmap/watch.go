@@ -17,6 +17,17 @@ package regmap
 //     sequencer chains to; its predicate compares the per-shard
 //     sequencer epochs snapshotted before the last collect.
 //
+// Watchers never park on those gates directly: each watch session
+// subscribes a leaf of the gate's wakeup tree (notify.Tree via
+// Gate.Fan) and parks there, so a publication's broadcast cost is
+// spread across the tree's relay goroutines instead of one inline
+// close over every parked watcher. Directory and map subscriptions
+// live for the session; a value-register subscription lives for one
+// key incarnation — Watch re-subscribes when delete/recreate (or
+// slot reuse) rebinds the key to a different register, so a stale
+// incarnation's tree can never be the only thing waking the watcher
+// (the directory leaf covers every lifecycle transition).
+//
 // Both follow the snapshot-epoch-before-read discipline, giving
 // at-least-once delivery of every publication with latest-value
 // conflation: a burst of Sets may be observed as one change carrying
@@ -32,7 +43,19 @@ import (
 	"iter"
 	"sort"
 
+	"arcreg/internal/arc"
 	"arcreg/internal/notify"
+)
+
+// Wakeup-tree topologies for the watch layer. Per-key and per-shard
+// fans stay shallow (one cascade level) — their gates are many and
+// mostly cold, so the tree's fixed gate cost matters more than cohort
+// width. The single map-level gate is where whole-map watcher
+// populations concentrate, so it gets the deep default fan.
+const (
+	keyFanArity, keyFanDepth = 16, 1
+	dirFanArity, dirFanDepth = 8, 1
+	mapFanArity, mapFanDepth = notify.DefaultFanArity, notify.DefaultFanDepth
 )
 
 // Watch returns an iterator over key's publications: it yields the
@@ -69,6 +92,19 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 		ws := &notify.WatchStats{}
 		r.m.watchTrack.Attach(ws)
 		defer r.m.watchTrack.Detach(ws)
+		// The session's leaf subscriptions. The directory leaf lives as
+		// long as the iterator; the value leaf follows the key's current
+		// register and is re-subscribed when a delete/recreate rebinds
+		// the key (valOwner tracks the incarnation).
+		dirSub := sh.dir.Notifier().Fan(dirFanArity, dirFanDepth).Subscribe()
+		defer dirSub.Close()
+		var valSub *notify.Sub
+		var valOwner *arc.Register
+		defer func() {
+			if valSub != nil {
+				valSub.Close()
+			}
+		}()
 		first := true
 		lastMiss := false
 		lastCorrupt := false
@@ -100,7 +136,7 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				first, lastMiss, lastCorrupt = false, true, false
 				err := notify.AwaitStats(ctx, func() bool {
 					return !rs.dirRd.Fresh()
-				}, ws, sh.dir.Notifier().Gate())
+				}, ws, dirSub.Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -120,7 +156,7 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				first, lastCorrupt = false, true
 				err := notify.AwaitStats(ctx, func() bool {
 					return !rs.dirRd.Fresh()
-				}, ws, sh.dir.Notifier().Gate())
+				}, ws, dirSub.Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -138,18 +174,31 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 					ws.NoteObserved(seen)
 				}
 				first, lastMiss, lastCorrupt = false, false, false
-				// Park on the key's own value gate plus the shard's
-				// directory gate. The Fresh predicate is loaded after
-				// arming (inside Await), closing the publish race; it
-				// spans both the value register and the directory, so
-				// either gate's publication makes it report stale.
+				// Park on a leaf of the key's own value-gate tree plus
+				// the session's directory leaf. The Fresh predicate is
+				// loaded after arming (inside Await), closing the publish
+				// race; it spans both the value register and the
+				// directory, so either gate's publication makes it report
+				// stale.
 				slot, ok := rs.table[key]
 				if !ok {
 					continue // deleted between GetFresh and here: re-read
 				}
+				if reg := rs.regs[slot]; valOwner != reg {
+					// New incarnation (first round, or delete/recreate
+					// rebound the key): move the value subscription to
+					// the register that Fresh now reads. The old tree
+					// must not be our only wake source — and after this
+					// swap it wakes nobody for free.
+					if valSub != nil {
+						valSub.Close()
+					}
+					valOwner = reg
+					valSub = reg.Notifier().Fan(keyFanArity, keyFanDepth).Subscribe()
+				}
 				err := notify.AwaitStats(ctx, func() bool {
 					return !r.Fresh(key)
-				}, ws, rs.regs[slot].Notifier().Gate(), sh.dir.Notifier().Gate())
+				}, ws, valSub.Gate(), dirSub.Gate())
 				if err != nil {
 					yield(nil, err)
 					return
@@ -200,6 +249,11 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 		ws := &notify.WatchStats{}
 		r.m.watchTrack.Attach(ws)
 		defer r.m.watchTrack.Detach(ws)
+		// One leaf of the map-level gate's tree for the session:
+		// whole-map watchers are the population that concentrates on a
+		// single gate, so this is where the deep fan pays.
+		mapSub := r.m.watchGate.Fan(mapFanArity, mapFanDepth).Subscribe()
+		defer mapSub.Close()
 		for {
 			if err := ctx.Err(); err != nil {
 				yield(Delta{}, err)
@@ -235,7 +289,7 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 						}
 					}
 					return false
-				}, ws, &r.m.watchGate)
+				}, ws, mapSub.Gate())
 				if err != nil {
 					yield(Delta{}, err)
 					return
@@ -268,7 +322,7 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 					}
 				}
 				return false
-			}, ws, &r.m.watchGate)
+			}, ws, mapSub.Gate())
 			if err != nil {
 				yield(Delta{}, err)
 				return

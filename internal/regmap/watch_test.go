@@ -17,6 +17,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"arcreg/internal/notify"
 )
 
 // collectWatch runs a Watch iterator in a goroutine, forwarding events
@@ -386,6 +388,173 @@ func TestWatchChurn(t *testing.T) {
 		} else if time.Now().After(deadline) {
 			buf := make([]byte, 1<<16)
 			t.Fatalf("goroutine leak after churn: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// drainTrees asserts every wakeup tree attached anywhere in the map —
+// value registers, shard directories, the map-level gate — has zero
+// running relays, polling briefly because relay exit is asynchronous
+// after the last unsubscribe.
+func drainTrees(t *testing.T, m *Map) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stuck := ""
+		for si, sh := range m.shards {
+			if tr := sh.dir.Notifier().Gate().Fanned(); tr != nil && tr.Relays() != 0 {
+				stuck = fmt.Sprintf("shard %d dir tree: %d relays", si, tr.Relays())
+			}
+			for slot, reg := range sh.wregs {
+				if reg == nil {
+					continue
+				}
+				if tr := reg.Notifier().Gate().Fanned(); tr != nil && tr.Relays() != 0 {
+					stuck = fmt.Sprintf("shard %d slot %d value tree: %d relays", si, slot, tr.Relays())
+				}
+			}
+		}
+		if tr := m.watchGate.Fanned(); tr != nil && tr.Relays() != 0 {
+			stuck = fmt.Sprintf("map tree: %d relays", tr.Relays())
+		}
+		if stuck == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wakeup-tree relays leaked: %s", stuck)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchTreeHygieneAndLedgers drives single-key and whole-map watch
+// sessions through subscribe/cancel storms while the writer side runs
+// delete/recreate churn and explicit compactions — the lifecycle edges
+// that rebind keys to different registers and rebase readers. Alongside
+// the churn, a stats walker continuously checks every live watcher's
+// ledger invariant (observed ≤ published). Afterwards every tree
+// attached anywhere in the map must have zero running relays and the
+// goroutine count must settle back to baseline.
+func TestWatchTreeHygieneAndLedgers(t *testing.T) {
+	const (
+		keys     = 6
+		watchers = 6
+		rounds   = 150
+	)
+	m, err := New(Config{MaxReaders: watchers + 2, MaxValueSize: 64, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: set/delete/recreate churn with periodic compactions —
+	// compaction rebases readers while their watch sessions hold live
+	// leaf subscriptions on pre-compaction registers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds && !stop.Load(); r++ {
+			for k := 0; k < keys; k++ {
+				key := "key-" + strconv.Itoa(k)
+				if err := m.Set(key, []byte(fmt.Sprintf("%d:%d", k, r))); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				if (r+k)%5 == 0 {
+					if err := m.Delete(key); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+			if r%20 == 19 {
+				if err := m.Compact(); err != nil {
+					t.Errorf("Compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Keyed watchers: short sessions, constant resubscription.
+	for w := 0; w < watchers-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rd, err := m.NewReader()
+			if err != nil {
+				t.Errorf("NewReader: %v", err)
+				return
+			}
+			defer rd.Close()
+			key := "key-" + strconv.Itoa(w%keys)
+			for !stop.Load() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				for _, err := range rd.Watch(ctx, key) {
+					if err != nil && !errors.Is(err, ErrKeyNotFound) {
+						break
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+
+	// One whole-map watcher churning WatchAll sessions (the map-level
+	// tree's subscribe/drain cycle).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rd, err := m.NewReader()
+		if err != nil {
+			t.Errorf("NewReader: %v", err)
+			return
+		}
+		defer rd.Close()
+		for !stop.Load() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+			for _, err := range rd.WatchAll(ctx) {
+				if err != nil {
+					break
+				}
+			}
+			cancel()
+		}
+	}()
+
+	// Ledger walker: the observed ≤ published invariant must hold in
+	// every concurrent snapshot of every live watcher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			m.WatchTracker().Each(func(ws *notify.WatchStats) {
+				if o, p := ws.Observed(), ws.Published(); o > p {
+					t.Errorf("ledger inverted: observed %d > published %d", o, p)
+				}
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	drainTrees(t, m)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after tree churn: %d before, %d after\n%s",
 				before, n, buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(10 * time.Millisecond)

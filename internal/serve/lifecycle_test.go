@@ -337,12 +337,16 @@ func TestServeDisconnectGoroutineHygiene(t *testing.T) {
 	for {
 		v, _ := s.Stats().Get("watch_streams")
 		n := runtime.NumGoroutine()
-		if v == 0 && n <= baseline+4 && s.m.LiveReaders() <= live-streams {
+		// FanRelays must also drain: every stream's Watch session held
+		// wakeup-tree leaf subscriptions, and their relay helpers leak
+		// exactly like stream goroutines would. (Quiescent here: no
+		// writer runs after the disconnects.)
+		if v == 0 && n <= baseline+4 && s.m.LiveReaders() <= live-streams && s.m.FanRelays() == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("disconnect leak: watch_streams=%d goroutines=%d (baseline %d) live readers=%d (was %d)",
-				v, n, baseline, s.m.LiveReaders(), live)
+			t.Fatalf("disconnect leak: watch_streams=%d goroutines=%d (baseline %d) live readers=%d (was %d) fan relays=%d",
+				v, n, baseline, s.m.LiveReaders(), live, s.m.FanRelays())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

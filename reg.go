@@ -515,10 +515,7 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 			mnrd:       rd,
 			tracker:    &r.watchTrack,
 			watchEpoch: mnr.NotifyEpoch,
-			watchWait: func(ctx context.Context, seen uint64, ws *notify.WatchStats) error {
-				_, err := mnr.WaitPublishStats(ctx, seen, ws)
-				return err
-			},
+			watchGate:  mnr.NotifyGate(),
 		}, nil
 	}
 	rd, err := r.reg.NewReader()
@@ -543,10 +540,7 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 	if seq := r.seq; seq != nil {
 		tr.tracker = &r.watchTrack
 		tr.watchEpoch = seq.Epoch
-		tr.watchWait = func(ctx context.Context, seen uint64, ws *notify.WatchStats) error {
-			_, err := seq.WaitStats(ctx, seen, ws)
-			return err
-		}
+		tr.watchGate = seq.Gate()
 	}
 	return tr, nil
 }
@@ -580,6 +574,11 @@ func (r *Reg[T]) NewReader() (*TypedReader[T], error) {
 // experiences as a spurious change.
 func (r *Reg[T]) Changed(ctx context.Context) <-chan struct{} {
 	out := make(chan struct{})
+	// One-shot waits park directly on the source gate rather than
+	// subscribing a tree leaf: a Changed channel lives for a single
+	// publication, so the subscribe/close lifecycle would cost more
+	// than the one broadcast it avoids. Sustained watchers (Watch /
+	// WatchAll iterators) are the ones that ride the wakeup tree.
 	switch {
 	case r.mn != nil:
 		mnr := r.mn.reg
@@ -782,13 +781,14 @@ type TypedReader[T any] struct {
 
 	// Parking hooks for Watch (nil on registers without a publication
 	// sequencer, which fall back to polling): watchEpoch snapshots the
-	// publication epoch, watchWait parks until it moves past the
-	// snapshot or ctx is done, recording wakeups and latency in the
-	// watcher's ledger. tracker is the owning Reg's watcher population;
-	// parked Watch iterators attach their ledger to it for the
-	// iteration's lifetime.
+	// publication epoch and watchGate is the gate publications wake.
+	// Parked Watch iterators do not park on watchGate directly — they
+	// subscribe a leaf of its wakeup tree (Gate.Fan) so 100k watchers
+	// never share one broadcast cohort. tracker is the owning Reg's
+	// watcher population; parked Watch iterators attach their ledger to
+	// it for the iteration's lifetime.
 	watchEpoch func() uint64
-	watchWait  func(ctx context.Context, seen uint64, ws *notify.WatchStats) error
+	watchGate  *notify.Gate
 	tracker    *notify.Tracker
 }
 
@@ -954,18 +954,26 @@ func (r *TypedReader[T]) watchSeq(ctx context.Context, every time.Duration, park
 	return func(yield func(T, error) bool) {
 		var zero T
 		first := true
-		parked := park && r.watchEpoch != nil && r.watchWait != nil
+		parked := park && r.watchEpoch != nil && r.watchGate != nil
 		// The watcher's backpressure ledger, framed by the register's
 		// publication epoch. Attached to the Reg's tracker for the
 		// iteration's lifetime (lifecycle edges only, never per-event);
 		// polling iterators have no epoch frame and record nothing.
 		var ws *notify.WatchStats
+		// Parked iterators subscribe a leaf of the gate's wakeup tree
+		// for the iteration's lifetime: wakeup cohorts stay bounded at
+		// watchers/leaves however many Watch sessions are live, and the
+		// publisher never pays a close that scales with them. Both are
+		// lifecycle edges, like the tracker attach.
+		var sub *notify.Sub
 		if parked {
 			ws = &notify.WatchStats{}
 			if r.tracker != nil {
 				r.tracker.Attach(ws)
 				defer r.tracker.Detach(ws)
 			}
+			sub = r.watchGate.Fan(notify.DefaultFanArity, notify.DefaultFanDepth).Subscribe()
+			defer sub.Close()
 		}
 		var timer *time.Timer // lazily created, reused across poll rounds
 		defer func() {
@@ -1007,7 +1015,7 @@ func (r *TypedReader[T]) watchSeq(ctx context.Context, every time.Duration, park
 			first = false
 			switch {
 			case parked:
-				if err := r.watchWait(ctx, seen, ws); err != nil {
+				if _, err := notify.WaitEpoch(ctx, r.watchEpoch, seen, ws, sub.Gate()); err != nil {
 					yield(zero, err)
 					return
 				}
