@@ -214,8 +214,8 @@ func TestWatchFigureQuick(t *testing.T) {
 		t.Fatalf("no csv rows:\n%s", string(blob))
 	}
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 16 {
-		t.Fatalf("csv row has %d fields, want 16: %q", len(fields), lines[1])
+	if len(fields) != 19 {
+		t.Fatalf("csv row has %d fields, want 19: %q", len(fields), lines[1])
 	}
 	if fields[12] == "0" {
 		t.Errorf("watch series conflated nothing: %q", lines[1])
@@ -224,5 +224,14 @@ func TestWatchFigureQuick(t *testing.T) {
 	// real samples in the measured window.
 	if fields[15] == "0" {
 		t.Errorf("watch series recorded no publisher overhead: %q", lines[1])
+	}
+	// Flight-recorder stage columns: the traced watch series must show
+	// cascade latency samples (fan tree wired through the recorder).
+	if !strings.Contains(string(blob), "cascade_p99_ns,conflate_drops,flush_p99_ns") {
+		t.Fatalf("watch csv header missing stage-breakdown columns: %q",
+			strings.SplitN(string(blob), "\n", 2)[0])
+	}
+	if fields[16] == "0" {
+		t.Errorf("watch series recorded no cascade latency: %q", lines[1])
 	}
 }

@@ -21,7 +21,15 @@
 //	GET    /keys           live key listing (JSON)
 //	POST   /compact        compact every shard through the writer queues
 //	GET    /statz          stats tree (text; ?format=json)
+//	GET    /metricz        Prometheus text exposition of the stats tree
+//	GET    /debug/trace    flight-recorder spans (-trace; JSON, ?format=text)
 //	GET    /debug/vars     expvar, including the server tree under -expvar
+//
+// With -trace the map runs its wait-free flight recorder (zero RMW,
+// zero allocation on the recording paths); -debug-addr serves an
+// admin plane on a second listener — net/http/pprof, expvar,
+// /debug/trace, /statz, /metricz — so profiling and scraping never
+// contend with data-plane connections.
 //
 // SIGINT/SIGTERM drain in-flight requests (graceful http.Server
 // Shutdown), then close the serving layer: writer queues stop accepting,
@@ -56,6 +64,8 @@ func main() {
 		dynamic  = fs.Bool("dynamic", false, "allocate exact-size value buffers per Set (many small keys)")
 		expName  = fs.String("expvar", "arcserve", "expvar name for the stats tree (empty disables)")
 		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+		traceOn  = fs.Bool("trace", false, "enable the wait-free flight recorder (GET /debug/trace, span histograms in /metricz)")
+		dbgAddr  = fs.String("debug-addr", "", "admin-plane listen address for pprof, expvar, /debug/trace, /statz, /metricz (empty disables)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -68,6 +78,7 @@ func main() {
 		MaxReaders:    n,
 		MaxValueSize:  *maxValue,
 		DynamicValues: *dynamic,
+		Trace:         *traceOn,
 	})
 	if err != nil {
 		log.Fatalf("arcserve: %v", err)
@@ -100,6 +111,25 @@ func main() {
 	log.Printf("arcserve: listening on %s (%d shards, %d pooled readers, %d watch streams, queue %d)",
 		ln.Addr(), m.Shards(), *pool, *streams, *queue)
 
+	// The admin plane rides its own listener and http.Server so a
+	// pprof profile or a metrics scrape never occupies a data-plane
+	// connection — and so the data-plane address can be fronted by a
+	// proxy while the debug port stays loopback-only.
+	var dhs *http.Server
+	if *dbgAddr != "" {
+		dln, err := net.Listen("tcp", *dbgAddr)
+		if err != nil {
+			log.Fatalf("arcserve: debug listener: %v", err)
+		}
+		dhs = &http.Server{Handler: srv.DebugMux()}
+		go func() {
+			if err := dhs.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("arcserve: debug serve: %v", err)
+			}
+		}()
+		log.Printf("arcserve: debug plane on %s (pprof, expvar, /debug/trace, /statz, /metricz)", dln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -113,6 +143,9 @@ func main() {
 		cancel()
 		if err == context.DeadlineExceeded {
 			err = nil // long-lived streams held the drain; Close below ends them
+		}
+		if dhs != nil {
+			dhs.Close()
 		}
 		if cerr := srv.Close(); err == nil {
 			err = cerr

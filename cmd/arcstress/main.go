@@ -31,11 +31,18 @@
 //
 //	servechaos
 //
+// The flight-recorder scenario (tracestorm.go) runs a traced map behind
+// a live server with slow SSE clients while a walker continuously
+// reconstructs spans from rings whose owners keep recording, under
+// stalls armed at the ring-publish seqlock window:
+//
+//	tracestorm
+//
 // -scenario accepts a comma-separated list, run sequentially; the exit
 // status is the worst of the runs. -seed makes the map and serve
 // scenarios' fault schedules deterministic, and -faultcov additionally
-// fails the run if any registered regmap, notify or serve fault point
-// was never armed.
+// fails the run if any registered regmap, notify, serve or trace fault
+// point was never armed.
 //
 // Every read is integrity-verified (torn-read detection) and checked for
 // per-reader version monotonicity online.
@@ -90,7 +97,7 @@ func (s *shared) fail(format string, args ...any) {
 func run() int {
 	var (
 		alg      = flag.String("alg", "arc", "algorithm: arc|rf|peterson|lock|seqlock|leftright|arc-nofastpath|arc-nohint")
-		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm|gatetree|servechaos")
+		scenario = flag.String("scenario", "mixed", "comma-separated list of stall|churn|steal|mixed|dirchurn|corrupt-repair|compact-under-watch|watchstorm|gatetree|servechaos|tracestorm")
 		threads  = flag.Int("threads", 6, "reader workers (plus 1 writer)")
 		size     = flag.Int("size", 512, "value size in bytes")
 		duration = flag.Duration("duration", 10*time.Second, "stress duration (per scenario)")

@@ -68,6 +68,7 @@ var mapScenarios = map[string]func(seed uint64, duration time.Duration) int{
 	"watchstorm":          runWatchStorm,
 	"gatetree":            runGateTree,
 	"servechaos":          runServeChaos,
+	"tracestorm":          runTraceStorm,
 }
 
 func isMapScenario(name string) bool {
@@ -762,14 +763,15 @@ func runWatchStorm(seed uint64, duration time.Duration) int {
 			conflated, wakeups, walks.Load(), sched.Fired(), ws.Compactions))
 }
 
-// checkFaultCoverage fails the run if any regmap, notify or serve fault
-// point was never armed by a schedule during this process — a
-// registered-but-dead injection point is a hole in the chaos surface.
+// checkFaultCoverage fails the run if any regmap, notify, serve or
+// trace fault point was never armed by a schedule during this process —
+// a registered-but-dead injection point is a hole in the chaos surface.
 func checkFaultCoverage() int {
 	armed, unarmed := fault.Coverage()
 	var dead []string
 	for _, name := range unarmed {
-		if strings.HasPrefix(name, "regmap/") || strings.HasPrefix(name, "notify/") || strings.HasPrefix(name, "serve/") {
+		if strings.HasPrefix(name, "regmap/") || strings.HasPrefix(name, "notify/") ||
+			strings.HasPrefix(name, "serve/") || strings.HasPrefix(name, "trace/") {
 			dead = append(dead, name)
 		}
 	}
@@ -778,6 +780,6 @@ func checkFaultCoverage() int {
 			len(dead), strings.Join(dead, ", "))
 		return 1
 	}
-	fmt.Printf("arcstress: fault coverage: all regmap, notify and serve points armed (%d total armed)\n", len(armed))
+	fmt.Printf("arcstress: fault coverage: all regmap, notify, serve and trace points armed (%d total armed)\n", len(armed))
 	return 0
 }

@@ -1,0 +1,282 @@
+package main
+
+// tracestorm: the flight-recorder chaos scenario. The recorder's whole
+// claim is that it can run always-on inside the single-writer domains
+// without perturbing them, while walkers snapshot live rings the owners
+// are concurrently overwriting. This scenario attacks exactly that seam:
+//
+//   - trace/ring-publish is armed (yield + stall) between an owner's
+//     payload stores and its head publication — the window the seqlock
+//     argument says a walker must detect and discard, held open
+//     deliberately;
+//   - serve/slow-client stalls SSE frame writes so watch sessions
+//     conflate and their lanes record drops;
+//   - a live walker continuously reconstructs spans, computes stage
+//     breakdowns, renders JSON, and scrapes /debug/trace and /metricz
+//     over the wire while every ring owner keeps recording.
+//
+// Online invariants: every reconstructed span's events are in TS order
+// with valid stages and a positive stamp; every SSE frame verifies
+// (torn-read detection); the HTTP trace and metrics endpoints answer
+// 200 with well-formed bodies throughout. Post-storm, every pipeline
+// stage — publish, cascade, wake, conflate, flush — must have recorded
+// events, proving the stamp threaded the whole publish→deliver path
+// under fault injection.
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcreg/internal/fault"
+	"arcreg/internal/membuf"
+	"arcreg/internal/regmap"
+	"arcreg/internal/serve"
+	"arcreg/internal/trace"
+)
+
+func runTraceStorm(seed uint64, duration time.Duration) int {
+	sched, err := fault.NewSchedule(seed,
+		fault.Rule{Point: trace.FaultRingPublish, Kind: fault.Yield, Every: 3},
+		fault.Rule{Point: trace.FaultRingPublish, Kind: fault.Stall, Every: 257, Stall: 50 * time.Microsecond},
+		fault.Rule{Point: serve.FaultSlowClient, Kind: fault.Stall, Every: 4, Stall: 200 * time.Microsecond},
+	)
+	if err != nil {
+		fmt.Println("arcstress: tracestorm:", err)
+		return 2
+	}
+	m, err := regmap.New(regmap.Config{
+		Shards:          2,
+		MaxReaders:      16,
+		MaxValueSize:    64,
+		Trace:           true,
+		TraceRingEvents: 256,
+		TraceLanes:      8,
+	})
+	if err != nil {
+		fmt.Println("arcstress: tracestorm:", err)
+		return 2
+	}
+	srv, err := serve.New(serve.Config{Map: m, Readers: 4, WatchStreams: 8, QueueDepth: 64})
+	if err != nil {
+		fmt.Println("arcstress: tracestorm:", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("arcstress: tracestorm:", err)
+		return 2
+	}
+	hs := &http.Server{Handler: srv, ConnState: srv.ConnState}
+	go hs.Serve(serve.Listener(ln))
+	base := "http://" + ln.Addr().String()
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+
+	const stable = "stable"
+	keys := []string{stable, "churn-0", "churn-1"}
+	s := &mapChaos{}
+	var version atomic.Uint64
+	transport := &http.Transport{MaxIdleConnsPerHost: 16}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	var wg sync.WaitGroup
+	sched.Arm()
+
+	// Writer: versioned values through the shard writer queues, every
+	// publish stamping a new span at the origin.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		var round uint64
+		for !s.stop.Load() {
+			round++
+			membuf.Encode(buf, version.Add(1))
+			if err := srv.Set(keys[round%uint64(len(keys))], buf); err != nil {
+				s.fail("writer: %v", err)
+				return
+			}
+			s.writes.Add(1)
+			if round%64 == 0 {
+				time.Sleep(time.Millisecond) // let watchers park so wakes record
+			}
+		}
+	}()
+
+	// Slow SSE watchers: each drains a handful of frames with a
+	// deliberate per-frame delay (on top of the armed slow-client
+	// stalls), forcing conflation, then vanishes and reconnects. Every
+	// frame must verify — a recorder bug that perturbed its owner would
+	// surface here as a torn value.
+	var streamEvents atomic.Uint64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for !s.stop.Load() {
+				ctx, cancel := context.WithCancel(runCtx)
+				req, err := http.NewRequestWithContext(ctx, "GET", base+"/watch/"+stable+"?b64=1", nil)
+				if err != nil {
+					cancel()
+					s.fail("watcher %d: %v", id, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					cancel()
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					cancel()
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				br := bufio.NewReader(resp.Body)
+				for e := 0; e < 8 && !s.stop.Load(); e++ {
+					data, err := readServeSSE(br)
+					if err != nil {
+						break
+					}
+					raw, derr := base64.StdEncoding.DecodeString(data)
+					if derr != nil {
+						s.fail("watcher %d: bad b64 frame: %v", id, derr)
+						cancel()
+						resp.Body.Close()
+						return
+					}
+					if _, verr := membuf.Verify(raw); verr != nil {
+						s.fail("watcher %d: torn streamed value: %v", id, verr)
+						cancel()
+						resp.Body.Close()
+						return
+					}
+					streamEvents.Add(1)
+					time.Sleep(time.Duration(1+id) * time.Millisecond) // the slow client
+				}
+				cancel()
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	// Live trace walker: reconstruct spans and render the trace surface
+	// continuously while every ring owner records against it. The head
+	// re-validation (seqlock) argument is on trial here — under -race
+	// and with ring-publish stalls holding the torn window open.
+	var walks, scrapes atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr := m.Tracer()
+		if tr == nil {
+			s.fail("walker: traced map has nil Tracer")
+			return
+		}
+		for !s.stop.Load() {
+			for _, sp := range tr.Spans(32) {
+				if sp.Stamp <= 0 {
+					s.fail("walker: span with non-positive stamp %d", sp.Stamp)
+					return
+				}
+				var lastTS int64
+				for _, ev := range sp.Events {
+					if ev.Stage == trace.StageNone || ev.Stage >= trace.NumStages {
+						s.fail("walker: span %d has invalid stage %d", sp.Stamp, ev.Stage)
+						return
+					}
+					if ev.TS < lastTS {
+						s.fail("walker: span %d events out of TS order (%d after %d)", sp.Stamp, ev.TS, lastTS)
+						return
+					}
+					lastTS = ev.TS
+				}
+			}
+			tr.Breakdown()
+			tr.WriteJSON(io.Discard, 16)
+			walks.Add(1)
+
+			// Every few passes, scrape the wire surfaces too.
+			if walks.Load()%8 == 0 {
+				for _, path := range []string{"/debug/trace?spans=8", "/metricz"} {
+					resp, err := client.Get(base + path)
+					if err != nil {
+						continue
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						s.fail("walker: GET %s: status %d", path, resp.StatusCode)
+						return
+					}
+					if path == "/metricz" && !strings.Contains(string(body), "arcreg_") {
+						s.fail("walker: /metricz missing arcreg_ samples")
+						return
+					}
+					scrapes.Add(1)
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(duration)
+	s.stop.Store(true)
+	runCancel()
+	wg.Wait()
+	sched.Disarm()
+
+	// Post-storm: the stamp must have threaded the entire pipeline.
+	b := m.Tracer().Breakdown()
+	for _, st := range []trace.Stage{trace.StagePublish, trace.StageCascade, trace.StageWake, trace.StageConflate, trace.StageFlush} {
+		if b.Count[st] == 0 {
+			s.fail("stage %s recorded no events through the storm", st)
+		}
+	}
+	if sched.Fired() == 0 {
+		s.fail("trace fault schedule never fired (writes=%d)", s.writes.Load())
+	}
+	if streamEvents.Load() == 0 {
+		s.fail("watch streams delivered nothing through the storm")
+	}
+	if walks.Load() == 0 {
+		s.fail("trace walker never completed a pass")
+	}
+	if scrapes.Load() == 0 {
+		s.fail("no /debug/trace or /metricz scrape completed")
+	}
+
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		s.fail("close: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		} else if time.Now().After(deadline) {
+			s.fail("goroutine leak after close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.report("tracestorm",
+		fmt.Sprintf(", %d stream events, %d trace walks, %d scrapes, %d conflate drops, %d faults fired",
+			streamEvents.Load(), walks.Load(), scrapes.Load(), b.ConflateDrops, sched.Fired()))
+}

@@ -57,6 +57,7 @@ import (
 	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
+	"arcreg/internal/trace"
 	"arcreg/internal/word"
 )
 
@@ -144,6 +145,10 @@ type Register struct {
 	lastSlot   uint32 // slot of the last write; always == current index
 	scanCursor uint32 // round-robin start position for the W1 scan
 	wstats     register.WriteStats
+	// rec is the writer's flight-recorder ring (nil = untraced): each
+	// stamped write records one StagePublish event after the W2 swap.
+	// Writer-owned like the rest of this block — Trace is wiring-time.
+	rec *trace.Ring
 
 	// Reader-handle accounting.
 	mu          sync.Mutex
@@ -264,7 +269,17 @@ func (r *Register) Stats() obs.Snapshot {
 // success) and everything else is straight-line code. The value is copied
 // exactly once, into the selected slot — ARC's "no intermediate copies"
 // property.
-func (r *Register) Write(p []byte) error {
+func (r *Register) Write(p []byte) error { return r.WriteStamped(p, 0) }
+
+// WriteStamped is Write with a caller-supplied origin stamp (trace.Now
+// at the moment the caller decided to publish): the stamp becomes the
+// span ID threading this publication through the flight recorder — the
+// StagePublish event here, the notify cascade, watcher wakes, and any
+// downstream delivery stages all share it. stamp 0 on a traced register
+// self-stamps; on an untraced register it stays 0, so the plain Write
+// path never reads the clock and its instruction trace is unchanged
+// (see TestTraceZeroOverheadGuard).
+func (r *Register) WriteStamped(p []byte, stamp int64) error {
 	if len(p) > r.maxValueSize {
 		return fmt.Errorf("%w: %d > %d", register.ErrValueTooLarge, len(p), r.maxValueSize)
 	}
@@ -291,12 +306,30 @@ func (r *Register) Write(p []byte) error {
 	r.slots[oldSlot].rStart.Store(uint64(word.CurrentCounter(old)))
 	r.lastSlot = idx
 	r.wstats.Ops++
+	// Flight recorder: one StagePublish event per traced write, after
+	// the W2 swap (the publication instant) and before the wake, so the
+	// span's first event timestamps the value becoming visible. Four
+	// atomic stores plus a head publish into a writer-owned ring — no
+	// RMW, no allocation; untraced registers skip even the clock read.
+	if r.rec != nil {
+		if stamp == 0 {
+			stamp = trace.Now()
+		}
+		r.rec.Record(trace.StagePublish, idx, stamp, uint64(len(p)))
+	}
 	// Announce the publication after the W2 swap made it visible:
 	// watchers woken here (or skipping their park on the epoch recheck)
-	// observe the new current word.
-	r.seq.Publish()
+	// observe the new current word. The stamp rides the wake so leaf
+	// watchers and the recorder attribute latency to this publish.
+	r.seq.PublishAt(stamp)
 	return nil
 }
+
+// Trace attaches a flight-recorder ring to the writer: subsequent
+// writes record StagePublish events and stamp their publications.
+// Wiring-time only — call from the writer goroutine (or before the
+// register is shared), like every writer-local field. nil detaches.
+func (r *Register) Trace(ring *trace.Ring) { r.rec = ring }
 
 // Notifier returns the register's publication sequencer: its epoch
 // advances on every Write, and waiters park on its gate. Compositions

@@ -31,6 +31,7 @@ import (
 	"arcreg/internal/metrics"
 	"arcreg/internal/regmap"
 	"arcreg/internal/serve"
+	"arcreg/internal/trace"
 )
 
 // ServeRunConfig describes one cell of the serve figure.
@@ -72,7 +73,16 @@ type ServeResult struct {
 	// Conflated is the watcher ledgers' skipped-publication total.
 	Shed      uint64
 	Conflated uint64
-	Elapsed   time.Duration
+	// CascadeLat and FlushLat are the flight recorder's per-stage
+	// decomposition of the publish→observe path: origin publication →
+	// wakeup-tree root cascade, and origin publication → SSE frame
+	// flushed. ConflateDrops sums the publications conflated away at
+	// delivery decisions. All three cover the trailing ring window (the
+	// recorder keeps the last events per domain), not the full run.
+	CascadeLat    metrics.Histogram
+	FlushLat      metrics.Histogram
+	ConflateDrops uint64
+	Elapsed       time.Duration
 }
 
 // Rate is sustained GETs per second over the measured window.
@@ -112,6 +122,12 @@ func RunServe(cfg ServeRunConfig) (ServeResult, error) {
 		Shards:       4,
 		MaxReaders:   pool + cfg.Watchers + 2,
 		MaxValueSize: cfg.ValueSize,
+		// The flight recorder stays on for the measurement: its stage
+		// breakdown is what the cascade/flush columns report, and its
+		// recording paths are zero-RMW/zero-alloc by construction (the
+		// guard tests pin this), so the figure's numbers are the traced
+		// production configuration, not a special quiet mode.
+		Trace: true,
 	})
 	if err != nil {
 		return ServeResult{}, err
@@ -305,6 +321,7 @@ func RunServe(cfg ServeRunConfig) (ServeResult, error) {
 	shedW, _ := sn.Get("shed_writes")
 	shedS, _ := sn.Get("shed_watch")
 	conflated, _ := sn.Get("watch_conflated")
+	breakdown := m.Tracer().Breakdown()
 
 	cancel()
 	wg.Wait()
@@ -313,10 +330,13 @@ func RunServe(cfg ServeRunConfig) (ServeResult, error) {
 	}
 
 	res := ServeResult{
-		Puts:      atomic.LoadUint64(&puts),
-		Shed:      shedW + shedS,
-		Conflated: conflated,
-		Elapsed:   elapsed,
+		Puts:          atomic.LoadUint64(&puts),
+		Shed:          shedW + shedS,
+		Conflated:     conflated,
+		CascadeLat:    breakdown.Latency[trace.StageCascade],
+		FlushLat:      breakdown.Latency[trace.StageFlush],
+		ConflateDrops: breakdown.ConflateDrops,
+		Elapsed:       elapsed,
 	}
 	for i := range gstats {
 		res.Gets += gstats[i].gets
@@ -461,12 +481,13 @@ func (d ServeData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== loopback serving: GET req/s and publish→client-observe latency (publish every %v, value %dB, %d keys, %d watchers, window %v) ==\n",
 		f.PublishEvery, f.ValueSize, f.Keys, f.Watchers, f.Duration)
-	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %8s %12s %12s %12s %8s %10s\n",
+	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %8s %12s %12s %12s %8s %10s %12s %12s %10s\n",
 		"clients", "gets", "get req/s", "get p50", "get p99", "puts",
-		"obs p50", "obs p99", "obs max", "shed", "conflated")
+		"obs p50", "obs p99", "obs max", "shed", "conflated",
+		"cascade p99", "flush p99", "drops")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%8d %10d %12.0f %10s %10s %8d %12s %12s %12s %8d %10d\n",
+		fmt.Fprintf(w, "%8d %10d %12.0f %10s %10s %8d %12s %12s %12s %8d %10d %12s %12s %10d\n",
 			c.Clients, r.Gets, r.Rate(),
 			metrics.Duration(r.GetLat.Quantile(0.5)),
 			metrics.Duration(r.GetLat.Quantile(0.99)),
@@ -474,22 +495,26 @@ func (d ServeData) RenderTable(w io.Writer) {
 			metrics.Duration(r.ObsLat.Quantile(0.5)),
 			metrics.Duration(r.ObsLat.Quantile(0.99)),
 			time.Duration(r.ObsLat.Max()),
-			r.Shed, r.Conflated)
+			r.Shed, r.Conflated,
+			metrics.Duration(r.CascadeLat.Quantile(0.99)),
+			metrics.Duration(r.FlushLat.Quantile(0.99)),
+			r.ConflateDrops)
 	}
 }
 
 // RenderCSV appends machine-readable rows.
 func (d ServeData) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "figure,clients,watchers,keys,value_size,window_ms,gets,get_rps,get_p50_ns,get_p99_ns,puts,observed,obs_p50_ns,obs_p99_ns,obs_max_ns,shed,conflated")
+	fmt.Fprintln(w, "figure,clients,watchers,keys,value_size,window_ms,gets,get_rps,get_p50_ns,get_p99_ns,puts,observed,obs_p50_ns,obs_p99_ns,obs_max_ns,shed,conflated,cascade_p99_ns,conflate_drops,flush_p99_ns")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.0f,%d,%.0f,%.0f,%.0f,%d,%d,%.0f,%.0f,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.0f,%d,%.0f,%.0f,%.0f,%d,%d,%.0f,%.0f,%d,%d,%d,%.0f,%d,%.0f\n",
 			d.Figure.ID, c.Clients, d.Figure.Watchers, d.Figure.Keys, d.Figure.ValueSize,
 			float64(r.Elapsed)/float64(time.Millisecond),
 			r.Gets, r.Rate(),
 			r.GetLat.Quantile(0.5), r.GetLat.Quantile(0.99),
 			r.Puts, r.Observed,
 			r.ObsLat.Quantile(0.5), r.ObsLat.Quantile(0.99), r.ObsLat.Max(),
-			r.Shed, r.Conflated)
+			r.Shed, r.Conflated,
+			r.CascadeLat.Quantile(0.99), r.ConflateDrops, r.FlushLat.Quantile(0.99))
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"arcreg/internal/metrics"
 	"arcreg/internal/notify"
 	"arcreg/internal/register"
+	"arcreg/internal/trace"
 )
 
 // WatchMode selects how a subscriber observes publications.
@@ -102,6 +103,17 @@ type WatchResult struct {
 	// grows with the audience; a tree publish wakes one root relay no
 	// matter how many leaves are parked below it.
 	PubOverhead metrics.Histogram
+	// CascadeLat and FlushLat are the flight recorder's per-stage
+	// decomposition over the trailing ring window: origin publication →
+	// wakeup-tree root cascade, and → frame flush. This figure runs at
+	// the register level — there is no serving edge, so FlushLat is
+	// always empty here; the column exists so the watch and serve CSVs
+	// share one stage-breakdown shape. ConflateDrops sums publications
+	// conflated away at delivery decisions. All zero for poll cells
+	// (the recorder traces the notify path, which pollers bypass).
+	CascadeLat    metrics.Histogram
+	FlushLat      metrics.Histogram
+	ConflateDrops uint64
 }
 
 // RunWatch measures one watch-latency cell.
@@ -118,6 +130,22 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 	}, arc.Options{})
 	if err != nil {
 		return WatchResult{}, err
+	}
+
+	// Watch cells run with the flight recorder on: the register's
+	// publish stamps spans, the fan tree's root relay records cascades,
+	// and each watcher's lane records wakes and conflation decisions —
+	// the stage-breakdown columns. The recording paths are zero-RMW and
+	// zero-alloc (guard-tested), so the traced cell is the production
+	// configuration. Pollers bypass the notify path entirely and stay
+	// untraced.
+	var tracer *trace.Tracer
+	if cfg.Mode == ModeWatch {
+		tracer = trace.New(trace.Config{Lanes: cfg.Watchers})
+		reg.Trace(tracer.Ring("writer"))
+		if cfg.FanArity > 0 {
+			reg.Notifier().Fan(cfg.FanArity, cfg.FanDepth).Trace(tracer.Ring("fan"))
+		}
 	}
 
 	// Timestamps are nanoseconds since base on Go's monotonic clock,
@@ -187,6 +215,15 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 			defer wg.Done()
 			defer rd.Close()
 			ws := &notify.WatchStats{}
+			var lane *trace.Ring
+			if tracer != nil {
+				var release func()
+				lane, release = tracer.AcquireLane()
+				if release != nil {
+					defer release()
+				}
+				ws.Trace(lane)
+			}
 			track.Attach(ws)
 			defer track.Detach(ws)
 			seq := reg.Notifier()
@@ -221,9 +258,21 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 					if slow > 0 {
 						time.Sleep(slow)
 					}
+					// Conflation drops mirror NoteDelivered's epoch-jump
+					// accounting, computed before the ledger frame advances.
+					var drops uint64
+					if lane != nil && ws.Delivered() > 0 && seen > ws.Observed()+1 {
+						drops = seen - ws.Observed() - 1
+					}
 					ws.NoteDelivered(seen)
+					if lane != nil {
+						lane.Record(trace.StageConflate, uint32(drops), ws.LastWake(), seen)
+					}
 				} else {
 					ws.NoteObserved(seen)
+					if lane != nil {
+						lane.Record(trace.StageConflate, 0, ws.LastWake(), 0)
+					}
 				}
 				if phase.Load() == phaseStop {
 					return
@@ -266,13 +315,22 @@ func RunWatch(cfg WatchRunConfig) (WatchResult, error) {
 	}
 	phase.Store(phaseStop)
 	elapsed := time.Since(start)
+	// Snapshot the recorder before teardown: lanes are released (and
+	// may be re-zeroed for reuse) as watchers exit.
+	var breakdown trace.Breakdown
+	if tracer != nil {
+		breakdown = tracer.Breakdown()
+	}
 	cancel() // release parked watchers
 	wg.Wait()
 
 	res := WatchResult{
 		Published: published, Elapsed: elapsed,
 		LagP50: lagP50, LagMax: lagMax,
-		PubOverhead: pubHist,
+		PubOverhead:   pubHist,
+		CascadeLat:    breakdown.Latency[trace.StageCascade],
+		FlushLat:      breakdown.Latency[trace.StageFlush],
+		ConflateDrops: breakdown.ConflateDrops,
 	}
 	// Every watcher has detached: the tracker's totals are the retired
 	// sums for the whole run.
@@ -459,19 +517,22 @@ func (d WatchData) RenderTable(w io.Writer) {
 	f := d.Figure
 	fmt.Fprintf(w, "== publish→observe wakeup latency (publish every %v, value %dB, window %v, %d slow consumer(s) +%v) ==\n",
 		f.PublishEvery, f.ValueSize, f.Duration, f.SlowConsumers, f.SlowDelay)
-	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s %10s %10s %8s %8s %10s %9s\n",
+	fmt.Fprintf(w, "%12s %9s %10s %10s %12s %12s %12s %10s %10s %8s %8s %10s %9s %12s %10s\n",
 		"series", "watchers", "published", "observed", "lat p50", "lat p99", "lat max",
-		"pub p50", "pub p99", "lag p50", "lag max", "conflated", "wakeups")
+		"pub p50", "pub p99", "lag p50", "lag max", "conflated", "wakeups",
+		"cascade p99", "drops")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s %10s %10s %8d %8d %10d %9d\n",
+		fmt.Fprintf(w, "%12s %9d %10d %10d %12s %12s %12s %10s %10s %8d %8d %10d %9d %12s %10d\n",
 			c.Series(), c.Watchers, r.Published, r.Observed,
 			metrics.Duration(r.Latency.Quantile(0.5)),
 			metrics.Duration(r.Latency.Quantile(0.99)),
 			time.Duration(r.Latency.Max()),
 			metrics.Duration(r.PubOverhead.Quantile(0.5)),
 			metrics.Duration(r.PubOverhead.Quantile(0.99)),
-			r.LagP50, r.LagMax, r.Conflated, r.Wakeups)
+			r.LagP50, r.LagMax, r.Conflated, r.Wakeups,
+			metrics.Duration(r.CascadeLat.Quantile(0.99)),
+			r.ConflateDrops)
 	}
 }
 
@@ -479,16 +540,17 @@ func (d WatchData) RenderTable(w io.Writer) {
 func (d WatchData) RenderCSV(w io.Writer) {
 	// New columns go at the end: CI's smoke grep matches the prefix of
 	// this header, and downstream plotting scripts index by name.
-	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns,lag_p50,lag_max,conflated,wakeups,pub_p50_ns,pub_p99_ns")
+	fmt.Fprintln(w, "figure,series,watchers,publish_every_us,poll_every_us,published,observed,lat_p50_ns,lat_p99_ns,lat_max_ns,lag_p50,lag_max,conflated,wakeups,pub_p50_ns,pub_p99_ns,cascade_p99_ns,conflate_drops,flush_p99_ns")
 	for _, c := range d.Cells {
 		r := c.Result
-		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%d,%.0f,%.0f\n",
+		fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%d,%.0f,%.0f,%.0f,%d,%.0f\n",
 			d.Figure.ID, c.Series(), c.Watchers,
 			float64(d.Figure.PublishEvery)/float64(time.Microsecond),
 			float64(c.PollEvery)/float64(time.Microsecond),
 			r.Published, r.Observed,
 			r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max(),
 			r.LagP50, r.LagMax, r.Conflated, r.Wakeups,
-			r.PubOverhead.Quantile(0.5), r.PubOverhead.Quantile(0.99))
+			r.PubOverhead.Quantile(0.5), r.PubOverhead.Quantile(0.99),
+			r.CascadeLat.Quantile(0.99), r.ConflateDrops, r.FlushLat.Quantile(0.99))
 	}
 }

@@ -75,18 +75,19 @@ import (
 	"context"
 	"reflect"
 	"sync/atomic"
-	"time"
 
 	"arcreg/internal/obs"
 	"arcreg/internal/pad"
+	"arcreg/internal/trace"
 )
 
-// clockBase anchors the package's monotonic nanosecond clock: wake
-// stamps and wakeup-latency samples are durations since process start,
-// immune to wall-clock steps.
-var clockBase = time.Now()
-
-func nowNanos() int64 { return int64(time.Since(clockBase)) }
+// nowNanos is the package's monotonic nanosecond clock: wake stamps
+// and wakeup-latency samples are durations since process start, immune
+// to wall-clock steps. It is the flight recorder's clock (trace.Now),
+// so wake stamps, span stamps and trace event timestamps are directly
+// comparable — the property that lets one publication stamp thread a
+// span across the notify cascade.
+func nowNanos() int64 { return trace.Now() }
 
 // Gate is the parking point: an atomic pointer to the broadcast channel
 // shared by the currently parked waiters, nil when nobody is parked.
@@ -349,7 +350,17 @@ func noteWake(ws *WatchStats, woke *Gate, changed func() bool) {
 	}
 	ws.wakeups.Add(1)
 	if stamp := woke.WakeStamp(); stamp != 0 {
-		ws.latency.RecordSince(stamp, nowNanos())
+		now := nowNanos()
+		ws.latency.RecordSince(stamp, now)
+		// Flight-recorder hook: one StageWake event per waking park,
+		// spanned by the origin publish stamp WakeAt propagated. The
+		// ring is owner-plain (this watcher goroutine is the ring's
+		// single writer), so the record is four atomic stores and a
+		// head publish — no RMW, no allocation. lastWake is plain for
+		// the same reason: only this goroutine reads it back (to span
+		// downstream stages like the SSE flush).
+		ws.ring.Record(trace.StageWake, 0, stamp, uint64(now-stamp))
+		ws.lastWake = stamp
 	}
 	if !changed() {
 		ws.spurious.Add(1)
@@ -403,11 +414,19 @@ type Sequencer struct {
 // a swap and a channel close only when someone is parked). Call it
 // after the publication itself is visible (after the register's
 // publish store/RMW), from the single publisher goroutine.
-func (s *Sequencer) Publish() {
+func (s *Sequencer) Publish() { s.PublishAt(0) }
+
+// PublishAt is Publish with a caller-supplied origin stamp (trace.Now
+// at the moment the publication became visible): the stamp rides the
+// gate wake — and, through WakeAt, the whole fan-out cascade — so leaf
+// watchers and the flight recorder attribute latency to the *origin*
+// publish, not the last relay hop. stamp 0 means "unstamped" (plain
+// Publish): the no-waiter publish path then never reads the clock.
+func (s *Sequencer) PublishAt(stamp int64) {
 	s.local++
 	s.epoch.Store(s.local)
 	faultPublishEpoch.Hit()
-	if s.gate.Wake() > 0 {
+	if s.gate.WakeAt(stamp) > 0 {
 		s.wakes.Add(1)
 	}
 }

@@ -69,6 +69,7 @@ import (
 	"sync/atomic"
 
 	"arcreg/internal/obs"
+	"arcreg/internal/trace"
 )
 
 // Tree topology bounds. Arity and depth are clamped-by-panic (a
@@ -115,7 +116,19 @@ type Tree struct {
 	// every relay advances them.
 	cascades  atomic.Uint64
 	leafWakes atomic.Uint64
+
+	// rec is the tree's flight-recorder ring (nil = untraced). Only the
+	// ROOT relay records into it — the root node's relay is the ring's
+	// single writer (relay lifecycle hands the goroutine off under
+	// n.mu, never overlapping), while interior relays stay silent so
+	// one cascade yields one StageCascade event, not one per level.
+	// Atomic pointer so Trace may attach after relays are live.
+	rec atomic.Pointer[Ring]
 }
+
+// Ring aliases the flight-recorder ring type so callers wiring trees
+// don't import trace alongside notify.
+type Ring = trace.Ring
 
 // treeNode is one interior node: a parking gate (unused by the root,
 // which parks on the tree's source gate), the relay lifecycle state,
@@ -337,6 +350,15 @@ func (t *Tree) relay(n *treeNode, quit, ready chan struct{}) {
 	}
 }
 
+// Trace attaches a flight-recorder ring: each root-relay cascade then
+// records one StageCascade event spanned by the origin publish stamp.
+// Attach once, before or after relays start; nil detaches.
+func (t *Tree) Trace(r *Ring) { t.rec.Store(r) }
+
+// Traced reports whether a flight-recorder ring is attached — the
+// attach-once probe for wiring layers that allocate rings lazily.
+func (t *Tree) Traced() bool { return t.rec.Load() != nil }
+
 // fanOut wakes n's children — interior gates on upper levels, the leaf
 // range on the last level — propagating the origin publish stamp so
 // leaf watchers measure full publish→observe latency across the
@@ -344,6 +366,11 @@ func (t *Tree) relay(n *treeNode, quit, ready chan struct{}) {
 func (t *Tree) fanOut(n *treeNode, stamp int64) {
 	faultTreeWake.Hit()
 	t.cascades.Add(1)
+	if n == t.root && stamp != 0 {
+		// One event per cascade, from the root relay only (the ring's
+		// single writer); Aux carries the tree shape for the timeline.
+		t.rec.Load().Record(trace.StageCascade, uint32(t.depth), stamp, uint64(len(t.leaves)))
+	}
 	if n.children != nil {
 		for _, c := range n.children {
 			c.gate.WakeAt(stamp)

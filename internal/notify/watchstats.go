@@ -35,6 +35,7 @@ import (
 	"arcreg/internal/metrics"
 	"arcreg/internal/obs"
 	"arcreg/internal/pad"
+	"arcreg/internal/trace"
 )
 
 // WatchStats is one watcher's backpressure ledger. Single-writer: the
@@ -51,8 +52,32 @@ type WatchStats struct {
 	wakeups   obs.Cell
 	spurious  obs.Cell
 	latency   obs.Hist
-	_         pad.CacheLinePad
+	// ring is the watcher's flight-recorder lane (nil = untraced):
+	// noteWake records a StageWake event into it on every waking park.
+	// lastWake mirrors the stamp of that wake, plain — both fields are
+	// owner-only (the watcher goroutine), set at wiring time / read to
+	// span downstream stages (conflation decision, SSE flush).
+	ring     *trace.Ring
+	lastWake int64
+	_        pad.CacheLinePad
 }
+
+// Trace attaches a flight-recorder ring to the watcher's ledger:
+// subsequent waking parks record StageWake events spanned by the origin
+// publish stamp. Wiring-time, watcher goroutine only; a nil ring keeps
+// the watcher untraced (Ring.Record is nil-safe, so no branch is added
+// to the park path either way).
+func (ws *WatchStats) Trace(r *trace.Ring) { ws.ring = r }
+
+// TraceRing returns the attached flight-recorder ring, nil if untraced.
+// Watcher goroutine only.
+func (ws *WatchStats) TraceRing() *trace.Ring { return ws.ring }
+
+// LastWake returns the origin publish stamp of the watcher's most
+// recent waking park, 0 if it has never been woken by a stamped wake.
+// Watcher goroutine only — downstream stages (the conflation decision,
+// the SSE frame flush) use it to join the same span.
+func (ws *WatchStats) LastWake() int64 { return ws.lastWake }
 
 // NoteSeen records evidence that publication epoch e exists (from an
 // epoch snapshot taken before a read, or the epoch a Wait returned).

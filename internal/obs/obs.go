@@ -142,13 +142,24 @@ type HistStat struct {
 	Hist metrics.Histogram
 }
 
+// Info is one named string annotation in a Snapshot — build revision,
+// Go version, listen address: facts about the process that are not
+// counters. Renderers emit them alongside the numbers (the Prometheus
+// exposition folds a node's infos into a single `_info` gauge's labels,
+// the textfile idiom).
+type Info struct {
+	Name  string
+	Value string
+}
+
 // Snapshot is one node of the Stats tree: a point-in-time, caller-owned
-// copy. Stats, Hists and Children preserve insertion order so text and
-// JSON renderings are deterministic.
+// copy. Stats, Hists, Infos and Children preserve insertion order so
+// text and JSON renderings are deterministic.
 type Snapshot struct {
 	Name     string
 	Stats    []Stat
 	Hists    []HistStat
+	Infos    []Info
 	Children []Snapshot
 }
 
@@ -175,6 +186,28 @@ func (s *Snapshot) PutHist(name string, h metrics.Histogram) *Snapshot {
 	}
 	s.Hists = append(s.Hists, HistStat{Name: name, Hist: h})
 	return s
+}
+
+// PutInfo appends (or updates) a string annotation on the node.
+func (s *Snapshot) PutInfo(name, value string) *Snapshot {
+	for i := range s.Infos {
+		if s.Infos[i].Name == name {
+			s.Infos[i].Value = value
+			return s
+		}
+	}
+	s.Infos = append(s.Infos, Info{Name: name, Value: value})
+	return s
+}
+
+// GetInfo returns the named annotation's value and whether it exists.
+func (s Snapshot) GetInfo(name string) (string, bool) {
+	for _, in := range s.Infos {
+		if in.Name == name {
+			return in.Value, true
+		}
+	}
+	return "", false
 }
 
 // Get returns the named counter's value and whether it exists.
@@ -216,6 +249,9 @@ func (s Snapshot) writeText(w io.Writer, depth int) {
 	for _, h := range s.Hists {
 		fmt.Fprintf(w, "%s  %-24s %s\n", indent, h.Name, h.Hist.String())
 	}
+	for _, in := range s.Infos {
+		fmt.Fprintf(w, "%s  %-24s %s\n", indent, in.Name, in.Value)
+	}
 	for _, c := range s.Children {
 		c.writeText(w, depth+1)
 	}
@@ -256,6 +292,18 @@ func (s Snapshot) appendJSON(b *strings.Builder) {
 			b.WriteString(strconv.Quote(h.Name))
 			fmt.Fprintf(b, `:{"count":%d,"mean_ns":%.0f,"p50_ns":%.0f,"p99_ns":%.0f,"max_ns":%d}`,
 				h.Hist.Count(), h.Hist.Mean(), h.Hist.Quantile(0.5), h.Hist.Quantile(0.99), h.Hist.Max())
+		}
+		b.WriteByte('}')
+	}
+	if len(s.Infos) > 0 {
+		b.WriteString(`,"info":{`)
+		for i, in := range s.Infos {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(in.Name))
+			b.WriteByte(':')
+			b.WriteString(strconv.Quote(in.Value))
 		}
 		b.WriteByte('}')
 	}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ProcessInfo builds the "process" Stats node: uptime and runtime
+// gauges as counters, and the identity facts (Go version, os/arch,
+// VCS revision from debug.ReadBuildInfo) as Infos. Walker-side only —
+// it calls into the runtime; never collect it on a hot path.
+func ProcessInfo(start time.Time) Snapshot {
+	sn := Snapshot{Name: "process"}
+	sn.Put("uptime_s", uint64(time.Since(start)/time.Second))
+	sn.Put("gomaxprocs", uint64(runtime.GOMAXPROCS(0)))
+	sn.Put("goroutines", uint64(runtime.NumGoroutine()))
+	sn.PutInfo("go_version", runtime.Version())
+	sn.PutInfo("os_arch", runtime.GOOS+"/"+runtime.GOARCH)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, modified := "unknown", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+		sn.PutInfo("revision", rev+modified)
+	}
+	return sn
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders a Stats tree in the Prometheus text exposition
+// format (version 0.0.4), stdlib only. Each counter becomes
+// `<prefix>_<path>_<name>` where path joins the node names from the
+// root's children down (the root's own name is carried by the prefix);
+// each histogram becomes the standard `_bucket`/`_sum`/`_count` triple
+// with the log₂ bucket bounds as `le` labels; each node's Infos fold
+// into one `<prefix>_<path>_info{...} 1` gauge, the build-info idiom.
+// Values are emitted as untyped (the tree does not distinguish counters
+// from gauges) except histograms. Rendering is deterministic: insertion
+// order within a node, depth-first across children.
+func WriteProm(w io.Writer, prefix string, sn Snapshot) {
+	if prefix == "" {
+		prefix = "arcreg"
+	}
+	writePromNode(w, sanitizeMetric(prefix), sn, true)
+}
+
+func writePromNode(w io.Writer, path string, sn Snapshot, root bool) {
+	if !root && sn.Name != "" {
+		path = path + "_" + sanitizeMetric(sn.Name)
+	}
+	for _, st := range sn.Stats {
+		name := path + "_" + sanitizeMetric(st.Name)
+		fmt.Fprintf(w, "# TYPE %s untyped\n%s %d\n", name, name, st.Value)
+	}
+	for _, h := range sn.Hists {
+		name := path + "_" + sanitizeMetric(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		hist := h.Hist
+		cum := uint64(0)
+		for i := 0; i < histPromBuckets; i++ {
+			cum += hist.Bucket(i)
+			// Bucket i holds samples in [2^i, 2^(i+1)); le is the
+			// inclusive upper bound 2^(i+1)-1 ns.
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, uint64(1)<<(i+1)-1, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hist.Count())
+		fmt.Fprintf(w, "%s_sum %d\n", name, hist.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, hist.Count())
+	}
+	if len(sn.Infos) > 0 {
+		name := path + "_info"
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s{", name, name)
+		for i, in := range sn.Infos {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=\"%s\"", sanitizeMetric(in.Name), escapeLabel(in.Value))
+		}
+		io.WriteString(w, "} 1\n")
+	}
+	for _, c := range sn.Children {
+		writePromNode(w, path, c, false)
+	}
+}
+
+// histPromBuckets caps the emitted le series: log₂ bucket 34 covers
+// ≥ 2^34 ns (≈ 17 s) and up, which the +Inf bucket absorbs — emitting
+// it as a finite le would mislabel the unbounded tail.
+const histPromBuckets = 34
+
+// sanitizeMetric maps an arbitrary node/stat name into the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeMetric(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, quote, newline).
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"arcreg/internal/metrics"
+)
+
+func TestWritePromRendersTree(t *testing.T) {
+	var h metrics.Histogram
+	h.Record(100)
+	h.Record(3000)
+	root := Snapshot{Name: "server"}
+	root.Put("gets", 42)
+	root.PutInfo("go_version", "go1.24")
+	child := Snapshot{Name: "shard-0"}
+	child.Put("publishes", 7)
+	child.PutHist("latency", h)
+	root.Children = append(root.Children, child)
+
+	var b strings.Builder
+	WriteProm(&b, "arc", root)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE arc_gets untyped\narc_gets 42\n",
+		`arc_info{go_version="go1.24"} 1`,
+		"arc_shard_0_publishes 7\n",
+		"# TYPE arc_shard_0_latency histogram\n",
+		`arc_shard_0_latency_bucket{le="+Inf"} 2`,
+		"arc_shard_0_latency_sum 3100\n",
+		"arc_shard_0_latency_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the le="127" bucket (2^6..2^7-1 holds 100)
+	// must already include the first sample.
+	if !strings.Contains(out, `arc_shard_0_latency_bucket{le="127"} 1`) {
+		t.Fatalf("cumulative bucket wrong:\n%s", out)
+	}
+	// No finite le may exceed the +Inf count semantics: last finite
+	// bucket carries every sample below 2^34.
+	if !strings.Contains(out, `arc_shard_0_latency_bucket{le="17179869183"} 2`) {
+		t.Fatalf("final finite bucket wrong:\n%s", out)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	root := Snapshot{Name: "x"}
+	root.PutInfo("note", "a\"b\\c\nd")
+	var b strings.Builder
+	WriteProm(&b, "p", root)
+	if !strings.Contains(b.String(), `note="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", b.String())
+	}
+}
+
+func TestProcessInfo(t *testing.T) {
+	sn := ProcessInfo(time.Now().Add(-3 * time.Second))
+	if up, ok := sn.Get("uptime_s"); !ok || up < 3 {
+		t.Fatalf("uptime_s = %d, %v", up, ok)
+	}
+	if v, ok := sn.GetInfo("go_version"); !ok || !strings.HasPrefix(v, "go") {
+		t.Fatalf("go_version = %q, %v", v, ok)
+	}
+	if gm, ok := sn.Get("gomaxprocs"); !ok || gm == 0 {
+		t.Fatalf("gomaxprocs = %d, %v", gm, ok)
+	}
+	// Text and JSON renders must carry the infos.
+	if !strings.Contains(sn.String(), "go_version") {
+		t.Fatalf("text render missing info: %s", sn.String())
+	}
+	if !strings.Contains(sn.JSON(), `"info":{`) {
+		t.Fatalf("json render missing info: %s", sn.JSON())
+	}
+}

@@ -106,6 +106,7 @@ import (
 	"arcreg/internal/obs"
 	"arcreg/internal/pad"
 	"arcreg/internal/register"
+	"arcreg/internal/trace"
 )
 
 // ErrKeyNotFound is returned by Get for a key no Set has created (or a
@@ -196,6 +197,20 @@ type Config struct {
 	// the values actually stored — the right choice when the map holds
 	// many keys with small or rarely-updated values.
 	DynamicValues bool
+	// Trace enables the always-on flight recorder: one writer ring per
+	// shard (value and directory publications record StagePublish and
+	// stamp the notify cascade), one ring for the map-level fan's root
+	// relay, and a pool of watcher lanes Reader handles borrow. The
+	// recording paths stay RMW- and allocation-free (owner-plain rings,
+	// see internal/trace); untraced maps skip even the clock read, so
+	// the hot paths are bit-identical with Trace off.
+	Trace bool
+	// TraceRingEvents is the per-ring event capacity when Trace is set
+	// (default trace.DefaultRingEvents, rounded up to a power of two).
+	TraceRingEvents int
+	// TraceLanes bounds the watcher-lane pool when Trace is set
+	// (default trace.DefaultLanes); readers beyond it run untraced.
+	TraceLanes int
 }
 
 // fnv64Offset/fnv64Prime are the FNV-1a 64-bit parameters. The hash is
@@ -253,6 +268,13 @@ type shard struct {
 	// parked.
 	notify notify.Sequencer
 
+	// rec is the shard writer's flight-recorder ring (nil = untraced):
+	// every value and directory register the shard owns records its
+	// StagePublish events here (they share the shard's single writer,
+	// so the ring stays single-writer), and stampNow reads the clock
+	// only when it is set.
+	rec *trace.Ring
+
 	si          int             // shard index (error context)
 	index       map[string]int  // writer-side key → slot (live keys only)
 	wregs       []*arc.Register // writer-side slot array (uncopied)
@@ -296,6 +318,16 @@ type shardStats struct {
 func (sh *shard) beginPub() { sh.pubStarted.Add(1) }
 func (sh *shard) endPub()   { sh.pubDone.Add(1) }
 
+// stampNow returns the origin stamp for a publication about to happen
+// on this shard: trace.Now when the shard is traced, 0 (unstamped)
+// otherwise — so untraced publish paths never read the clock.
+func (sh *shard) stampNow() int64 {
+	if sh.rec == nil {
+		return 0
+	}
+	return trace.Now()
+}
+
 // flushStats publishes the shard's directory counters into the live
 // cells. Call only from the shard writer, only inside a publication
 // window (between beginPub and endPub): the window is what lets the
@@ -327,6 +359,13 @@ type Map struct {
 	// backpressure ledgers into the Stats tree. Watchers attach on
 	// entry and detach on return — lifecycle edges, never per-event.
 	watchTrack notify.Tracker
+
+	// tracer owns the map's flight-recorder rings (nil when Config.Trace
+	// is off — every use degrades to untraced); fanRing is the dedicated
+	// ring of the map-level fan's root relay, attached lazily when the
+	// first WatchAll session fans the watch gate.
+	tracer  *trace.Tracer
+	fanRing *trace.Ring
 
 	mu          sync.Mutex
 	liveReaders int
@@ -360,6 +399,10 @@ func New(cfg Config) (*Map, error) {
 		maxValueSize: cfg.MaxValueSize,
 		dynamic:      cfg.DynamicValues,
 	}
+	if cfg.Trace {
+		m.tracer = trace.New(trace.Config{RingEvents: cfg.TraceRingEvents, Lanes: cfg.TraceLanes})
+		m.fanRing = m.tracer.Ring("fan-root")
+	}
 	genesis := make([]byte, dirHeaderSize) // epoch 0, no entries, cgen 0
 	for i := range m.shards {
 		dir, err := arc.New(register.Config{
@@ -378,6 +421,12 @@ func New(cfg Config) (*Map, error) {
 		}
 		sh.entries.Store(&slots{})
 		sh.notify.Chain(&m.watchGate)
+		if m.tracer != nil {
+			// One ring per shard writer; the directory register shares it
+			// (same single writer). Key registers join in addKey.
+			sh.rec = m.tracer.Ring(fmt.Sprintf("shard%d", i))
+			dir.Trace(sh.rec)
+		}
 		sh.flushStats() // seed the live cells before the shard is shared
 		m.shards[i] = sh
 	}
@@ -420,12 +469,16 @@ func (m *Map) Set(key string, val []byte) error {
 	}
 	sh := m.shards[m.ShardOf(key)]
 	if i, ok := sh.index[key]; ok {
+		// Stamp the publication on traced shards: the key register's
+		// StagePublish event, the shard notify wake, and every downstream
+		// stage share this one span ID (see internal/trace).
+		stamp := sh.stampNow()
 		sh.beginPub()
 		faultValuePublish.Hit()
-		err := sh.wregs[i].Write(val)
+		err := sh.wregs[i].WriteStamped(val, stamp)
 		sh.endPub()
 		if err == nil {
-			sh.notify.Publish()
+			sh.notify.PublishAt(stamp)
 		}
 		return err
 	}
@@ -464,13 +517,14 @@ func (m *Map) Delete(key string) error {
 	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
 	faultDirPrepublish.Hit()
+	stamp := sh.stampNow()
 	sh.beginPub()
 	sh.flushStats()
 	faultDirPublish.Hit()
-	err := sh.dir.Write(sh.dirBuf)
+	err := sh.dir.WriteStamped(sh.dirBuf, stamp)
 	sh.endPub()
 	if err == nil {
-		sh.notify.Publish()
+		sh.notify.PublishAt(stamp)
 	}
 	return err
 }
@@ -506,6 +560,9 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("regmap: key %q register: %w", key, err)
 	}
+	// The key register's writer is the shard writer, so it shares the
+	// shard's flight-recorder ring (nil on untraced maps).
+	reg.Trace(sh.rec)
 	if err := sh.ensureRoom(addEntryMax(key)); err != nil {
 		return err
 	}
@@ -538,14 +595,15 @@ func (m *Map) addKey(sh *shard, key string, val []byte) error {
 	binary.LittleEndian.PutUint64(sh.dirBuf[0:8], sh.epoch)
 	binary.LittleEndian.PutUint32(sh.dirBuf[8:12], uint32(sh.nentries))
 	faultDirPrepublish.Hit()
+	stamp := sh.stampNow()
 	sh.beginPub()
 	sh.flushStats()
 	sh.entries.Store(next)
 	faultSlotStore.Hit()
-	err = sh.dir.Write(sh.dirBuf)
+	err = sh.dir.WriteStamped(sh.dirBuf, stamp)
 	sh.endPub()
 	if err == nil {
-		sh.notify.Publish()
+		sh.notify.PublishAt(stamp)
 	}
 	return err
 }
@@ -612,14 +670,15 @@ func (sh *shard) compact() error {
 		gens: append(make([]uint32, 0, len(sh.wgens)), sh.wgens...),
 	}
 	faultCompactBuilt.Hit()
+	stamp := sh.stampNow()
 	sh.beginPub()
 	sh.flushStats()
 	sh.entries.Store(next)
 	faultCompactPublish.Hit()
-	err := sh.dir.Write(sh.dirBuf)
+	err := sh.dir.WriteStamped(sh.dirBuf, stamp)
 	sh.endPub()
 	if err == nil {
-		sh.notify.Publish()
+		sh.notify.PublishAt(stamp)
 	}
 	return err
 }
@@ -718,6 +777,9 @@ func (m *Map) Stats() obs.Snapshot {
 		// WatchAll session): topology, live relays, cascade counters.
 		sn.Children = append(sn.Children, t.Stats())
 	}
+	if m.tracer != nil {
+		sn.Children = append(sn.Children, m.tracer.Stats())
+	}
 	sn.Children = append(sn.Children, children...)
 	return sn
 }
@@ -726,6 +788,28 @@ func (m *Map) Stats() obs.Snapshot {
 // WatchAll attach their ledgers automatically; compositions embedding
 // the map can attach their own.
 func (m *Map) WatchTracker() *notify.Tracker { return &m.watchTrack }
+
+// Tracer returns the map's flight recorder, nil when Config.Trace is
+// off. Walk it for span dumps and per-stage latency breakdowns (all
+// walker-side: the recording domains stay wait-free).
+func (m *Map) Tracer() *trace.Tracer { return m.tracer }
+
+// traceTree attaches a freshly named recorder ring to a wakeup tree's
+// root relay, once per tree: a tree's root relay is a single-writer
+// domain, so each traced tree needs its own ring. Attach-once is
+// serialized under m.mu (watch-session wiring, never per-event); an
+// untraced map is a no-op. Rings accumulate per watched key
+// incarnation — bounded by the keys actually watched on a traced map.
+func (m *Map) traceTree(t *notify.Tree, name string) {
+	if m.tracer == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !t.Traced() {
+		t.Trace(m.tracer.Ring(name))
+	}
+}
 
 // FanRelays sums the running relay goroutines across every wakeup tree
 // attached anywhere in the map — value registers, shard directories,
@@ -910,6 +994,16 @@ type Reader struct {
 	shards []readerShard
 	closed bool
 
+	// lane is the handle's borrowed flight-recorder ring (nil on
+	// untraced maps or when the lane pool is exhausted); laneFree
+	// returns it at Close. watchWS points at the ledger of the watch
+	// iteration currently running on this handle, so downstream
+	// single-writer stages (the HTTP layer's SSE flush) can read
+	// LastWake from the owning goroutine.
+	lane     *trace.Ring
+	laneFree func()
+	watchWS  *notify.WatchStats
+
 	ops         uint64
 	fastPath    uint64
 	misses      uint64
@@ -930,6 +1024,7 @@ func (m *Map) NewReader() (*Reader, error) {
 	m.liveReaders++
 	m.mu.Unlock()
 	r := &Reader{m: m, shards: make([]readerShard, len(m.shards))}
+	r.lane, r.laneFree = m.tracer.AcquireLane()
 	for i, sh := range m.shards {
 		h, err := sh.dir.NewReaderHandle()
 		if err != nil {
@@ -1467,10 +1562,30 @@ func (r *Reader) Close() error {
 			d.h.Close()
 		}
 	}
+	if r.laneFree != nil {
+		r.laneFree()
+	}
 	r.m.mu.Lock()
 	r.m.liveReaders--
 	r.m.mu.Unlock()
 	return nil
+}
+
+// TraceRing returns the handle's flight-recorder lane, nil when the map
+// is untraced or the lane pool was exhausted at NewReader. Owner
+// goroutine only — downstream single-writer stages (the HTTP layer's
+// SSE flush) record into it.
+func (r *Reader) TraceRing() *trace.Ring { return r.lane }
+
+// LastWake returns the origin publish stamp of the most recent waking
+// park of the watch iteration running on this handle, 0 when none is
+// running or it has not been woken by a stamped wake. Owner goroutine
+// only — it joins downstream stages to the in-flight span.
+func (r *Reader) LastWake() int64 {
+	if r.watchWS == nil {
+		return 0
+	}
+	return r.watchWS.LastWake()
 }
 
 // LiveReaders reports the number of open Reader handles.

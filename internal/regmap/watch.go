@@ -40,11 +40,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"iter"
 	"sort"
 
 	"arcreg/internal/arc"
 	"arcreg/internal/notify"
+	"arcreg/internal/trace"
 )
 
 // Wakeup-tree topologies for the watch layer. Per-key and per-shard
@@ -57,6 +59,48 @@ const (
 	dirFanArity, dirFanDepth = 8, 1
 	mapFanArity, mapFanDepth = notify.DefaultFanArity, notify.DefaultFanDepth
 )
+
+// watchTrace wires a watch session's ledger into the handle's trace
+// lane for the duration of the iteration, returning the detach. The
+// lane then carries the session's StageWake events (via noteWake) and
+// the StageConflate decisions recorded below.
+func (r *Reader) watchTrace(ws *notify.WatchStats) func() {
+	ws.Trace(r.lane)
+	r.watchWS = ws
+	return func() { r.watchWS = nil }
+}
+
+// noteConflate records a delivery's conflation decision into the
+// session's trace lane: Arg is the number of publications this delivery
+// conflates away (mirroring NoteDelivered's epoch-jump accounting,
+// computed before the ledger frame advances), Aux the epoch frame being
+// delivered. It runs at decision time — before the value is yielded —
+// so a span's stages read in pipeline order: the decision, then the
+// frame flush the consumer performs inside the yield. The span is the
+// origin stamp of the wake that triggered the decision; first-poll
+// deliveries (no wake yet) record unthreaded, which Spans() skips but
+// Breakdown counts. The ledger itself still advances only after the
+// yield returns (NoteDelivered semantics: delivery completes when
+// processing does), so a consumer that breaks mid-yield leaves the
+// decision on the trace but not on the ledger.
+func (r *Reader) noteConflate(ws *notify.WatchStats, e uint64) {
+	if r.lane == nil {
+		return
+	}
+	var drops uint64
+	if prev := ws.Observed(); ws.Delivered() > 0 && e > prev+1 {
+		drops = e - prev - 1
+	}
+	r.lane.Record(trace.StageConflate, uint32(drops), ws.LastWake(), e)
+}
+
+// observe folds an observe-no-change probe into the ledger and records
+// the (negative) conflation decision: Arg 0 drops, Aux 0 — the probe
+// found nothing new. Threaded by the triggering wake like deliver.
+func (r *Reader) observe(ws *notify.WatchStats, e uint64) {
+	ws.NoteObserved(e)
+	r.lane.Record(trace.StageConflate, 0, ws.LastWake(), 0)
+}
 
 // Watch returns an iterator over key's publications: it yields the
 // value current when iteration starts (or ErrKeyNotFound if the key is
@@ -92,11 +136,18 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 		ws := &notify.WatchStats{}
 		r.m.watchTrack.Attach(ws)
 		defer r.m.watchTrack.Detach(ws)
+		// On a traced map, the session records into the handle's lane:
+		// StageWake on every waking park (via the ledger), StageConflate
+		// on every delivery decision (deliver/observe below).
+		detachTrace := r.watchTrace(ws)
+		defer detachTrace()
 		// The session's leaf subscriptions. The directory leaf lives as
 		// long as the iterator; the value leaf follows the key's current
 		// register and is re-subscribed when a delete/recreate rebinds
 		// the key (valOwner tracks the incarnation).
-		dirSub := sh.dir.Notifier().Fan(dirFanArity, dirFanDepth).Subscribe()
+		dirFan := sh.dir.Notifier().Fan(dirFanArity, dirFanDepth)
+		r.m.traceTree(dirFan, fmt.Sprintf("fan-dir%d", si))
+		dirSub := dirFan.Subscribe()
 		defer dirSub.Close()
 		var valSub *notify.Sub
 		var valOwner *arc.Register
@@ -126,12 +177,13 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				// the directory gate alone: only a directory publication
 				// (a re-creation) can make the key exist again.
 				if first || !lastMiss {
+					r.noteConflate(ws, seen)
 					if !yield(nil, ErrKeyNotFound) {
 						return
 					}
 					ws.NoteDelivered(seen)
 				} else {
-					ws.NoteObserved(seen)
+					r.observe(ws, seen)
 				}
 				first, lastMiss, lastCorrupt = false, true, false
 				err := notify.AwaitStats(ctx, func() bool {
@@ -166,12 +218,13 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 				return
 			default:
 				if first || changed {
+					r.noteConflate(ws, seen)
 					if !yield(v, nil) {
 						return
 					}
 					ws.NoteDelivered(seen)
 				} else {
-					ws.NoteObserved(seen)
+					r.observe(ws, seen)
 				}
 				first, lastMiss, lastCorrupt = false, false, false
 				// Park on a leaf of the key's own value-gate tree plus
@@ -194,7 +247,9 @@ func (r *Reader) Watch(ctx context.Context, key string) iter.Seq2[[]byte, error]
 						valSub.Close()
 					}
 					valOwner = reg
-					valSub = reg.Notifier().Fan(keyFanArity, keyFanDepth).Subscribe()
+					valFan := reg.Notifier().Fan(keyFanArity, keyFanDepth)
+					r.m.traceTree(valFan, "fan-key:"+key)
+					valSub = valFan.Subscribe()
 				}
 				err := notify.AwaitStats(ctx, func() bool {
 					return !r.Fresh(key)
@@ -249,10 +304,20 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 		ws := &notify.WatchStats{}
 		r.m.watchTrack.Attach(ws)
 		defer r.m.watchTrack.Detach(ws)
+		// Trace wiring, as in Watch: the session's wakes and conflation
+		// decisions land in the handle's lane.
+		detachTrace := r.watchTrace(ws)
+		defer detachTrace()
 		// One leaf of the map-level gate's tree for the session:
 		// whole-map watchers are the population that concentrates on a
-		// single gate, so this is where the deep fan pays.
-		mapSub := r.m.watchGate.Fan(mapFanArity, mapFanDepth).Subscribe()
+		// single gate, so this is where the deep fan pays. On a traced
+		// map its root relay records cascades into the dedicated fan
+		// ring allocated at construction.
+		mapFan := r.m.watchGate.Fan(mapFanArity, mapFanDepth)
+		if r.m.fanRing != nil && !mapFan.Traced() {
+			mapFan.Trace(r.m.fanRing)
+		}
+		mapSub := mapFan.Subscribe()
 		defer mapSub.Close()
 		for {
 			if err := ctx.Err(); err != nil {
@@ -304,6 +369,7 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 			delta := diffSnapshots(prev, snap)
 			if first || len(delta.Values) > 0 || len(delta.Deleted) > 0 {
 				delta.Full = first
+				r.noteConflate(ws, seen)
 				if !yield(delta, nil) {
 					return
 				}
@@ -312,7 +378,7 @@ func (r *Reader) WatchAll(ctx context.Context) iter.Seq2[Delta, error] {
 			} else {
 				// Nothing to deliver: the collect proved we are current
 				// as of seen (byte-identical snapshots conflate away).
-				ws.NoteObserved(seen)
+				r.observe(ws, seen)
 			}
 			prev = snap
 			err = notify.AwaitStats(ctx, func() bool {

@@ -66,13 +66,20 @@ func TestServeLifecycleChurnRace(t *testing.T) {
 		}
 	}
 	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	// churn tracks the stop-driven goroutines (readers, writer,
+	// compactor); wg tracks the watcher, which outlives them. The final
+	// publication below must not race the writer's last round through
+	// the shard queue — two in-flight PUTs to the stable key can apply
+	// in either order, which would be a genuine (test-inflicted)
+	// version regression on the stream — so teardown drains churn
+	// before stamping the final version.
+	var churn, wg sync.WaitGroup
 
 	// HTTP readers: verify every body, track per-key monotonicity.
 	for r := 0; r < 2; r++ {
-		wg.Add(1)
+		churn.Add(1)
 		go func(id int) {
-			defer wg.Done()
+			defer churn.Done()
 			last := make(map[string]uint64)
 			var i int
 			for {
@@ -149,9 +156,9 @@ func TestServeLifecycleChurnRace(t *testing.T) {
 	// Writer: sequential PUTs with delete/recreate churn. One goroutine
 	// issues all writes so per-key versions are globally ordered; the
 	// server's shard queues serialize them onto the shard writers.
-	wg.Add(1)
+	churn.Add(1)
 	go func() {
-		defer wg.Done()
+		defer churn.Done()
 		var round int
 		for {
 			select {
@@ -179,9 +186,9 @@ func TestServeLifecycleChurnRace(t *testing.T) {
 	}()
 
 	// Compactor: epochs through the writer queues, racing everything.
-	wg.Add(1)
+	churn.Add(1)
 	go func() {
-		defer wg.Done()
+		defer churn.Done()
 		for {
 			select {
 			case <-stop:
@@ -198,6 +205,7 @@ func TestServeLifecycleChurnRace(t *testing.T) {
 
 	time.Sleep(800 * time.Millisecond)
 	close(stop)
+	churn.Wait() // writer's last round is fully acknowledged
 	// Final publication must reach the watcher through all the churn.
 	final := version.Add(1)
 	fb := make([]byte, 64)

@@ -46,6 +46,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,7 @@ import (
 	"arcreg/internal/fault"
 	"arcreg/internal/obs"
 	"arcreg/internal/regmap"
+	"arcreg/internal/trace"
 )
 
 // Defaults for Config zero values.
@@ -133,6 +135,7 @@ type Server struct {
 	longPoll    time.Duration
 	maxValue    int
 	watchBudget int
+	start       time.Time // process-info anchor for /statz uptime
 
 	st     serveCounters
 	shards []shardCells
@@ -262,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 		longPoll:    cfg.LongPollTimeout,
 		maxValue:    m.MaxValueSize(),
 		watchBudget: cfg.WatchStreams,
+		start:       time.Now(),
 		shards:      make([]shardCells, m.Shards()),
 	}
 	s.reqPool.New = func() any { return &writeReq{done: make(chan error, 1)} }
@@ -293,6 +297,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /keys", s.handleKeys)
 	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
@@ -777,6 +783,13 @@ func (s *Server) handleWatchKey(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fl.Flush()
+		// Flight recorder: the span's terminal stage — this SSE frame
+		// left for the socket. Recorded by the connection goroutine into
+		// the stream reader's lane (the same single-writer domain that
+		// just recorded the wake and the conflation decision); the span
+		// is the origin publish stamp the wake carried. Nil-safe on
+		// untraced maps or exhausted lane pools.
+		rd.TraceRing().Record(trace.StageFlush, 0, rd.LastWake(), uint64(len(scratch)))
 		s.st.watchEvents.Add(1)
 		s.st.bytesOut.Add(uint64(len(scratch)))
 	}
@@ -811,6 +824,9 @@ func (s *Server) longPollKey(w http.ResponseWriter, r *http.Request, key, pollAr
 		case err == nil:
 			w.Header()["Content-Type"] = contentTypeOctet
 			w.Write(v)
+			// A long-poll response is a one-frame stream: same terminal
+			// span stage as the SSE flush.
+			rd.TraceRing().Record(trace.StageFlush, 0, rd.LastWake(), uint64(len(v)))
 			s.st.watchEvents.Add(1)
 			s.st.bytesOut.Add(uint64(len(v)))
 		case errors.Is(err, regmap.ErrKeyNotFound):
@@ -878,6 +894,8 @@ func (s *Server) handleWatchAll(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fl.Flush()
+		// Terminal span stage, as in handleWatchKey.
+		rd.TraceRing().Record(trace.StageFlush, 0, rd.LastWake(), uint64(len(scratch)))
 		s.st.watchEvents.Add(1)
 		s.st.bytesOut.Add(uint64(len(scratch)))
 	}
@@ -962,6 +980,45 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	sn.WriteText(w)
 }
 
+// handleMetricz renders the whole stats tree — serve counters, the
+// map's tree (including the trace node's per-stage histograms on a
+// traced map), and the process node — in the Prometheus text
+// exposition format, stdlib only. The walk is read-only: scraping
+// costs the registers nothing beyond the loads the tree always costs.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	s.st.reqStatz.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, "arcreg", s.StatsTree())
+}
+
+// handleTrace dumps the flight recorder: reconstructed publish→deliver
+// spans with per-stage latency summaries, as JSON by default or a
+// human-readable timeline with ?format=text; ?spans=N bounds the dump
+// to the newest N spans (default 32, 0 = all). Snapshotting the rings
+// is safe under live traffic (seqlock-validated walks; see
+// internal/trace) — 404 when the map was built without tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.st.reqOther.Add(1)
+	tr := s.m.Tracer()
+	if tr == nil {
+		http.Error(w, "tracing disabled (map built without Trace)", http.StatusNotFound)
+		return
+	}
+	maxSpans := 32
+	if v := r.URL.Query().Get("spans"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			maxSpans = n
+		}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr.WriteText(w, maxSpans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteJSON(w, maxSpans)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.st.reqOther.Add(1)
 	io.WriteString(w, `arcserve: a wait-free-read register map over HTTP
@@ -974,6 +1031,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   GET    /keys          JSON key list
   POST   /compact       compact all shards
   GET    /statz         stats tree (?format=json)
+  GET    /metricz       Prometheus text exposition
+  GET    /debug/trace   flight-recorder span dump (?format=text, ?spans=N)
   GET    /debug/vars    expvar
 `)
 }
@@ -1037,13 +1096,35 @@ func (s *Server) Stats() obs.Snapshot {
 	return sn
 }
 
-// StatsTree returns the combined tree served on /statz: the serve node
-// and the map's own tree as siblings under one root.
+// StatsTree returns the combined tree served on /statz and /metricz:
+// the serve node, the map's own tree, and the process node (uptime, Go
+// version, GOMAXPROCS, build revision) as siblings under one root.
 func (s *Server) StatsTree() obs.Snapshot {
 	return obs.Snapshot{
 		Name:     "arcserve",
-		Children: []obs.Snapshot{s.Stats(), s.m.Stats()},
+		Children: []obs.Snapshot{s.Stats(), s.m.Stats(), obs.ProcessInfo(s.start)},
 	}
+}
+
+// DebugMux returns the admin-plane mux for a separate debug listener
+// (cmd/arcserve -debug-addr): net/http/pprof under /debug/pprof/,
+// expvar under /debug/vars, the flight-recorder dump under
+// /debug/trace, and /statz + /metricz — the introspection surface
+// without the data plane. Everything here is also reachable through
+// ServeHTTP except pprof, which stays off the data plane deliberately
+// (profiles are privileged and can be heavy).
+func (s *Server) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	return mux
 }
 
 func clamp(v int64) uint64 {

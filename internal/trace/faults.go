@@ -1,0 +1,14 @@
+package trace
+
+import "arcreg/internal/fault"
+
+// FaultRingPublish is the recorder's one injection point, hit between
+// an event's payload stores and its head publication — the window the
+// walker's head re-validation exists to survive. A stall here freezes a
+// ring with a fully written but unpublished event while walkers keep
+// snapshotting; yields shake out ordering assumptions between the
+// payload and the publication. Never a crash point: the recorder sits
+// inside publish paths whose callers hold publication windows open.
+const FaultRingPublish = "trace/ring-publish"
+
+var faultRingPublish = fault.NewPoint(FaultRingPublish, fault.CanYield|fault.CanStall)

@@ -1,0 +1,257 @@
+// Package trace is the always-on flight recorder under the serving
+// stack: fixed-size events recorded into per-domain ring buffers by the
+// domain's single owner, published with the same plain-store/one-
+// publication discipline as obs.Cell, and snapshotted walker-side with
+// a seqlock-style validation — so recording adds zero RMW instructions
+// and zero allocations to every hot path it instruments (guard-tested,
+// like the rest of the observability layer; see DESIGN.md §13).
+//
+// # The ring
+//
+// A Ring is a power-of-two array of 4-word event slots plus one
+// publication head. Every word — payload and head alike — is an
+// atomic.Uint64 written with plain atomic stores (MOVs on amd64, not
+// RMW instructions) so the race detector sees both sides of the
+// walker/owner concurrency as synchronized, while the owner's cost per
+// event stays five stores:
+//
+//	slot[head&mask] = {ts, span, stage|arg, aux}   // 4 stores
+//	head            = head+1                       // 1 store, publishes
+//
+// The owner keeps its own plain mirror of head (it is the only
+// writer), so there is no fetch-add anywhere: a Record is straight-line
+// store code, no branches on shared mutable state beyond the fault
+// probe.
+//
+// # Walker validation without per-slot sequence words
+//
+// A walker copies the window [h1-cap, h1) for h1 = head loaded before
+// the copy, then re-loads head as h2 and discards every index i with
+// i+cap ≤ h2. That discard rule is exactly the torn-slot condition:
+// the owner overwrites index i's slot only while writing index i+cap,
+// and it begins writing index i+cap only after publishing head = i+cap
+// — so if any store of the overwrite was visible to the walker's copy,
+// the walker's later head load (sequentially consistent, like all Go
+// atomics) must observe head ≥ i+cap and the discard fires. Surviving
+// events are bit-exact. This is the obs.Cell seqlock argument with the
+// head doubling as the sequence word for the whole ring.
+//
+// # The span stamp
+//
+// Events carry a Span: the monotonic Now() stamp taken at the origin
+// publication. The stamp rides the notify layer's existing WakeAt
+// propagation (PR 9) down the gate cascade, so one logical publication
+// threads publish → tree cascade → watcher wake → conflation decision
+// → SSE flush across four single-writer domains and their four rings.
+// The Tracer (tracer.go) groups the merged snapshot by Span and turns
+// stage deltas (TS - Span) into per-stage latency histograms.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// clockBase anchors the recorder's monotonic nanosecond clock. The
+// notify layer's wake stamps use the same clock (notify delegates
+// here), so span stamps and event timestamps are directly comparable.
+var clockBase = time.Now()
+
+// Now returns monotonic nanoseconds since process start — the timebase
+// of every event TS, span stamp and wake stamp. One nanotime read; no
+// allocation, no RMW.
+func Now() int64 { return int64(time.Since(clockBase)) }
+
+// Stage identifies which pipeline stage recorded an event. The five
+// stages of the publish→deliver span, in causal order.
+type Stage uint8
+
+const (
+	// StageNone marks an invalid/zero event.
+	StageNone Stage = iota
+	// StagePublish: a register writer published a value. Recorded by
+	// the owning writer (shard writer goroutine, or the (1,N) writer);
+	// the event's Span is the stamp the publication was born with.
+	StagePublish
+	// StageCascade: the wakeup tree's root relay fanned the wake out to
+	// its children. Recorded by the root relay goroutine.
+	StageCascade
+	// StageWake: a parked watcher unparked. Recorded by the watcher
+	// goroutine inside the Await engine; Aux carries the wakeup latency
+	// in nanoseconds.
+	StageWake
+	// StageConflate: the watcher's delivery decision. Arg is the number
+	// of publications conflated (skipped forever) into this delivery;
+	// Aux is the epoch frame delivered, or 0 for a spurious probe that
+	// found nothing new.
+	StageConflate
+	// StageFlush: the serving layer flushed an SSE frame to the client
+	// socket. Recorded by the connection goroutine; Aux is the frame
+	// size in bytes.
+	StageFlush
+
+	// NumStages bounds the Stage enum (valid stages are 1..NumStages-1).
+	NumStages
+)
+
+// String names the stage for timelines and metric labels.
+func (s Stage) String() string {
+	switch s {
+	case StagePublish:
+		return "publish"
+	case StageCascade:
+		return "cascade"
+	case StageWake:
+		return "wake"
+	case StageConflate:
+		return "conflate"
+	case StageFlush:
+		return "flush"
+	}
+	return "none"
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	// TS is the recording time: monotonic nanoseconds on the Now clock.
+	TS int64
+	// Span is the origin publication's stamp (same clock), threading
+	// this event into a publish→deliver span; 0 means unthreaded.
+	Span int64
+	// Stage is the pipeline stage that recorded the event.
+	Stage Stage
+	// Arg is a small stage-specific argument (see the Stage constants).
+	Arg uint32
+	// Aux is a stage-specific payload word (latency, epoch, bytes).
+	Aux uint64
+}
+
+// eventWords is the slot width: TS, Span, Stage|Arg, Aux.
+const eventWords = 4
+
+// DefaultRingEvents is the per-domain ring capacity used when a
+// configuration leaves it zero: 1024 events × 32 bytes = 32 KiB per
+// ring, several seconds of history at steady-state publish rates.
+const DefaultRingEvents = 1024
+
+// Ring is one single-owner flight-recorder ring. Exactly one goroutine
+// at a time may call Record (the domain's owner — handoff between
+// owners must be ordered by other synchronization, e.g. the Tracer
+// lane mutex); any number of goroutines may Snapshot concurrently.
+// A nil *Ring is valid and records nothing, so call sites need no
+// "tracing enabled?" branch beyond the nil test Record itself does.
+type Ring struct {
+	// words holds capacity slots of eventWords atomics. All access is
+	// atomic on both sides (owner stores, walker loads) — plain MOVs,
+	// never RMW — which is what keeps the pair race-clean.
+	words []atomic.Uint64
+	mask  uint64
+	// head is the publication word: the count of fully recorded events.
+	head atomic.Uint64
+	// local mirrors head on the owner's side so Record never loads or
+	// RMWs shared state to find its slot.
+	local uint64
+}
+
+// NewRing allocates a ring holding capacity events, rounded up to a
+// power of two (minimum 8).
+func NewRing(capacity int) *Ring {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{
+		words: make([]atomic.Uint64, n*eventWords),
+		mask:  uint64(n - 1),
+	}
+}
+
+// Cap reports the ring's event capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.words) / eventWords
+}
+
+// Recorded reports the total number of events ever recorded (the
+// publication head). Any goroutine.
+func (r *Ring) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Record appends one event stamped Now(). Owner goroutine only. Cost:
+// one nanotime read plus five atomic stores (plain MOVs) and one
+// disarmed fault probe — zero RMW instructions, zero allocations,
+// nothing proportional to ring size or walker activity. A nil receiver
+// records nothing.
+func (r *Ring) Record(stage Stage, arg uint32, span int64, aux uint64) {
+	if r == nil {
+		return
+	}
+	h := r.local
+	base := (h & r.mask) * eventWords
+	r.words[base].Store(uint64(Now()))
+	r.words[base+1].Store(uint64(span))
+	r.words[base+2].Store(uint64(stage) | uint64(arg)<<32)
+	r.words[base+3].Store(aux)
+	r.local = h + 1
+	// The publication window: a stall here leaves the event written but
+	// unpublished — walkers must stay behind the old head. The chaos
+	// scenarios stall exactly this window.
+	faultRingPublish.Hit()
+	r.head.Store(h + 1)
+}
+
+// Snapshot appends the ring's currently valid events to dst, oldest
+// first, and returns the extended slice. Walker-side only (allocates
+// when dst lacks capacity); safe under concurrent Record — events the
+// owner may have been overwriting during the copy are discarded by the
+// head re-validation, so every returned event is bit-exact. The
+// validation is conservative by exactly one slot: a walker cannot tell
+// an idle owner from one about to record event head+1, so once the
+// ring has wrapped a snapshot holds at most Cap()-1 events — the one
+// slot of headroom is the price of validating with the head alone
+// instead of per-slot sequence words.
+func (r *Ring) Snapshot(dst []Event) []Event {
+	if r == nil {
+		return dst
+	}
+	capU := uint64(len(r.words) / eventWords)
+	h1 := r.head.Load()
+	lo := uint64(0)
+	if h1 > capU {
+		lo = h1 - capU
+	}
+	start := len(dst)
+	for i := lo; i < h1; i++ {
+		base := (i & r.mask) * eventWords
+		sa := r.words[base+2].Load()
+		dst = append(dst, Event{
+			TS:    int64(r.words[base].Load()),
+			Span:  int64(r.words[base+1].Load()),
+			Stage: Stage(sa & 0xff),
+			Arg:   uint32(sa >> 32),
+			Aux:   r.words[base+3].Load(),
+		})
+	}
+	// Re-validate: the owner overwrites index i only while recording
+	// index i+cap, and publishes head ≥ i+cap before touching that
+	// slot's words again — so any index with i+cap ≤ h2 may be torn and
+	// is dropped. Everything newer is bit-exact (see package comment).
+	h2 := r.head.Load()
+	if h2 > capU {
+		keepFrom := h2 - capU + 1 // first index that cannot be torn
+		if keepFrom > h1 {
+			keepFrom = h1 // owner lapped the whole copy: keep nothing
+		}
+		if keepFrom > lo {
+			n := copy(dst[start:], dst[start+int(keepFrom-lo):])
+			dst = dst[:start+n]
+		}
+	}
+	return dst
+}

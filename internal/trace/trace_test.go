@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRingWraparound drives a ring several capacities past full and
+// checks the snapshot is exactly the newest window, in order, bit-exact.
+// A wrapped snapshot holds Cap()-1 events: the head-only validation
+// gives up one slot of headroom (see Ring.Snapshot).
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(16)
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	const total = 3*16 + 5
+	for i := 0; i < total; i++ {
+		// Self-describing payload: every field is a function of i.
+		r.Record(StagePublish, uint32(i), int64(2*i+1), uint64(3*i+7))
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 15 {
+		t.Fatalf("snapshot has %d events, want 15 (cap-1)", len(evs))
+	}
+	for j, ev := range evs {
+		i := total - 15 + j
+		if ev.Arg != uint32(i) || ev.Span != int64(2*i+1) || ev.Aux != uint64(3*i+7) || ev.Stage != StagePublish {
+			t.Fatalf("event %d = %+v, want index %d payload", j, ev, i)
+		}
+	}
+	// TS must be monotone nondecreasing within the window.
+	for j := 1; j < len(evs); j++ {
+		if evs[j].TS < evs[j-1].TS {
+			t.Fatalf("TS regressed at %d: %d after %d", j, evs[j].TS, evs[j-1].TS)
+		}
+	}
+	if got := r.Recorded(); got != total {
+		t.Fatalf("Recorded = %d, want %d", got, total)
+	}
+}
+
+// TestRingSnapshotUnderFill checks a partially filled ring returns
+// exactly what was recorded.
+func TestRingSnapshotUnderFill(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 10; i++ {
+		r.Record(StageWake, 0, int64(i+1), uint64(i))
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 10 {
+		t.Fatalf("snapshot has %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Span != int64(i+1) || ev.Aux != uint64(i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestNilRing checks the nil receiver contract every call site relies
+// on: record and snapshot are no-ops.
+func TestNilRing(t *testing.T) {
+	var r *Ring
+	r.Record(StagePublish, 1, 2, 3) // must not panic
+	if got := r.Snapshot(nil); got != nil {
+		t.Fatalf("nil ring snapshot = %v", got)
+	}
+	if r.Cap() != 0 || r.Recorded() != 0 {
+		t.Fatal("nil ring reports capacity or events")
+	}
+}
+
+// TestRingConcurrentWalkerVsOwner is the seqlock-validation test: one
+// owner records self-checking payloads flat out while walkers snapshot
+// continuously; every event any walker returns must be internally
+// consistent (all fields derived from the same index) — a torn slot
+// that survived validation shows up as a field mismatch. Run under
+// -race this also proves the atomic-on-both-sides discipline.
+func TestRingConcurrentWalkerVsOwner(t *testing.T) {
+	r := NewRing(32)
+	var stop atomic.Bool
+	var ownerWG sync.WaitGroup
+
+	ownerWG.Add(1)
+	go func() {
+		defer ownerWG.Done()
+		for i := uint64(1); !stop.Load(); i++ {
+			// span = 2i+1 (never 0), arg = low 32 bits, aux = i*3.
+			r.Record(StageConflate, uint32(i), int64(2*i+1), i*3)
+		}
+	}()
+
+	const walkers = 3
+	errs := make(chan string, walkers)
+	var walkerWG sync.WaitGroup
+	for w := 0; w < walkers; w++ {
+		walkerWG.Add(1)
+		go func() {
+			defer walkerWG.Done()
+			var buf []Event
+			for k := 0; k < 2000; k++ {
+				buf = r.Snapshot(buf[:0])
+				var prev uint64
+				for _, ev := range buf {
+					i := uint64(ev.Span-1) / 2
+					if ev.Span != int64(2*i+1) || ev.Arg != uint32(i) || ev.Aux != i*3 || ev.Stage != StageConflate {
+						errs <- "torn event survived validation"
+						return
+					}
+					if prev != 0 && i != prev+1 {
+						errs <- "indices not contiguous within a snapshot"
+						return
+					}
+					prev = i
+				}
+			}
+		}()
+	}
+	walkerWG.Wait()
+	stop.Store(true)
+	ownerWG.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestTracerSpanReconstruction records a synthetic publish→flush span
+// across separate rings and checks Spans stitches it back together.
+func TestTracerSpanReconstruction(t *testing.T) {
+	tr := New(Config{RingEvents: 64})
+	shard := tr.Ring("shard-0")
+	fan := tr.Ring("fan-root")
+	lane, release := tr.AcquireLane()
+	defer release()
+	if lane == nil {
+		t.Fatal("AcquireLane returned nil under the pool bound")
+	}
+
+	stamp := Now()
+	shard.Record(StagePublish, 0, stamp, 1)
+	fan.Record(StageCascade, 0, stamp, 0)
+	lane.Record(StageWake, 0, stamp, 123)
+	lane.Record(StageConflate, 2, stamp, 5)
+	lane.Record(StageFlush, 0, stamp, 64)
+	// A second, unrelated span plus an unthreaded event.
+	stamp2 := Now()
+	shard.Record(StagePublish, 0, stamp2, 2)
+	shard.Record(StagePublish, 0, 0, 3) // unthreaded: excluded from spans
+
+	spans := tr.Spans(0)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	sp := spans[0]
+	if sp.Stamp != stamp {
+		t.Fatalf("span stamp = %d, want %d", sp.Stamp, stamp)
+	}
+	want := []Stage{StagePublish, StageCascade, StageWake, StageConflate, StageFlush}
+	if len(sp.Events) != len(want) {
+		t.Fatalf("span has %d events, want %d: %+v", len(sp.Events), len(want), sp.Events)
+	}
+	for i, st := range want {
+		if sp.Events[i].Stage != st {
+			t.Fatalf("event %d stage = %s, want %s", i, sp.Events[i].Stage, st)
+		}
+		if i > 0 && sp.Events[i].TS < sp.Events[i-1].TS {
+			t.Fatalf("span TS not monotone at %d", i)
+		}
+	}
+	if ev, ok := sp.Stage(StageFlush); !ok || ev.Aux != 64 {
+		t.Fatalf("flush lookup = %+v, %v", ev, ok)
+	}
+
+	bd := tr.Breakdown()
+	if bd.ConflateDrops != 2 {
+		t.Fatalf("ConflateDrops = %d, want 2", bd.ConflateDrops)
+	}
+	if bd.Count[StagePublish] != 3 || bd.Count[StageFlush] != 1 {
+		t.Fatalf("stage counts = %v", bd.Count)
+	}
+
+	// Spans(1) keeps only the newest.
+	if got := tr.Spans(1); len(got) != 1 || got[0].Stamp != stamp2 {
+		t.Fatalf("Spans(1) = %+v", got)
+	}
+
+	// The render paths must mention every stage.
+	var text, js strings.Builder
+	tr.WriteText(&text, 0)
+	tr.WriteJSON(&js, 0)
+	for _, st := range want {
+		if !strings.Contains(text.String(), st.String()) {
+			t.Fatalf("text timeline missing %s:\n%s", st, text.String())
+		}
+		if !strings.Contains(js.String(), st.String()) {
+			t.Fatalf("json dump missing %s:\n%s", st, js.String())
+		}
+	}
+	if !strings.HasPrefix(js.String(), `{"spans":[`) {
+		t.Fatalf("json dump malformed: %s", js.String())
+	}
+}
+
+// TestTracerLanePool checks the lane pool bounds, reuses, and degrades
+// to untraced (nil ring) instead of growing without bound.
+func TestTracerLanePool(t *testing.T) {
+	tr := New(Config{RingEvents: 8, Lanes: 2})
+	a, releaseA := tr.AcquireLane()
+	b, _ := tr.AcquireLane()
+	if a == nil || b == nil || a == b {
+		t.Fatal("first two lanes should be distinct rings")
+	}
+	c, releaseC := tr.AcquireLane()
+	if c != nil {
+		t.Fatal("third lane should be nil at bound 2")
+	}
+	releaseC() // must be safe on a nil lane
+	releaseA()
+	releaseA() // double release must be idempotent
+	d, _ := tr.AcquireLane()
+	if d != a {
+		t.Fatal("released lane should be reused")
+	}
+}
+
+// TestNilTracer checks the nil-tracer contract: accessors degrade,
+// nothing panics.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if r := tr.Ring("x"); r != nil {
+		t.Fatal("nil tracer returned a ring")
+	}
+	lane, release := tr.AcquireLane()
+	release()
+	if lane != nil {
+		t.Fatal("nil tracer returned a lane")
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatal("nil tracer returned events")
+	}
+	if sn := tr.Stats(); sn.Name != "trace" {
+		t.Fatalf("nil tracer stats = %+v", sn)
+	}
+}

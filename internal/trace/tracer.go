@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"arcreg/internal/metrics"
+	"arcreg/internal/obs"
+)
+
+// DefaultLanes bounds the watcher-lane pool (see Tracer.AcquireLane)
+// when a configuration leaves it zero.
+const DefaultLanes = 64
+
+// Config parametrizes a Tracer.
+type Config struct {
+	// RingEvents is the per-ring event capacity, rounded up to a power
+	// of two (default DefaultRingEvents).
+	RingEvents int
+	// Lanes bounds the watcher-lane pool: the maximum number of
+	// concurrently traced watcher/connection domains (default
+	// DefaultLanes). Watchers beyond the bound run untraced.
+	Lanes int
+}
+
+// Tracer owns a set of named flight-recorder rings — one per
+// single-writer domain — and reconstructs their merged snapshot into
+// spans and per-stage latency breakdowns, walker-side. Creating rings
+// and acquiring lanes are wiring-time operations under a mutex; the
+// rings themselves stay wait-free to record into. A nil *Tracer is
+// valid: every method degrades to "tracing disabled".
+type Tracer struct {
+	ringEvents int
+	maxLanes   int
+
+	mu    sync.Mutex
+	rings []namedRing
+	lanes []laneState
+}
+
+type namedRing struct {
+	name string
+	ring *Ring
+}
+
+type laneState struct {
+	ring *Ring
+	busy bool
+}
+
+// New constructs a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.RingEvents <= 0 {
+		cfg.RingEvents = DefaultRingEvents
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = DefaultLanes
+	}
+	return &Tracer{ringEvents: cfg.RingEvents, maxLanes: cfg.Lanes}
+}
+
+// Ring creates and registers a named domain ring (shard writers, tree
+// relays — domains fixed at wiring time). Duplicate names are allowed;
+// walkers see both. A nil Tracer returns a nil ring, which records
+// nothing.
+func (t *Tracer) Ring(name string) *Ring {
+	if t == nil {
+		return nil
+	}
+	r := NewRing(t.ringEvents)
+	t.mu.Lock()
+	t.rings = append(t.rings, namedRing{name: name, ring: r})
+	t.mu.Unlock()
+	return r
+}
+
+// AcquireLane borrows a ring for a transient single-writer domain — a
+// watcher iteration, an SSE connection. Lanes are pooled and reused:
+// a released lane keeps its recorded history (spans from finished
+// streams stay visible until overwritten) and its next owner appends
+// after it; the acquire/release mutex orders the owner handoff. When
+// all lanes are busy and the pool is at its bound, AcquireLane returns
+// a nil ring — that domain runs untraced — and release is still safe
+// to call. A nil Tracer returns (nil, no-op).
+func (t *Tracer) AcquireLane() (ring *Ring, release func()) {
+	if t == nil {
+		return nil, func() {}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := -1
+	for i := range t.lanes {
+		if !t.lanes[i].busy {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(t.lanes) >= t.maxLanes {
+			return nil, func() {}
+		}
+		r := NewRing(t.ringEvents)
+		t.lanes = append(t.lanes, laneState{ring: r})
+		t.rings = append(t.rings, namedRing{name: "lane-" + strconv.Itoa(len(t.lanes)-1), ring: r})
+		idx = len(t.lanes) - 1
+	}
+	t.lanes[idx].busy = true
+	lane := t.lanes[idx].ring
+	var once sync.Once
+	return lane, func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.lanes[idx].busy = false
+			t.mu.Unlock()
+		})
+	}
+}
+
+// SpanEvent is one merged-snapshot event, labeled with the ring it was
+// recorded into.
+type SpanEvent struct {
+	Ring string
+	Event
+}
+
+// Events returns a merged snapshot of every ring, sorted by TS.
+// Walker-side (allocates); safe under live recording.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	rings := make([]namedRing, len(t.rings))
+	copy(rings, t.rings)
+	t.mu.Unlock()
+	var out []SpanEvent
+	var scratch []Event
+	for _, nr := range rings {
+		scratch = nr.ring.Snapshot(scratch[:0])
+		for _, ev := range scratch {
+			out = append(out, SpanEvent{Ring: nr.name, Event: ev})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Span is one reconstructed publish→deliver span: every event sharing
+// one origin publication stamp, in TS order.
+type Span struct {
+	// Stamp is the origin publication's Now() stamp — the span ID.
+	Stamp int64
+	// Events are the span's events in TS order.
+	Events []SpanEvent
+}
+
+// Stage returns the span's first event of the given stage.
+func (s Span) Stage(st Stage) (SpanEvent, bool) {
+	for _, ev := range s.Events {
+		if ev.Stage == st {
+			return ev, true
+		}
+	}
+	return SpanEvent{}, false
+}
+
+// Stages reports which stages the span has events for, as a bitmask
+// indexed by Stage.
+func (s Span) Stages() uint32 {
+	var m uint32
+	for _, ev := range s.Events {
+		m |= 1 << ev.Stage
+	}
+	return m
+}
+
+// Spans groups the merged snapshot by span stamp, oldest span first,
+// keeping at most max spans (the newest ones; max ≤ 0 means all).
+// Unthreaded events (Span == 0) are excluded.
+func (t *Tracer) Spans(max int) []Span {
+	events := t.Events()
+	byStamp := make(map[int64]*Span)
+	var order []int64
+	for _, ev := range events {
+		if ev.Span == 0 {
+			continue
+		}
+		sp := byStamp[ev.Span]
+		if sp == nil {
+			sp = &Span{Stamp: ev.Span}
+			byStamp[ev.Span] = sp
+			order = append(order, ev.Span)
+		}
+		sp.Events = append(sp.Events, ev)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	if max > 0 && len(order) > max {
+		order = order[len(order)-max:]
+	}
+	out := make([]Span, 0, len(order))
+	for _, stamp := range order {
+		out = append(out, *byStamp[stamp])
+	}
+	return out
+}
+
+// Breakdown is the walker-built per-stage latency decomposition of the
+// current snapshot: for every threaded event, TS - Span is the time
+// from origin publication to that stage.
+type Breakdown struct {
+	// Count and Latency are indexed by Stage.
+	Count   [NumStages]uint64
+	Latency [NumStages]metrics.Histogram
+	// ConflateDrops sums the publications conflated away at delivery
+	// decisions (StageConflate Arg) across the snapshot.
+	ConflateDrops uint64
+}
+
+// Breakdown computes the per-stage latency breakdown of the current
+// merged snapshot. Note the window: rings hold the last Cap() events
+// per domain, so the breakdown describes recent traffic, not the full
+// run.
+func (t *Tracer) Breakdown() Breakdown {
+	var b Breakdown
+	for _, ev := range t.Events() {
+		if ev.Stage == StageNone || ev.Stage >= NumStages {
+			continue
+		}
+		b.Count[ev.Stage]++
+		if ev.Span != 0 && ev.TS >= ev.Span {
+			b.Latency[ev.Stage].Record(uint64(ev.TS - ev.Span))
+		}
+		if ev.Stage == StageConflate {
+			b.ConflateDrops += uint64(ev.Arg)
+		}
+	}
+	return b
+}
+
+// Stats renders the tracer as a Stats-tree node: ring inventory, event
+// totals, and the per-stage counts and latency histograms of the
+// current snapshot.
+func (t *Tracer) Stats() obs.Snapshot {
+	sn := obs.Snapshot{Name: "trace"}
+	if t == nil {
+		return sn
+	}
+	t.mu.Lock()
+	nrings := uint64(len(t.rings))
+	nlanes := uint64(len(t.lanes))
+	var recorded uint64
+	for _, nr := range t.rings {
+		recorded += nr.ring.Recorded()
+	}
+	t.mu.Unlock()
+	sn.Put("rings", nrings)
+	sn.Put("lanes", nlanes)
+	sn.Put("recorded", recorded)
+	b := t.Breakdown()
+	sn.Put("conflate_drops", b.ConflateDrops)
+	for st := StagePublish; st < NumStages; st++ {
+		child := obs.Snapshot{Name: "stage_" + st.String()}
+		child.Put("events", b.Count[st])
+		if b.Latency[st].Count() > 0 {
+			child.PutHist("latency", b.Latency[st])
+		}
+		sn.Children = append(sn.Children, child)
+	}
+	return sn
+}
+
+// WriteJSON renders the span dump as JSON: the newest maxSpans spans
+// (≤ 0 for all), each with its stage events, plus the per-stage
+// summary. Hand-encoded for deterministic field order, like obs.JSON.
+func (t *Tracer) WriteJSON(w io.Writer, maxSpans int) {
+	var b strings.Builder
+	b.WriteString(`{"spans":[`)
+	for i, sp := range t.Spans(maxSpans) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"stamp":%d,"events":[`, sp.Stamp)
+		for j, ev := range sp.Events {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"ring":%q,"stage":%q,"ts":%d,"offset_ns":%d,"arg":%d,"aux":%d}`,
+				ev.Ring, ev.Stage.String(), ev.TS, ev.TS-sp.Stamp, ev.Arg, ev.Aux)
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString(`],"stages":{`)
+	bd := t.Breakdown()
+	first := true
+	for st := StagePublish; st < NumStages; st++ {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, `%q:{"events":%d`, st.String(), bd.Count[st])
+		if h := &bd.Latency[st]; h.Count() > 0 {
+			fmt.Fprintf(&b, `,"p50_ns":%.0f,"p99_ns":%.0f,"max_ns":%d`,
+				h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		}
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(&b, `},"conflate_drops":%d}`, bd.ConflateDrops)
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}
+
+// WriteText renders a human-readable timeline: the newest maxSpans
+// spans (≤ 0 for all), one line per event with its offset from the
+// origin publication, followed by the per-stage summary.
+func (t *Tracer) WriteText(w io.Writer, maxSpans int) {
+	spans := t.Spans(maxSpans)
+	for _, sp := range spans {
+		fmt.Fprintf(w, "span %d\n", sp.Stamp)
+		for _, ev := range sp.Events {
+			fmt.Fprintf(w, "  +%-12s %-8s ring=%s", metrics.Duration(float64(ev.TS-sp.Stamp)), ev.Stage, ev.Ring)
+			switch ev.Stage {
+			case StageWake:
+				fmt.Fprintf(w, " latency=%s", metrics.Duration(float64(ev.Aux)))
+			case StageConflate:
+				fmt.Fprintf(w, " drops=%d epoch=%d", ev.Arg, ev.Aux)
+			case StageFlush:
+				fmt.Fprintf(w, " bytes=%d", ev.Aux)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	bd := t.Breakdown()
+	fmt.Fprintf(w, "stages (last %d spans shown, window = ring capacity):\n", len(spans))
+	for st := StagePublish; st < NumStages; st++ {
+		h := &bd.Latency[st]
+		fmt.Fprintf(w, "  %-8s events=%-8d", st, bd.Count[st])
+		if h.Count() > 0 {
+			fmt.Fprintf(w, " p50=%s p99=%s max=%s",
+				metrics.Duration(h.Quantile(0.5)), metrics.Duration(h.Quantile(0.99)),
+				metrics.Duration(float64(h.Max())))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  conflate_drops=%d\n", bd.ConflateDrops)
+}

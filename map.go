@@ -53,6 +53,16 @@ type MapConfig struct {
 	// MaxValueSize buffers per key — the right choice for maps with many
 	// keys holding small values.
 	DynamicValues bool
+	// Trace enables the always-on flight recorder (see WithTrace):
+	// per-domain event rings threading publish→deliver spans, with zero
+	// RMW and zero allocation added to the instrumented hot paths.
+	Trace bool
+	// TraceRingEvents is the per-ring event capacity when Trace is set
+	// (default 1024, rounded up to a power of two).
+	TraceRingEvents int
+	// TraceLanes bounds the traced watch-session pool when Trace is set
+	// (default 64); sessions beyond it run untraced.
+	TraceLanes int
 }
 
 // MapReadStats counts a MapReader's work: Ops (Gets), FastPath (Gets
@@ -82,10 +92,13 @@ type Map struct {
 // and NewMN.
 func NewByteMap(cfg MapConfig) (*Map, error) {
 	m, err := regmap.New(regmap.Config{
-		Shards:        cfg.Shards,
-		MaxReaders:    cfg.MaxReaders,
-		MaxValueSize:  cfg.MaxValueSize,
-		DynamicValues: cfg.DynamicValues,
+		Shards:          cfg.Shards,
+		MaxReaders:      cfg.MaxReaders,
+		MaxValueSize:    cfg.MaxValueSize,
+		DynamicValues:   cfg.DynamicValues,
+		Trace:           cfg.Trace,
+		TraceRingEvents: cfg.TraceRingEvents,
+		TraceLanes:      cfg.TraceLanes,
 	})
 	if err != nil {
 		return nil, err
@@ -156,6 +169,14 @@ func (m *Map) WriteStats() MapWriteStats { return m.m.WriteStats() }
 // the tree only loads: no RMW on any register path, nothing added to
 // writer cost. Safe to poll continuously (see Observe).
 func (m *Map) Stats() Stats { return m.m.Stats() }
+
+// Tracer returns the map's flight recorder, nil unless the map was
+// built with WithTrace (or MapConfig.Trace). Walk it for reconstructed
+// publish→deliver spans (Spans, WriteJSON, WriteText) and per-stage
+// latency breakdowns (Breakdown, Stats) — all walker-side: snapshots
+// are seqlock-validated against the live rings, and the recording
+// domains never block or retry for a walker.
+func (m *Map) Tracer() *Tracer { return m.m.Tracer() }
 
 // Compact rewrites every shard's directory log down to its live keys
 // and publishes the result as a new compaction epoch. Appends already
@@ -322,10 +343,13 @@ func NewMap[T any](opts ...Option) (*MapOf[T], error) {
 		cfg.readers = runtime.GOMAXPROCS(0)
 	}
 	m, err := NewByteMap(MapConfig{
-		Shards:        cfg.shards,
-		MaxReaders:    cfg.readers,
-		MaxValueSize:  cfg.maxValueSize,
-		DynamicValues: cfg.dynamicValues,
+		Shards:          cfg.shards,
+		MaxReaders:      cfg.readers,
+		MaxValueSize:    cfg.maxValueSize,
+		DynamicValues:   cfg.dynamicValues,
+		Trace:           cfg.trace,
+		TraceRingEvents: cfg.traceRings,
+		TraceLanes:      cfg.traceLanes,
 	})
 	if err != nil {
 		return nil, err

@@ -14,9 +14,11 @@ package arcreg
 
 import (
 	"expvar"
+	"io"
 
 	"arcreg/internal/metrics"
 	"arcreg/internal/obs"
+	"arcreg/internal/trace"
 )
 
 // Stats is one node of the observability tree: a name, flat counters,
@@ -54,6 +56,58 @@ type StatsVar = obs.Var
 // snapshots in name order. Use one registry per process to export
 // several registers and maps under a single expvar name.
 type StatsRegistry = obs.Registry
+
+// StatInfo is one named string annotation in a Stats node — build
+// revision, Go version, listen address: facts that are not counters.
+type StatInfo = obs.Info
+
+// WriteProm renders a Stats tree in the Prometheus text exposition
+// format (version 0.0.4), stdlib only: counters as untyped samples
+// named <prefix>_<path>_<name>, histograms as the standard
+// _bucket/_sum/_count triples with log₂ le bounds, Infos folded into
+// <prefix>_<path>_info gauges. The HTTP handler serves exactly this on
+// GET /metricz; WriteProm is the same rendering for processes that
+// embed the map without the serving layer:
+//
+//	http.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
+//		arcreg.WriteProm(w, "myapp", m.Stats())
+//	})
+func WriteProm(w io.Writer, prefix string, sn Stats) {
+	obs.WriteProm(w, prefix, sn)
+}
+
+// Tracer is the keyed store's always-on flight recorder (enable with
+// WithTrace; obtain with Map.Tracer). Each single-writer domain under
+// the map — shard writers, wakeup-tree root relays, watch sessions —
+// records fixed-size events into an owner-plain ring buffer, adding
+// zero RMW instructions and zero allocations to the paths it
+// instruments. Walk it with Spans (reconstructed publish→deliver spans
+// threaded by origin-publication stamps), Breakdown (per-stage latency
+// histograms), WriteJSON/WriteText (the /debug/trace renderings), or
+// Stats (a Stats-tree node, folded into Map.Stats automatically).
+type Tracer = trace.Tracer
+
+// TraceSpan is one reconstructed publish→deliver span: every recorded
+// event sharing one origin publication stamp, in timestamp order.
+type TraceSpan = trace.Span
+
+// TraceEvent is one flight-recorder event, labeled with the ring (the
+// single-writer domain) it was recorded into.
+type TraceEvent = trace.SpanEvent
+
+// TraceStage identifies which pipeline stage recorded an event.
+type TraceStage = trace.Stage
+
+// The stages of a publish→deliver span, in causal order: the register
+// publish, the wakeup tree's root cascade, the watcher unpark, the
+// delivery/conflation decision, and the SSE frame flush.
+const (
+	StagePublish  = trace.StagePublish
+	StageCascade  = trace.StageCascade
+	StageWake     = trace.StageWake
+	StageConflate = trace.StageConflate
+	StageFlush    = trace.StageFlush
+)
 
 // Observe publishes src's live Stats tree in the process-wide expvar
 // registry under name, making it available on the stdlib

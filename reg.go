@@ -113,6 +113,9 @@ type config struct {
 	noEpochGate   bool
 	shards        int  // NewMap only
 	dynamicValues bool // NewMap only
+	trace         bool // NewMap only
+	traceRings    int  // NewMap only
+	traceLanes    int  // NewMap only
 }
 
 // Option configures New. Options that carry a typed payload
@@ -180,6 +183,35 @@ func WithShards(s int) Option {
 // values. Valid only for NewMap.
 func WithDynamicValues() Option {
 	return func(c *config) { c.dynamicValues = true }
+}
+
+// WithTrace enables the keyed store's always-on flight recorder: every
+// single-writer domain under the map — shard writers, wakeup-tree root
+// relays, watch sessions — records fixed-size events into owner-plain
+// ring buffers, reconstructed on demand into publish→deliver spans and
+// per-stage latency breakdowns (Map.Tracer, GET /debug/trace on the
+// HTTP handler). Recording adds zero RMW instructions and zero
+// allocations to the hot paths it instruments — guard tests pin the
+// traced and untraced Get/Set instruction traces bit-identical — at
+// the cost of one clock read per publication and ~32 KiB of ring per
+// domain. Valid only for NewMap.
+func WithTrace() Option {
+	return func(c *config) { c.trace = true }
+}
+
+// WithTraceRings sets the flight recorder's per-ring event capacity
+// (default 1024, rounded up to a power of two) — the visible history
+// window per domain. Implies WithTrace. Valid only for NewMap.
+func WithTraceRings(events int) Option {
+	return func(c *config) { c.trace = true; c.traceRings = events }
+}
+
+// WithTraceLanes bounds the flight recorder's watcher-lane pool: the
+// maximum number of concurrently traced watch sessions (default 64).
+// Sessions beyond the bound run untraced rather than growing the pool.
+// Implies WithTrace. Valid only for NewMap.
+func WithTraceLanes(n int) Option {
+	return func(c *config) { c.trace = true; c.traceLanes = n }
 }
 
 // WithARC applies ARC tuning/ablation options (WithoutFastPath,
@@ -313,6 +345,9 @@ func New[T any](opts ...Option) (*Reg[T], error) {
 	}
 	if cfg.shards != 0 || cfg.dynamicValues {
 		return nil, errors.New("arcreg: WithShards/WithDynamicValues apply to NewMap, not New")
+	}
+	if cfg.trace {
+		return nil, errors.New("arcreg: WithTrace/WithTraceRings/WithTraceLanes apply to NewMap, not New")
 	}
 
 	r := &Reg[T]{c: cd, alg: cfg.alg}

@@ -105,6 +105,19 @@ func (h *HTTPHandler) Compact() error { return h.s.Compact() }
 // map's tree remains available via Map.Stats; /statz serves both.
 func (h *HTTPHandler) Stats() Stats { return h.s.Stats() }
 
+// StatsTree returns the combined observability root /statz and /metricz
+// serve: the handler's node, the map's node, and a process node
+// (uptime, Go version, GOMAXPROCS, build revision) as siblings.
+func (h *HTTPHandler) StatsTree() Stats { return h.s.StatsTree() }
+
+// DebugMux returns an admin-plane mux — net/http/pprof, /debug/vars
+// (expvar), /debug/trace, /statz and /metricz — for serving on a
+// separate listener so profiling and scraping never contend with the
+// data plane (cmd/arcserve mounts it on -debug-addr). The data-plane
+// handler also serves /statz, /metricz and /debug/trace itself; the
+// pprof handlers are only here.
+func (h *HTTPHandler) DebugMux() *http.ServeMux { return h.s.DebugMux() }
+
 // Close stops the shard writers, severs every watch stream, and closes
 // the pooled readers. Shut the surrounding http.Server down first so no
 // handler is mid-request.
